@@ -1,0 +1,179 @@
+// Command iipgen manufactures transmission lines, measures their IIP
+// fingerprints through the iTDR, renders them as ASCII waveforms, and prints
+// the cross-similarity matrix — a quick way to see the PUF property.
+//
+// Usage:
+//
+//	iipgen [-lines N] [-seed N] [-plot] [-attack wiretap|magprobe|loadmod] [-pos mm]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"divot/internal/attack"
+	"divot/internal/fingerprint"
+	"divot/internal/itdr"
+	"divot/internal/rng"
+	"divot/internal/signal"
+	"divot/internal/txline"
+)
+
+type dut struct {
+	line *txline.Line
+	refl *itdr.Reflectometer
+	fp   fingerprint.IIP
+}
+
+func main() {
+	lines := flag.Int("lines", 3, "number of lines to manufacture")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	plot := flag.Bool("plot", true, "render ASCII waveforms")
+	attackName := flag.String("attack", "", "mount an attack on line 0: wiretap, magprobe, or loadmod")
+	posMM := flag.Float64("pos", 120, "attack position in mm")
+	csvPath := flag.String("csv", "", "write the fingerprints as CSV (time_ns, tx0, tx1, ...) to this file")
+	flag.Parse()
+
+	stream := rng.New(*seed)
+	icfg := itdr.DefaultConfig()
+	lcfg := txline.DefaultConfig()
+	pipe := fingerprint.DefaultPipeline()
+	env := txline.RoomTemperature()
+
+	duts := make([]*dut, *lines)
+	for i := range duts {
+		id := fmt.Sprintf("tx%d", i)
+		sub := stream.Child(id)
+		d := &dut{
+			line: txline.New(id, lcfg, sub.Child("line")),
+			refl: itdr.MustNew(icfg, txline.DefaultProbe(), nil, sub.Child("itdr")),
+		}
+		d.fp = pipe.FromWaveform(d.refl.Measure(d.line, env).IIP)
+		duts[i] = d
+	}
+
+	fmt.Printf("manufactured %d lines (25 cm, 50 Ω nominal); measured via iTDR "+
+		"(%d bins, %.1f µs per IIP)\n\n", *lines, icfg.Bins(), icfg.MeasurementDuration()*1e6)
+
+	if *plot {
+		for i, d := range duts {
+			fmt.Printf("line tx%d IIP (termination %.2f Ω):\n", i, d.line.Termination())
+			fmt.Println(asciiPlot(d.fp.Raw, 64, 9))
+		}
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, duts); err != nil {
+			fmt.Fprintln(os.Stderr, "iipgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fingerprints written to %s\n", *csvPath)
+	}
+
+	fmt.Println("similarity matrix (Eq. 4):")
+	fmt.Print("        ")
+	for j := range duts {
+		fmt.Printf("tx%-6d", j)
+	}
+	fmt.Println()
+	for i, d := range duts {
+		m := pipe.FromWaveform(d.refl.Measure(d.line, env).IIP)
+		fmt.Printf("tx%-6d", i)
+		for _, o := range duts {
+			fmt.Printf("%-8.4f", fingerprint.Similarity(m, o.fp))
+		}
+		fmt.Println()
+	}
+
+	if *attackName != "" {
+		d := duts[0]
+		pos := *posMM / 1e3
+		var a attack.Attack
+		switch *attackName {
+		case "wiretap":
+			a = attack.DefaultWireTap(pos)
+		case "magprobe":
+			a = attack.DefaultMagneticProbe(pos)
+		case "loadmod":
+			a = attack.SameModelReplacement(lcfg, stream.Child("chip"))
+		default:
+			fmt.Fprintf(os.Stderr, "iipgen: unknown attack %q\n", *attackName)
+			os.Exit(2)
+		}
+		fmt.Printf("\nmounting %s on tx0...\n", a.Name())
+		a.Apply(d.line)
+		m := pipe.FromWaveform(d.refl.Measure(d.line, env).IIP)
+		e := fingerprint.ErrorFunction(m, d.fp)
+		peak, idx, at := fingerprint.PeakError(e)
+		fmt.Printf("E_xy peak %.3g at %.2f ns → %.1f mm (similarity now %.4f)\n",
+			peak, at*1e9, fingerprint.LocalizeError(e, idx, lcfg.Velocity)*1e3,
+			fingerprint.Similarity(m, d.fp))
+		if *plot {
+			fmt.Println("error function E_xy(t):")
+			fmt.Println(asciiPlot(e, 64, 7))
+		}
+	}
+}
+
+// asciiPlot renders a waveform as a rows×cols character grid.
+func asciiPlot(w *signal.Waveform, cols, rows int) string {
+	if w.Len() == 0 {
+		return "(empty)"
+	}
+	lo, hi := w.Samples[0], w.Samples[0]
+	for _, v := range w.Samples {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for c := 0; c < cols; c++ {
+		idx := c * (w.Len() - 1) / (cols - 1)
+		v := w.Samples[idx]
+		r := int(float64(rows-1) * (hi - v) / (hi - lo))
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %+.3g\n", hi)
+	for _, row := range grid {
+		b.WriteString("  |" + string(row) + "\n")
+	}
+	fmt.Fprintf(&b, "  %+.3g  (0 .. %.2f ns)\n", lo, w.Duration()*1e9)
+	return b.String()
+}
+
+// writeCSV dumps the fingerprints column-wise for external plotting.
+func writeCSV(path string, duts []*dut) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprint(w, "time_ns")
+	for i := range duts {
+		fmt.Fprintf(w, ",tx%d", i)
+	}
+	fmt.Fprintln(w)
+	n := duts[0].fp.Raw.Len()
+	for s := 0; s < n; s++ {
+		fmt.Fprintf(w, "%.4f", duts[0].fp.Raw.TimeOf(s)*1e9)
+		for _, d := range duts {
+			fmt.Fprintf(w, ",%.6e", d.fp.Raw.Samples[s])
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}

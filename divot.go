@@ -1,0 +1,173 @@
+// Package divot is a behavioral implementation of DIVOT — "Detecting
+// Impedance Variations Of Transmission-lines" (Xu et al., ISCA 2020) — a bus
+// authentication and anti-probing architecture that extends the hardware
+// trusted computing base beyond the CPU chip.
+//
+// Every transmission line carries a unique, unclonable Impedance
+// Inhomogeneity Pattern (IIP). DIVOT measures it at runtime, concurrently
+// with normal data transfers, using an integrated time-domain reflectometer
+// (iTDR) built from three ideas: analog-to-probability conversion (a 1-bit
+// comparator plus counters instead of an ADC), probability density
+// modulation (a Vernier triangle reference that widens the dynamic range),
+// and equivalent time sampling (PLL phase stepping for >80 GHz equivalent
+// rates). Matching the measured IIP against an enrolled fingerprint
+// authenticates both ends of a bus and exposes physical attacks — chip
+// replacement, cold-boot module theft, wire taps, and non-contact magnetic
+// probes — which all leave a detectable, localizable dent in the IIP.
+//
+// The package offers three levels of use:
+//
+//   - System/Link: create protected buses, calibrate them, run monitoring
+//     rounds, and mount attack scenarios (the §III protocol).
+//   - MemorySystem: the full Fig. 6 example design — a DDR-style memory
+//     controller and SDRAM device whose command and column-access paths are
+//     gated by two-way DIVOT authentication, on a discrete-event timeline.
+//   - The re-exported building blocks (fingerprinting, iTDR configuration,
+//     attacks, baseline detectors) for custom experiments.
+//
+// The physical layer is a first-order reflection simulation of segmented
+// transmission lines; see DESIGN.md for the substitutions made for the
+// paper's FPGA/PCB prototype and EXPERIMENTS.md for reproduced results.
+package divot
+
+import (
+	"fmt"
+
+	"divot/internal/core"
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+// Config bundles every tunable of a DIVOT deployment. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Engine is the endpoint configuration: iTDR parameters, fingerprint
+	// pipeline, thresholds, enrollment depth.
+	Engine core.Config
+	// Line is the physical description of the buses the system builds.
+	Line txline.Config
+}
+
+// DefaultConfig mirrors the paper's prototype: a 25 cm, 50 Ω PCB lane probed
+// at 156.25 MHz with 11.16 ps ETS steps.
+func DefaultConfig() Config {
+	return Config{Engine: core.DefaultConfig(), Line: txline.DefaultConfig()}
+}
+
+// System is a fleet of DIVOT-protected links sharing one random universe —
+// the manufacturing lottery, instrument noise, and environments of all its
+// lines derive from the system seed, so experiments are reproducible.
+type System struct {
+	cfg    Config
+	stream *rng.Stream
+	links  map[string]*Link
+}
+
+// NewSystem creates a system rooted at the given seed.
+func NewSystem(seed uint64, cfg Config) *System {
+	return &System{cfg: cfg, stream: rng.New(seed), links: make(map[string]*Link)}
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// NewLink manufactures a fresh protected bus. Each id yields an independent
+// intrinsic IIP; reusing an id is an error.
+func (s *System) NewLink(id string) (*Link, error) {
+	if _, dup := s.links[id]; dup {
+		return nil, fmt.Errorf("divot: link %q already exists", id)
+	}
+	inner, err := core.NewLink(id, s.cfg.Engine, s.cfg.Line, s.stream.Child("link-"+id))
+	if err != nil {
+		return nil, err
+	}
+	l := &Link{Link: inner, sys: s}
+	s.links[id] = l
+	return l, nil
+}
+
+// MustNewLink is NewLink for static setups; it panics on error.
+func (s *System) MustNewLink(id string) *Link {
+	l, err := s.NewLink(id)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NewMultiLink manufactures a protected bus of n wires whose fused gates
+// require every wire to authenticate (§IV-C's multi-wire direction).
+func (s *System) NewMultiLink(id string, n int) (*MultiLink, error) {
+	if _, dup := s.links[id]; dup {
+		return nil, fmt.Errorf("divot: link %q already exists", id)
+	}
+	m, err := core.NewMultiLink(id, s.cfg.Engine, s.cfg.Line, n, s.stream.Child("multilink-"+id))
+	if err != nil {
+		return nil, err
+	}
+	s.links[id] = nil // reserve the id
+	return m, nil
+}
+
+// Stream derives a labelled random stream from the system seed, for
+// experiment code that needs auxiliary randomness (attack parameters,
+// traffic).
+func (s *System) Stream(label string) *rng.Stream { return s.stream.Child(label) }
+
+// Link is one DIVOT-protected bus. It embeds the core engine link, so the
+// full §III protocol (Calibrate, MonitorOnce, MonitorN, gates, alerts) is
+// available directly, plus convenience helpers below.
+type Link struct {
+	*core.Link
+	sys *System
+}
+
+// Authenticate runs a single measurement round and reports whether the
+// CPU-side view of the bus is clean, without touching gates or alert state —
+// a read-only spot check. A swapped same-model module may keep the bus-wide
+// similarity high while showing a localized error peak at the load
+// (Fig. 9b/c), so both an authentication mismatch and a tamper signature
+// count as rejection.
+func (l *Link) Authenticate() AuthResult {
+	alerts := l.snapshotMonitor()
+	res := AuthResult{Accepted: true, Score: 1}
+	for _, a := range alerts {
+		if a.Side != core.SideCPU {
+			continue
+		}
+		res.Accepted = false
+		switch a.Kind {
+		case core.AlertAuthFailure:
+			res.Score = a.Score
+		case core.AlertTamper:
+			res.Tampered = true
+			res.TamperPosition = a.Position
+		}
+	}
+	return res
+}
+
+// AuthResult is a spot-check outcome.
+type AuthResult struct {
+	// Accepted is true only when the measurement matched the enrollment
+	// with no tamper signature.
+	Accepted bool
+	// Score is the similarity (1 when no auth mismatch occurred).
+	Score float64
+	// Tampered indicates a localized IIP change at TamperPosition meters.
+	Tampered       bool
+	TamperPosition float64
+}
+
+// snapshotMonitor runs MonitorOnce and rolls back gate/alert side effects,
+// leaving only the measurement consumed.
+func (l *Link) snapshotMonitor() []core.Alert {
+	cpuGate := l.CPU.Gate.Authorized()
+	modGate := l.Module.Gate.Authorized()
+	before := len(l.Alerts)
+	alerts := l.MonitorOnce()
+	l.Alerts = l.Alerts[:before]
+	l.CPU.Gate.Set(cpuGate)
+	l.Module.Gate.Set(modGate)
+	return alerts
+}

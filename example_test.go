@@ -1,0 +1,66 @@
+package divot_test
+
+import (
+	"fmt"
+
+	"divot"
+)
+
+// Example shows the minimal protect-calibrate-authenticate flow.
+func Example() {
+	sys := divot.NewSystem(2026, divot.DefaultConfig())
+	bus := sys.MustNewLink("memory-bus")
+	if err := bus.Calibrate(); err != nil {
+		panic(err)
+	}
+	fmt.Println("genuine accepted:", bus.Authenticate().Accepted)
+
+	// A cold-boot attacker moves the module onto their own machine.
+	thief := divot.NewColdBootSwap(sys.Config().Line, sys.Stream("thief"))
+	bus.Module.SetObservedLine(thief.BusSeenByModule())
+	bus.MonitorOnce()
+	fmt.Println("module gate open on attacker bus:", bus.Module.Gate.Authorized())
+	// Output:
+	// genuine accepted: true
+	// module gate open on attacker bus: false
+}
+
+// ExampleSystem_NewMultiLink protects a bus as a 2-wire bundle: both wires
+// must authenticate.
+func ExampleSystem_NewMultiLink() {
+	sys := divot.NewSystem(7, divot.DefaultConfig())
+	bus, err := sys.NewMultiLink("bus-a", 2)
+	if err != nil {
+		panic(err)
+	}
+	if err := bus.Calibrate(); err != nil {
+		panic(err)
+	}
+	fmt.Println("clean alerts:", len(bus.MonitorOnce()))
+
+	divot.NewWireTap(0.1).Apply(bus.Wires[1].Line)
+	alerts := bus.MonitorOnce()
+	fmt.Println("alerts after tapping wire 1:", len(alerts) > 0)
+	// Output:
+	// clean alerts: 0
+	// alerts after tapping wire 1: true
+}
+
+// ExampleSimilarity scores two fingerprints of the same line.
+func ExampleSimilarity() {
+	sys := divot.NewSystem(3, divot.DefaultConfig())
+	a := sys.MustNewLink("a")
+	b := sys.MustNewLink("b")
+	if err := a.Calibrate(); err != nil {
+		panic(err)
+	}
+	if err := b.Calibrate(); err != nil {
+		panic(err)
+	}
+	// Links authenticate themselves, not each other.
+	fmt.Println("a accepts itself:", a.Authenticate().Accepted)
+	fmt.Println("b accepts itself:", b.Authenticate().Accepted)
+	// Output:
+	// a accepts itself: true
+	// b accepts itself: true
+}

@@ -1,0 +1,51 @@
+// Quickstart: manufacture a DIVOT-protected bus, calibrate it, authenticate
+// it, and watch an impostor bus get rejected — the minimal end-to-end use of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"divot"
+)
+
+func main() {
+	// A System is a reproducible universe: lines, instruments and
+	// environments all derive from the seed.
+	sys := divot.NewSystem(2026, divot.DefaultConfig())
+
+	// Manufacture a protected bus. Its impedance inhomogeneity pattern
+	// (IIP) is drawn at construction — the physical unclonable function.
+	bus := sys.MustNewLink("memory-bus")
+
+	// Calibration (§III): both endpoints measure the bus several times,
+	// average, and store the fingerprint. The authentication gates open.
+	if err := bus.Calibrate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated %q: one IIP measurement takes %.1f µs\n",
+		bus.ID, bus.MeasurementDuration()*1e6)
+
+	// Runtime authentication: measure and match.
+	res := bus.Authenticate()
+	fmt.Printf("genuine bus: accepted=%v score=%.4f\n", res.Accepted, res.Score)
+
+	// Monitoring rounds drive the gates and collect alerts.
+	if alerts := bus.MonitorN(3); len(alerts) == 0 {
+		fmt.Println("3 monitoring rounds: clean")
+	}
+
+	// An attacker substitutes the memory module (same model number — only
+	// the chip-to-chip impedance spread differs).
+	swap := divot.NewModuleSwap(sys.Config().Line, sys.Stream("attacker"))
+	swap.Apply(bus.Line)
+	res = bus.Authenticate()
+	fmt.Printf("after module swap: accepted=%v (tamper=%v at %.0f mm)\n",
+		res.Accepted, res.Tampered, res.TamperPosition*1e3)
+
+	// Restore the genuine module: the fingerprint matches again.
+	swap.Remove(bus.Line)
+	res = bus.Authenticate()
+	fmt.Printf("module restored: accepted=%v score=%.4f\n", res.Accepted, res.Score)
+}

@@ -1,0 +1,3 @@
+module divot
+
+go 1.22

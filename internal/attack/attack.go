@@ -1,0 +1,156 @@
+// Package attack models the physical attacks the paper evaluates against
+// DIVOT (§IV-D/E/F): load modification (Trojan chip insertion, cold-boot
+// module handling), wire-tapping, and magnetic near-field probing, plus the
+// module/bus swap scenarios of the memory-protection design (§III). Every
+// attack perturbs a txline.Line the way the corresponding physical act
+// disturbs a real trace's impedance profile.
+package attack
+
+import (
+	"fmt"
+
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+// Attack is a reversible physical manipulation of a transmission line.
+type Attack interface {
+	// Name identifies the attack class.
+	Name() string
+	// Apply mounts the attack on the line.
+	Apply(l *txline.Line)
+	// Remove withdraws the attack. Some attacks (wire-tapping) leave
+	// permanent damage behind — Remove models the physical act of
+	// detaching, not a restoration of the original line.
+	Remove(l *txline.Line)
+}
+
+// LoadModification replaces the chip terminating the bus — a Trojan chip
+// swap, or the re-insertion games of a cold-boot attack. Even a same-model
+// replacement chip has a different input impedance (chip-to-chip spread), so
+// the IIP changes abruptly at the load (§IV-D).
+type LoadModification struct {
+	// NewTermination is the replacement chip's input impedance. Use
+	// txline.DrawTermination to model a same-model-number replacement.
+	NewTermination float64
+
+	original float64
+	applied  bool
+}
+
+// SameModelReplacement builds a LoadModification whose replacement chip is
+// drawn from the same impedance distribution as the original — the paper's
+// exact experiment ("replacing the receiver chip with a different chip
+// (same model number)").
+func SameModelReplacement(cfg txline.Config, stream *rng.Stream) *LoadModification {
+	return &LoadModification{NewTermination: txline.DrawTermination(cfg, stream)}
+}
+
+// Name implements Attack.
+func (a *LoadModification) Name() string { return "load-modification" }
+
+// Apply swaps the termination chip.
+func (a *LoadModification) Apply(l *txline.Line) {
+	if a.applied {
+		return
+	}
+	a.original = l.Termination()
+	l.SetTermination(a.NewTermination)
+	a.applied = true
+}
+
+// Remove reinstalls the original chip.
+func (a *LoadModification) Remove(l *txline.Line) {
+	if !a.applied {
+		return
+	}
+	l.SetTermination(a.original)
+	a.applied = false
+}
+
+// WireTap solders a tapping wire onto the trace after scratching the solder
+// mask (§IV-E). The stub is a severe local impedance drop; detaching the
+// wire leaves a scar — the paper found the IIP "permanently destroyed and
+// non-reversible" at the tap point.
+type WireTap struct {
+	// Position is the tap location in meters from the source.
+	Position float64
+	// TapDeltaZ is the impedance change the attached stub causes
+	// (strongly negative: the stub loads the trace capacitively).
+	TapDeltaZ float64
+	// ScarDeltaZ is the residual change left after the wire is removed
+	// (scratched mask, leftover solder).
+	ScarDeltaZ float64
+	// Extent is the physical size of the disturbance.
+	Extent float64
+}
+
+// DefaultWireTap returns the paper's oscilloscope-tap experiment at the
+// given position.
+func DefaultWireTap(position float64) *WireTap {
+	return &WireTap{Position: position, TapDeltaZ: -18, ScarDeltaZ: -2.5, Extent: 1.5e-3}
+}
+
+// Name implements Attack.
+func (a *WireTap) Name() string { return "wire-tap" }
+
+func (a *WireTap) tapKey() string  { return fmt.Sprintf("wiretap-%p", a) }
+func (a *WireTap) scarKey() string { return fmt.Sprintf("wiretap-scar-%p", a) }
+
+// Apply solders the tap on. The scar is inflicted immediately — scratching
+// the mask precedes soldering.
+func (a *WireTap) Apply(l *txline.Line) {
+	l.ApplyPerturbation(a.scarKey(), txline.Perturbation{
+		Position: a.Position, Extent: a.Extent, DeltaZ: a.ScarDeltaZ,
+		Kind: txline.KindCapacitive,
+	})
+	l.ApplyPerturbation(a.tapKey(), txline.Perturbation{
+		Position: a.Position, Extent: a.Extent, DeltaZ: a.TapDeltaZ,
+		Kind: txline.KindCapacitive,
+	})
+}
+
+// Remove detaches the wire but the scar remains: the line never returns to
+// its enrolled fingerprint.
+func (a *WireTap) Remove(l *txline.Line) {
+	l.RemovePerturbation(a.tapKey())
+}
+
+// MagneticProbe is a non-contact near-field probe held over the trace
+// (§IV-F). Eddy currents in the probe oppose the trace's magnetic field,
+// adding mutual inductance and raising the local impedance slightly — the
+// weakest signature of the three attack classes, and the one that sets the
+// detection threshold.
+type MagneticProbe struct {
+	// Position is the probe location in meters from the source.
+	Position float64
+	// DeltaZ is the local impedance rise from the induced mutual
+	// inductance (small and positive).
+	DeltaZ float64
+	// Extent is the footprint of the probe head.
+	Extent float64
+}
+
+// DefaultMagneticProbe returns a typical near-field probe at the given
+// position.
+func DefaultMagneticProbe(position float64) *MagneticProbe {
+	return &MagneticProbe{Position: position, DeltaZ: 1.5, Extent: 5e-3}
+}
+
+// Name implements Attack.
+func (a *MagneticProbe) Name() string { return "magnetic-probe" }
+
+func (a *MagneticProbe) key() string { return fmt.Sprintf("magprobe-%p", a) }
+
+// Apply holds the probe over the trace.
+func (a *MagneticProbe) Apply(l *txline.Line) {
+	l.ApplyPerturbation(a.key(), txline.Perturbation{
+		Position: a.Position, Extent: a.Extent, DeltaZ: a.DeltaZ,
+		Kind: txline.KindInductive,
+	})
+}
+
+// Remove lifts the probe away; non-contact probing leaves no residue.
+func (a *MagneticProbe) Remove(l *txline.Line) {
+	l.RemovePerturbation(a.key())
+}

@@ -1,0 +1,253 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"divot/internal/rng"
+	"divot/internal/signal"
+	"divot/internal/txline"
+)
+
+const (
+	rate = 89.6e9
+	bins = 343
+)
+
+func newLine(seed uint64) *txline.Line {
+	return txline.New("L", txline.DefaultConfig(), rng.New(seed))
+}
+
+func reflect(l *txline.Line) *signal.Waveform {
+	return l.Reflect(txline.DefaultProbe(), 0, 1, rate, bins)
+}
+
+// errPeak returns the peak squared difference between two reflections and
+// the round-trip time at which it occurs.
+func errPeak(a, b *signal.Waveform) (float64, float64) {
+	d := signal.Sub(a, b)
+	for i, v := range d.Samples {
+		d.Samples[i] = v * v
+	}
+	idx, v := signal.PeakIndex(d)
+	return v, d.TimeOf(idx)
+}
+
+func TestLoadModificationChangesLoadOnly(t *testing.T) {
+	l := newLine(1)
+	before := reflect(l)
+	a := &LoadModification{NewTermination: l.Termination() + 8}
+	a.Apply(l)
+	if a.Name() != "load-modification" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	after := reflect(l)
+	peak, at := errPeak(before, after)
+	if peak == 0 {
+		t.Fatal("load modification produced no IIP change")
+	}
+	rt := l.RoundTripTime()
+	if at < rt-0.2e-9 || at > rt+0.5e-9 {
+		t.Errorf("load change peak at %v, want near round trip %v", at, rt)
+	}
+	// Fully reversible: the original chip restores the IIP exactly.
+	a.Remove(l)
+	restored := reflect(l)
+	peak, _ = errPeak(before, restored)
+	if peak != 0 {
+		t.Errorf("load modification not reversible: residual %v", peak)
+	}
+	// Double apply/remove are idempotent: the original termination is
+	// preserved across redundant calls.
+	orig := l.Termination()
+	a.Remove(l)
+	a.Apply(l)
+	a.Apply(l)
+	a.Remove(l)
+	if l.Termination() != orig {
+		t.Errorf("idempotence violated: termination %v, want %v", l.Termination(), orig)
+	}
+}
+
+func TestSameModelReplacementDiffers(t *testing.T) {
+	cfg := txline.DefaultConfig()
+	l := txline.New("L", cfg, rng.New(2))
+	a := SameModelReplacement(cfg, rng.New(3).Child("chip"))
+	if a.NewTermination == l.Termination() {
+		t.Error("replacement chip should have a different impedance")
+	}
+	if math.Abs(a.NewTermination-cfg.TerminationZ) > 6*cfg.TerminationSpreadRMS {
+		t.Errorf("replacement impedance %v implausible", a.NewTermination)
+	}
+}
+
+func TestWireTapSevereAndPermanent(t *testing.T) {
+	l := newLine(4)
+	before := reflect(l)
+	pos := 0.08
+	tap := DefaultWireTap(pos)
+	if tap.Name() != "wire-tap" {
+		t.Errorf("Name = %q", tap.Name())
+	}
+	tap.Apply(l)
+	tapped := reflect(l)
+	tapPeak, at := errPeak(before, tapped)
+	wantAt := l.PositionToTime(pos)
+	if math.Abs(at-wantAt) > 0.3e-9 {
+		t.Errorf("tap localized at %v, want ~%v", at, wantAt)
+	}
+
+	// Detach the wire: the scar persists and remains detectable at the
+	// same place, though weaker than the live tap.
+	tap.Remove(l)
+	scarred := reflect(l)
+	scarPeak, scarAt := errPeak(before, scarred)
+	if scarPeak == 0 {
+		t.Fatal("wire tap should leave permanent damage")
+	}
+	if scarPeak >= tapPeak {
+		t.Errorf("scar (%v) should be weaker than live tap (%v)", scarPeak, tapPeak)
+	}
+	if math.Abs(scarAt-wantAt) > 0.3e-9 {
+		t.Errorf("scar at %v, want ~%v", scarAt, wantAt)
+	}
+}
+
+func TestMagneticProbeWeakestButLocalized(t *testing.T) {
+	l := newLine(5)
+	before := reflect(l)
+	pos := 0.15
+	probe := DefaultMagneticProbe(pos)
+	if probe.Name() != "magnetic-probe" {
+		t.Errorf("Name = %q", probe.Name())
+	}
+	probe.Apply(l)
+	probed := reflect(l)
+	probePeak, at := errPeak(before, probed)
+	if probePeak == 0 {
+		t.Fatal("magnetic probe invisible")
+	}
+	if math.Abs(at-l.PositionToTime(pos)) > 0.3e-9 {
+		t.Errorf("probe at %v, want ~%v", at, l.PositionToTime(pos))
+	}
+
+	// Non-contact: fully reversible.
+	probe.Remove(l)
+	restored := reflect(l)
+	if peak, _ := errPeak(before, restored); peak != 0 {
+		t.Errorf("magnetic probe left residue %v", peak)
+	}
+
+	// Ordering of severity: magnetic probe < wire tap (the paper's
+	// threshold argument rests on this).
+	l2 := newLine(5)
+	ref2 := reflect(l2)
+	tap := DefaultWireTap(pos)
+	tap.Apply(l2)
+	tapPeak, _ := errPeak(ref2, reflect(l2))
+	if probePeak >= tapPeak {
+		t.Errorf("magnetic probe (%v) should be weaker than wire tap (%v)", probePeak, tapPeak)
+	}
+}
+
+func TestColdBootSwapPresentsDifferentBus(t *testing.T) {
+	cfg := txline.DefaultConfig()
+	victim := txline.New("victim-bus", cfg, rng.New(6))
+	swap := NewColdBootSwap(cfg, rng.New(7))
+	if swap.Name() != "cold-boot-swap" {
+		t.Errorf("Name = %q", swap.Name())
+	}
+	a := reflect(victim)
+	b := reflect(swap.BusSeenByModule())
+	sim := signal.NormalizedInnerProduct(signal.RemoveMean(a), signal.RemoveMean(b))
+	if sim > 0.95 {
+		t.Errorf("attacker bus correlates with victim at %v", sim)
+	}
+}
+
+func TestModuleSwap(t *testing.T) {
+	cfg := txline.DefaultConfig()
+	l := txline.New("L", cfg, rng.New(8))
+	orig := l.Termination()
+	swap := NewModuleSwap(cfg, rng.New(9))
+	if swap.Name() != "module-swap" {
+		t.Errorf("Name = %q", swap.Name())
+	}
+	swap.Apply(l)
+	if l.Termination() == orig {
+		t.Error("module swap did not change the load")
+	}
+	swap.Remove(l)
+	if l.Termination() != orig {
+		t.Error("module swap not reversible")
+	}
+}
+
+func TestAttackInterfaceCompliance(t *testing.T) {
+	var _ Attack = &LoadModification{NewTermination: 50}
+	var _ Attack = DefaultWireTap(0.1)
+	var _ Attack = DefaultMagneticProbe(0.1)
+	var _ Attack = &ModuleSwap{load: &LoadModification{NewTermination: 50}}
+}
+
+func TestInterposerCollapsesTailFingerprint(t *testing.T) {
+	l := newLine(20)
+	before := reflect(l)
+	pos := 0.12
+	mitm := DefaultInterposer(pos)
+	if mitm.Name() != "interposer" {
+		t.Errorf("Name = %q", mitm.Name())
+	}
+	mitm.Apply(l)
+	after := reflect(l)
+
+	// Before the cut, nothing changed. (The cut's own reflection edge has
+	// a ~120 ps rise time, so leave ~30 bins of margin before it.)
+	cutIdx := int(l.PositionToTime(pos) * rate)
+	early := signal.Sub(
+		before.Slice(0, cutIdx-30),
+		after.Slice(0, cutIdx-30))
+	if signal.MaxAbs(early) > 1e-12 {
+		t.Errorf("interposer leaked before the cut: %v", signal.MaxAbs(early))
+	}
+	// Beyond the cut the genuine inhomogeneity is gone: the tail of the
+	// difference carries essentially all of the original tail's structure.
+	tail := signal.Sub(before, after).Slice(cutIdx+30, bins)
+	origTail := before.Slice(cutIdx+30, bins)
+	if signal.Energy(tail) < 0.2*signal.Energy(signal.RemoveMean(origTail)) {
+		t.Error("interposer should erase the tail inhomogeneity")
+	}
+
+	// Removal restores the line exactly (connectorized insertion).
+	mitm.Remove(l)
+	restored := reflect(l)
+	if peak, _ := errPeak(before, restored); peak != 0 {
+		t.Errorf("interposer not reversible: %v", peak)
+	}
+	// Idempotence.
+	mitm.Remove(l)
+	mitm.Apply(l)
+	mitm.Apply(l)
+	mitm.Remove(l)
+	if peak, _ := errPeak(before, reflect(l)); peak != 0 {
+		t.Error("idempotence violated")
+	}
+}
+
+func TestReplaceTailValidation(t *testing.T) {
+	l := newLine(21)
+	for name, f := range map[string]func(){
+		"pos zero": func() { l.ReplaceTail(0, 50) },
+		"pos end":  func() { l.ReplaceTail(l.Config().Length, 50) },
+		"bad z":    func() { l.ReplaceTail(0.1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

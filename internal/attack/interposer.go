@@ -1,0 +1,50 @@
+package attack
+
+import (
+	"divot/internal/txline"
+)
+
+// Interposer is the man-in-the-middle attack: the bus is cut and an active
+// device (a bus analyzer, a malicious repeater) is inserted mid-span. The
+// interposer's input network is impedance-matched — the attacker's best
+// effort at invisibility — but from the iTDR's viewpoint everything beyond
+// the cut changes: the genuine line's inhomogeneity pattern past that point
+// is replaced by the interposer's flat input, so authentication collapses
+// even though the interposer forwards data perfectly.
+type Interposer struct {
+	// Position is the cut location in meters from the source.
+	Position float64
+	// InputZ is the interposer's input impedance (50 Ω for a careful
+	// attacker).
+	InputZ float64
+
+	restore func()
+}
+
+// DefaultInterposer returns a carefully matched interposer at the given
+// position.
+func DefaultInterposer(position float64) *Interposer {
+	return &Interposer{Position: position, InputZ: 50}
+}
+
+// Name implements Attack.
+func (a *Interposer) Name() string { return "interposer" }
+
+// Apply cuts the line and inserts the device.
+func (a *Interposer) Apply(l *txline.Line) {
+	if a.restore != nil {
+		return
+	}
+	a.restore = l.ReplaceTail(a.Position, a.InputZ)
+}
+
+// Remove unplugs the interposer and reconnects the original remainder.
+// (Unlike a wire tap, a connectorized insertion point can be undone; a
+// soldered one would leave scars — compose with WireTap for that variant.)
+func (a *Interposer) Remove(*txline.Line) {
+	if a.restore == nil {
+		return
+	}
+	a.restore()
+	a.restore = nil
+}

@@ -1,0 +1,52 @@
+package attack
+
+import (
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+// ColdBootSwap models the cold-boot attack of §III: the attacker removes the
+// memory module and installs it in a different computer (or connects it over
+// a different bus) to read out remanent data. From the module's iTDR
+// perspective the transmission line it sees has been replaced wholesale —
+// every reflection changes, not just the termination.
+type ColdBootSwap struct {
+	// AttackerLine is the bus in the attacker's machine.
+	AttackerLine *txline.Line
+}
+
+// NewColdBootSwap builds the attacker's machine: a bus of the same nominal
+// design (the attacker buys the same board) but with its own intrinsic IIP.
+func NewColdBootSwap(cfg txline.Config, stream *rng.Stream) *ColdBootSwap {
+	return &ColdBootSwap{AttackerLine: txline.New("attacker-bus", cfg, stream.Child("attacker"))}
+}
+
+// Name identifies the attack class.
+func (a *ColdBootSwap) Name() string { return "cold-boot-swap" }
+
+// BusSeenByModule returns the line the moved module now observes.
+func (a *ColdBootSwap) BusSeenByModule() *txline.Line { return a.AttackerLine }
+
+// ModuleSwap models the complementary CPU-side threat: the genuine memory
+// module is replaced by a different (potentially malicious or stale) module
+// on the same board. The bus wiring up to the socket is unchanged, but the
+// termination — the module's interface chip — differs, so the CPU-side iTDR
+// sees a load change.
+type ModuleSwap struct {
+	load *LoadModification
+}
+
+// NewModuleSwap draws the impostor module's interface impedance from the
+// same-model distribution.
+func NewModuleSwap(cfg txline.Config, stream *rng.Stream) *ModuleSwap {
+	return &ModuleSwap{load: SameModelReplacement(cfg, stream)}
+}
+
+// Name identifies the attack class.
+func (a *ModuleSwap) Name() string { return "module-swap" }
+
+// Apply installs the impostor module.
+func (a *ModuleSwap) Apply(l *txline.Line) { a.load.Apply(l) }
+
+// Remove reinstalls the genuine module.
+func (a *ModuleSwap) Remove(l *txline.Line) { a.load.Remove(l) }

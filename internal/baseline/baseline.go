@@ -1,0 +1,69 @@
+// Package baseline implements the countermeasures the paper compares DIVOT
+// against in §V: the ring-oscillator probe attempt detector (PAD, Manich et
+// al.), the DC-resistance PCB monitor (Paley et al.), the VNA-based
+// impedance PUF (Zhang et al. / Wei et al.), and a conventional high-
+// resolution-ADC TDR. Each detector models the physical quantity its real
+// counterpart measures, so the comparison benches can show concretely which
+// attacks each one catches and at what operational cost.
+package baseline
+
+import "divot/internal/txline"
+
+// Capability describes a detector's operational envelope — the qualitative
+// axes of the paper's §V comparison.
+type Capability struct {
+	// Concurrent: can it run while data flows on the bus?
+	Concurrent bool
+	// Runtime: is it deployable for continuous in-system monitoring (vs
+	// offline/bench-top use)?
+	Runtime bool
+	// Localizes: can it place the disturbance along the line?
+	Localizes bool
+	// DetectsNonContact: does it see EM probes that never touch the trace?
+	DetectsNonContact bool
+	// RelativeCost is a rough unitless hardware/equipment cost on a scale
+	// where the iTDR is 1.
+	RelativeCost float64
+}
+
+// Detector is a tamper/authentication sensor under comparison.
+type Detector interface {
+	// Name identifies the scheme.
+	Name() string
+	// Capability returns the operational envelope.
+	Capability() Capability
+	// Calibrate records the line's clean state as the reference.
+	Calibrate(l *txline.Line)
+	// Detect reports whether the line's current state differs from the
+	// calibrated reference by more than the scheme can tolerate.
+	Detect(l *txline.Line) bool
+}
+
+// effectiveCapacitanceProxy sums the capacitive loading a capacitance sensor
+// sees: shunt-capacitive perturbations (scaled by how much they depress the
+// impedance) plus the termination chip's input capacitance (proxied by its
+// impedance deviation).
+func effectiveCapacitanceProxy(l *txline.Line) float64 {
+	var c float64
+	for _, p := range l.Perturbations() {
+		if p.Kind == txline.KindCapacitive || (p.Kind == txline.KindGeneric && p.DeltaZ < 0) {
+			c += -p.DeltaZ * p.Extent // ΔC ∝ -ΔZ over the affected length
+		}
+	}
+	// Termination chip input capacitance: lower input impedance = larger C.
+	c += (l.Config().TerminationZ - l.Termination()) * 1e-3
+	return c
+}
+
+// seriesResistance sums the DC series resistance changes on the line.
+func seriesResistance(l *txline.Line) float64 {
+	var r float64
+	for _, p := range l.Perturbations() {
+		if p.Kind == txline.KindResistive {
+			// The impedance rise of milled copper comes with a series
+			// resistance increase of the same order, scaled per length.
+			r += p.DeltaZ * p.Extent / 2e-3 * 0.25
+		}
+	}
+	return r
+}

@@ -1,0 +1,47 @@
+package baseline
+
+import "divot/internal/txline"
+
+// DCResistance is the PCB anti-tamper monitor of Paley et al.: it drives a
+// known current through the trace and measures the DC voltage drop. Milled
+// or thinned copper raises the resistance detectably. Measuring DC levels
+// requires the trace voltage to be stable, so the bus must be quiesced, and
+// neither shunt-capacitive taps nor non-contact EM probes change DC
+// resistance — the blind spots §V identifies.
+type DCResistance struct {
+	// ThresholdOhm is the resistance deviation that triggers detection.
+	ThresholdOhm float64
+
+	refR float64
+}
+
+// NewDCResistance returns a monitor with milliohm-class sensitivity.
+func NewDCResistance() *DCResistance {
+	return &DCResistance{ThresholdOhm: 0.05}
+}
+
+// Name implements Detector.
+func (d *DCResistance) Name() string { return "DC resistance monitor" }
+
+// Capability implements Detector.
+func (d *DCResistance) Capability() Capability {
+	return Capability{
+		Concurrent:        false,
+		Runtime:           true,
+		Localizes:         false,
+		DetectsNonContact: false,
+		RelativeCost:      0.3,
+	}
+}
+
+// Calibrate implements Detector.
+func (d *DCResistance) Calibrate(l *txline.Line) { d.refR = seriesResistance(l) }
+
+// Detect implements Detector.
+func (d *DCResistance) Detect(l *txline.Line) bool {
+	delta := seriesResistance(l) - d.refR
+	if delta < 0 {
+		delta = -delta
+	}
+	return delta > d.ThresholdOhm
+}

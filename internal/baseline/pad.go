@@ -1,0 +1,59 @@
+package baseline
+
+import "divot/internal/txline"
+
+// PAD is the probe attempt detector of Manich et al.: a ring oscillator
+// whose frequency depends on the capacitive load of the monitored wire. A
+// contact probe's tip capacitance slows the oscillator measurably. The PAD
+// shares the wire's driver, so it has a decode mode and a surveillance mode
+// and cannot do both at once — the concurrency limitation §V calls out.
+type PAD struct {
+	// BaseFreqHz is the unloaded oscillator frequency.
+	BaseFreqHz float64
+	// SensitivityHzPerC converts the capacitance proxy into a frequency
+	// shift.
+	SensitivityHzPerC float64
+	// ThresholdHz is the frequency deviation that triggers detection.
+	ThresholdHz float64
+
+	refFreq float64
+}
+
+// NewPAD returns a PAD with representative parameters.
+func NewPAD() *PAD {
+	return &PAD{BaseFreqHz: 500e6, SensitivityHzPerC: 2e9, ThresholdHz: 1e4}
+}
+
+// Name implements Detector.
+func (p *PAD) Name() string { return "PAD (ring oscillator)" }
+
+// Capability implements Detector. The PAD is cheap and runtime-deployable
+// but mode-switched (non-concurrent), cannot localize along the wire, and
+// its capacitance sensing misses inductive (non-contact EM) probes.
+func (p *PAD) Capability() Capability {
+	return Capability{
+		Concurrent:        false,
+		Runtime:           true,
+		Localizes:         false,
+		DetectsNonContact: false,
+		RelativeCost:      0.5,
+	}
+}
+
+// frequency returns the oscillator frequency for the line's current loading.
+func (p *PAD) frequency(l *txline.Line) float64 {
+	return p.BaseFreqHz - p.SensitivityHzPerC*effectiveCapacitanceProxy(l)
+}
+
+// Calibrate implements Detector.
+func (p *PAD) Calibrate(l *txline.Line) { p.refFreq = p.frequency(l) }
+
+// Detect implements Detector. Detection requires switching the wire into
+// surveillance mode; data transfer halts during the check.
+func (p *PAD) Detect(l *txline.Line) bool {
+	d := p.frequency(l) - p.refFreq
+	if d < 0 {
+		d = -d
+	}
+	return d > p.ThresholdHz
+}

@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"divot/internal/signal"
+	"divot/internal/txline"
+)
+
+// VNAPUF is the impedance-analyzer fingerprinting of Zhang et al. and the
+// VNA-based IIP extraction of Wei et al.: a bench-top vector network
+// analyzer sweeps the line and records a high-fidelity impedance profile.
+// Detection quality is excellent — it reads the same physics DIVOT does,
+// with lab-grade SNR — but the instrument is bulky and the line must be
+// disconnected from its system, so it protects the supply chain, not
+// runtime operation.
+type VNAPUF struct {
+	// SimilarityThreshold is the profile similarity below which the line
+	// is flagged.
+	SimilarityThreshold float64
+
+	probe txline.Probe
+	ref   *signal.Waveform
+}
+
+// NewVNAPUF returns an analyzer-grade fingerprint checker.
+func NewVNAPUF() *VNAPUF {
+	p := txline.DefaultProbe()
+	p.RiseTime = 30e-12 // lab instrument: much faster probe edge
+	return &VNAPUF{SimilarityThreshold: 0.999, probe: p}
+}
+
+// Name implements Detector.
+func (v *VNAPUF) Name() string { return "VNA impedance PUF" }
+
+// Capability implements Detector.
+func (v *VNAPUF) Capability() Capability {
+	return Capability{
+		Concurrent:        false,
+		Runtime:           false,
+		Localizes:         true,
+		DetectsNonContact: true,
+		RelativeCost:      500, // bench instrument vs integrated logic
+	}
+}
+
+// sweep measures the noise-free reflection profile.
+func (v *VNAPUF) sweep(l *txline.Line) *signal.Waveform {
+	const rate = 200e9
+	n := int(1.2 * l.RoundTripTime() * rate)
+	return l.Reflect(v.probe, 0, 1, rate, n)
+}
+
+// Calibrate implements Detector.
+func (v *VNAPUF) Calibrate(l *txline.Line) { v.ref = v.sweep(l) }
+
+// Detect implements Detector.
+func (v *VNAPUF) Detect(l *txline.Line) bool {
+	cur := v.sweep(l)
+	sim := signal.NormalizedInnerProduct(signal.RemoveMean(cur), signal.RemoveMean(v.ref))
+	return sim < v.SimilarityThreshold
+}

@@ -1,0 +1,68 @@
+// Package bus provides the digital-bus substrate around the protected
+// transmission line: the data FIFO whose head the iTDR trigger watches, the
+// channel scrambler that evens out symbol statistics (§II-E), NRZ bit
+// handling, and traffic generation for the experiments.
+package bus
+
+import "fmt"
+
+// FIFO is a fixed-capacity ring buffer. The iTDR's trigger logic inspects
+// the element about to be launched, so the FIFO exposes Peek in addition to
+// the usual queue operations. The zero value is not usable; use NewFIFO.
+type FIFO[T any] struct {
+	buf        []T
+	head, size int
+}
+
+// NewFIFO returns a FIFO with the given capacity.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("bus: non-positive FIFO capacity %d", capacity))
+	}
+	return &FIFO[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of queued elements.
+func (f *FIFO[T]) Len() int { return f.size }
+
+// Cap returns the capacity.
+func (f *FIFO[T]) Cap() int { return len(f.buf) }
+
+// Empty reports whether the FIFO holds no elements.
+func (f *FIFO[T]) Empty() bool { return f.size == 0 }
+
+// Full reports whether the FIFO is at capacity.
+func (f *FIFO[T]) Full() bool { return f.size == len(f.buf) }
+
+// Push enqueues v, reporting whether there was room.
+func (f *FIFO[T]) Push(v T) bool {
+	if f.Full() {
+		return false
+	}
+	f.buf[(f.head+f.size)%len(f.buf)] = v
+	f.size++
+	return true
+}
+
+// Pop dequeues the oldest element.
+func (f *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if f.Empty() {
+		return zero, false
+	}
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.size--
+	return v, true
+}
+
+// Peek returns the element at offset positions from the head without
+// removing it. Peek(0) is the next element to pop.
+func (f *FIFO[T]) Peek(offset int) (T, bool) {
+	var zero T
+	if offset < 0 || offset >= f.size {
+		return zero, false
+	}
+	return f.buf[(f.head+offset)%len(f.buf)], true
+}

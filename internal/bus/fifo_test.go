@@ -1,0 +1,78 @@
+package bus
+
+import "testing"
+
+func TestFIFOBasics(t *testing.T) {
+	f := NewFIFO[int](3)
+	if !f.Empty() || f.Full() || f.Cap() != 3 {
+		t.Fatalf("fresh FIFO state wrong: len=%d cap=%d", f.Len(), f.Cap())
+	}
+	for i := 1; i <= 3; i++ {
+		if !f.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if f.Push(4) {
+		t.Error("push into full FIFO should fail")
+	}
+	if !f.Full() || f.Len() != 3 {
+		t.Errorf("len = %d", f.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := f.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d, %v; want %d", v, ok, i)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Error("pop from empty FIFO should fail")
+	}
+}
+
+func TestFIFOWraparound(t *testing.T) {
+	f := NewFIFO[int](4)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !f.Push(round*10 + i) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := f.Pop()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d pop = %d", round, v)
+			}
+		}
+	}
+}
+
+func TestFIFOPeek(t *testing.T) {
+	f := NewFIFO[string](4)
+	f.Push("a")
+	f.Push("b")
+	if v, ok := f.Peek(0); !ok || v != "a" {
+		t.Errorf("Peek(0) = %q, %v", v, ok)
+	}
+	if v, ok := f.Peek(1); !ok || v != "b" {
+		t.Errorf("Peek(1) = %q, %v", v, ok)
+	}
+	if _, ok := f.Peek(2); ok {
+		t.Error("Peek past end should fail")
+	}
+	if _, ok := f.Peek(-1); ok {
+		t.Error("negative Peek should fail")
+	}
+	// Peek must not consume.
+	if f.Len() != 2 {
+		t.Errorf("Peek consumed elements: len %d", f.Len())
+	}
+}
+
+func TestFIFOPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFIFO[int](0)
+}

@@ -1,0 +1,151 @@
+package bus
+
+import (
+	"fmt"
+
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+// PAM4 signaling (§II-D: "a PAM4 protocol has four voltage levels,
+// representing a 2-bit value at a time"). Each symbol carries two bits,
+// Gray-coded onto four levels so a single-level slip corrupts one bit.
+//
+// For the iTDR, PAM4 changes the trigger problem: edges come in nine
+// amplitudes (level i → level j), and only a repeatable launch shape can be
+// averaged. The trigger therefore fires solely on full-swing falling
+// transitions (level 3 → level 0), which occur on 1/16 of symbol boundaries
+// for whitened traffic — a 4× longer measurement than an NRZ lane's 1→0
+// trigger at 1/4 density.
+
+// Pam4Symbol is one 2-bit PAM4 symbol (0..3 = two data bits, Gray-coded to
+// the wire level).
+type Pam4Symbol uint8
+
+// grayLevel maps the 2-bit value to the wire level index 0..3 (Gray code:
+// 00→0, 01→1, 11→2, 10→3).
+var grayLevel = [4]uint8{0, 1, 3, 2}
+
+// levelGray is the inverse mapping.
+var levelGray = [4]uint8{0, 1, 3, 2}
+
+// Level returns the wire level index (0..3) for the symbol's data bits.
+func (s Pam4Symbol) Level() uint8 { return grayLevel[s&3] }
+
+// Pam4FromLevel recovers the data bits from a wire level.
+func Pam4FromLevel(level uint8) Pam4Symbol { return Pam4Symbol(levelGray[level&3]) }
+
+// Pam4Voltage converts a wire level to a voltage in [-amplitude, amplitude].
+func Pam4Voltage(level uint8, amplitude float64) float64 {
+	return amplitude * (2*float64(level&3)/3 - 1)
+}
+
+// BytesToPam4 expands bytes into PAM4 symbols, MSB pair first.
+func BytesToPam4(data []byte) []Pam4Symbol {
+	out := make([]Pam4Symbol, 0, len(data)*4)
+	for _, b := range data {
+		for shift := 6; shift >= 0; shift -= 2 {
+			out = append(out, Pam4Symbol((b>>shift)&3))
+		}
+	}
+	return out
+}
+
+// Pam4ToBytes packs symbols back into bytes; the count must be a multiple
+// of 4.
+func Pam4ToBytes(syms []Pam4Symbol) []byte {
+	if len(syms)%4 != 0 {
+		panic("bus: PAM4 symbol count not a multiple of 4")
+	}
+	out := make([]byte, len(syms)/4)
+	for i, s := range syms {
+		out[i/4] |= byte(s&3) << (6 - 2*(i%4))
+	}
+	return out
+}
+
+// Pam4TriggerOpportunities counts full-swing falling transitions
+// (level 3 → level 0) — the iTDR's usable launches on a PAM4 lane.
+func Pam4TriggerOpportunities(levels []uint8) int {
+	n := 0
+	for i := 0; i+1 < len(levels); i++ {
+		if levels[i] == 3 && levels[i+1] == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Pam4Lane is a PAM4 serial lane over a protected line: scrambled traffic,
+// a symbol FIFO, and the full-swing trigger.
+type Pam4Lane struct {
+	// Line is the physical trace.
+	Line *txline.Line
+	// Fifo holds wire levels awaiting launch.
+	Fifo *FIFO[uint8]
+
+	scrambler *Scrambler
+	traffic   *TrafficGenerator
+	sent      int64
+	triggers  int64
+}
+
+// NewPam4Lane builds a PAM4 lane carrying the given traffic.
+func NewPam4Lane(line *txline.Line, pattern TrafficPattern, stream *rng.Stream) *Pam4Lane {
+	return &Pam4Lane{
+		Line:      line,
+		Fifo:      NewFIFO[uint8](64),
+		scrambler: NewScrambler(),
+		traffic:   NewTrafficGenerator(pattern, stream.Child("traffic")),
+	}
+}
+
+// refill keeps the FIFO stocked with scrambled symbols' wire levels.
+func (l *Pam4Lane) refill() {
+	for l.Fifo.Cap()-l.Fifo.Len() >= 4 {
+		var payload [1]byte
+		l.traffic.Next(payload[:])
+		bits := l.scrambler.ScrambleBits(BytesToBits(payload[:]))
+		for _, s := range BytesToPam4(BitsToBytes(bits)) {
+			l.Fifo.Push(s.Level())
+		}
+	}
+}
+
+// Step launches the next symbol and reports whether this boundary offers the
+// iTDR a full-swing falling launch (head level 3, next level 0).
+func (l *Pam4Lane) Step() (level uint8, trigger bool) {
+	if l.Fifo.Len() < 2 {
+		l.refill()
+	}
+	head, ok := l.Fifo.Pop()
+	if !ok {
+		panic("bus: PAM4 lane FIFO underrun after refill")
+	}
+	next, ok := l.Fifo.Peek(0)
+	l.sent++
+	trigger = ok && head == 3 && next == 0
+	if trigger {
+		l.triggers++
+	}
+	return head, trigger
+}
+
+// TriggerRate returns the observed full-swing-launch density.
+func (l *Pam4Lane) TriggerRate() float64 {
+	if l.sent == 0 {
+		return 0
+	}
+	return float64(l.triggers) / float64(l.sent)
+}
+
+// MeasureTriggerDensity runs the lane for n symbols and returns the rate.
+func (l *Pam4Lane) MeasureTriggerDensity(n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("bus: non-positive sample size %d", n))
+	}
+	for i := 0; i < n; i++ {
+		l.Step()
+	}
+	return l.TriggerRate()
+}

@@ -1,0 +1,118 @@
+package bus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+func TestPam4GrayCoding(t *testing.T) {
+	// Adjacent levels differ by exactly one data bit (the Gray property).
+	for lvl := uint8(0); lvl < 3; lvl++ {
+		a := Pam4FromLevel(lvl)
+		b := Pam4FromLevel(lvl + 1)
+		diff := uint8(a^b) & 3
+		bits := 0
+		for ; diff != 0; diff >>= 1 {
+			bits += int(diff & 1)
+		}
+		if bits != 1 {
+			t.Errorf("levels %d and %d differ by %d bits; Gray coding broken", lvl, lvl+1, bits)
+		}
+	}
+	// Round trip through level mapping.
+	for s := Pam4Symbol(0); s < 4; s++ {
+		if Pam4FromLevel(s.Level()) != s {
+			t.Errorf("symbol %d level round trip failed", s)
+		}
+	}
+}
+
+func TestPam4Voltage(t *testing.T) {
+	amp := 0.9
+	if v := Pam4Voltage(0, amp); v != -amp {
+		t.Errorf("level 0 voltage %v", v)
+	}
+	if v := Pam4Voltage(3, amp); v != amp {
+		t.Errorf("level 3 voltage %v", v)
+	}
+	gap01 := Pam4Voltage(1, amp) - Pam4Voltage(0, amp)
+	gap12 := Pam4Voltage(2, amp) - Pam4Voltage(1, amp)
+	if math.Abs(gap01-gap12) > 1e-12 {
+		t.Error("levels not equally spaced")
+	}
+}
+
+func TestPam4BytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		syms := BytesToPam4(data)
+		back := Pam4ToBytes(syms)
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPam4ToBytesPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Pam4ToBytes(make([]Pam4Symbol, 3))
+}
+
+func TestPam4TriggerOpportunities(t *testing.T) {
+	levels := []uint8{3, 0, 1, 3, 0, 3, 3, 0}
+	if got := Pam4TriggerOpportunities(levels); got != 3 {
+		t.Errorf("opportunities = %d, want 3", got)
+	}
+	if Pam4TriggerOpportunities(nil) != 0 {
+		t.Error("empty stream")
+	}
+}
+
+func TestPam4LaneTriggerDensity(t *testing.T) {
+	stream := rng.New(9)
+	line := txline.New("pam4", txline.DefaultConfig(), stream.Child("line"))
+	l := NewPam4Lane(line, PatternRandom, stream)
+	rate := l.MeasureTriggerDensity(40000)
+	// Full-swing falling launches on whitened traffic: P(3 then 0) = 1/16.
+	if math.Abs(rate-1.0/16) > 0.01 {
+		t.Errorf("PAM4 trigger density %v, want ~1/16", rate)
+	}
+}
+
+func TestPam4LaneZerosStillTrigger(t *testing.T) {
+	stream := rng.New(10)
+	line := txline.New("pam4z", txline.DefaultConfig(), stream.Child("line"))
+	l := NewPam4Lane(line, PatternZeros, stream)
+	rate := l.MeasureTriggerDensity(40000)
+	if rate < 0.03 {
+		t.Errorf("scrambled zeros PAM4 density %v too low", rate)
+	}
+}
+
+func TestPam4LaneMeasurePanics(t *testing.T) {
+	stream := rng.New(11)
+	line := txline.New("pam4p", txline.DefaultConfig(), stream.Child("line"))
+	l := NewPam4Lane(line, PatternRandom, stream)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	l.MeasureTriggerDensity(0)
+}

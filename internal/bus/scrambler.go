@@ -1,0 +1,86 @@
+package bus
+
+// Scrambler is an additive (synchronous) LFSR scrambler using the x⁷+x⁶+1
+// polynomial, the classic serial-link whitener. High-speed interfaces apply
+// such channel coding so symbols occur evenly (§II-E) — which is exactly
+// what makes the untriggered iTDR's rising and falling reflections cancel,
+// and what guarantees the FIFO trigger a steady supply of 1→0 launches.
+type Scrambler struct {
+	state uint8 // 7-bit LFSR state
+}
+
+// NewScrambler returns a scrambler seeded to the conventional all-ones
+// state. Transmitter and receiver construct identical scramblers and stay
+// in sync by construction (additive scrambling).
+func NewScrambler() *Scrambler { return &Scrambler{state: 0x7F} }
+
+// NextBit returns the next keystream bit.
+func (s *Scrambler) NextBit() uint8 {
+	// Feedback taps at positions 7 and 6 (1-indexed).
+	b7 := (s.state >> 6) & 1
+	b6 := (s.state >> 5) & 1
+	out := b7
+	s.state = ((s.state << 1) | (b7 ^ b6)) & 0x7F
+	return out
+}
+
+// ScrambleBit whitens one data bit.
+func (s *Scrambler) ScrambleBit(b uint8) uint8 { return (b & 1) ^ s.NextBit() }
+
+// ScrambleBits whitens a bit slice in place and returns it.
+func (s *Scrambler) ScrambleBits(bits []uint8) []uint8 {
+	for i, b := range bits {
+		bits[i] = s.ScrambleBit(b)
+	}
+	return bits
+}
+
+// BytesToBits expands bytes into bits, MSB first.
+func BytesToBits(data []byte) []uint8 {
+	bits := make([]uint8, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>i)&1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs bits (MSB first) into bytes; the bit count must be a
+// multiple of 8.
+func BitsToBytes(bits []uint8) []byte {
+	if len(bits)%8 != 0 {
+		panic("bus: bit count not a multiple of 8")
+	}
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		out[i/8] |= (b & 1) << (7 - i%8)
+	}
+	return out
+}
+
+// TriggerOpportunities counts the 1→0 transitions in the bit stream — the
+// launches the FIFO trigger can use (§II-E).
+func TriggerOpportunities(bits []uint8) int {
+	n := 0
+	for i := 0; i+1 < len(bits); i++ {
+		if bits[i] == 1 && bits[i+1] == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OnesDensity returns the fraction of ones in the bit stream.
+func OnesDensity(bits []uint8) float64 {
+	if len(bits) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, b := range bits {
+		if b == 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(len(bits))
+}

@@ -1,0 +1,112 @@
+package bus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScramblerWhitensZeros(t *testing.T) {
+	s := NewScrambler()
+	bits := make([]uint8, 8192)
+	s.ScrambleBits(bits)
+	density := OnesDensity(bits)
+	if math.Abs(density-0.5) > 0.05 {
+		t.Errorf("scrambled all-zeros density = %v, want ~0.5", density)
+	}
+	trig := TriggerOpportunities(bits)
+	rate := float64(trig) / float64(len(bits))
+	if math.Abs(rate-0.25) > 0.05 {
+		t.Errorf("trigger rate on scrambled zeros = %v, want ~0.25", rate)
+	}
+}
+
+func TestScramblerRoundTrip(t *testing.T) {
+	// Additive scrambling is its own inverse when both sides use identical
+	// keystreams.
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		tx := NewScrambler()
+		rx := NewScrambler()
+		bits := BytesToBits(data)
+		scrambled := tx.ScrambleBits(append([]uint8(nil), bits...))
+		descrambled := rx.ScrambleBits(append([]uint8(nil), scrambled...))
+		for i := range bits {
+			if bits[i] != descrambled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScramblerPeriod(t *testing.T) {
+	// A maximal-length 7-bit LFSR has period 127.
+	s := NewScrambler()
+	first := make([]uint8, 127)
+	for i := range first {
+		first[i] = s.NextBit()
+	}
+	for i := 0; i < 127; i++ {
+		if s.NextBit() != first[i] {
+			t.Fatalf("keystream not periodic with 127 at position %d", i)
+		}
+	}
+	// And it is not shorter: the first period must contain both values.
+	if d := OnesDensity(first); d == 0 || d == 1 {
+		t.Error("degenerate keystream")
+	}
+}
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		bits := BytesToBits(data)
+		back := BitsToBytes(bits)
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if data[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsToBytesPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BitsToBytes(make([]uint8, 7))
+}
+
+func TestTriggerOpportunitiesKnown(t *testing.T) {
+	// 1,0 transitions: positions (0,1) and (3,4).
+	bits := []uint8{1, 0, 1, 1, 0, 0, 1}
+	if got := TriggerOpportunities(bits); got != 2 {
+		t.Errorf("TriggerOpportunities = %d, want 2", got)
+	}
+	if TriggerOpportunities(nil) != 0 {
+		t.Error("empty stream should have no triggers")
+	}
+}
+
+func TestOnesDensityEdge(t *testing.T) {
+	if OnesDensity(nil) != 0 {
+		t.Error("empty density should be 0")
+	}
+	if OnesDensity([]uint8{1, 1, 0, 0}) != 0.5 {
+		t.Error("density of half ones should be 0.5")
+	}
+}

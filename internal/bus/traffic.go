@@ -1,0 +1,64 @@
+package bus
+
+import (
+	"fmt"
+
+	"divot/internal/rng"
+)
+
+// TrafficPattern selects the payload statistics a traffic generator emits.
+type TrafficPattern int
+
+const (
+	// PatternRandom emits uniformly random bytes — typical application
+	// data after compression/encryption.
+	PatternRandom TrafficPattern = iota
+	// PatternZeros emits all-zero payloads — the pathological case for an
+	// unscrambled link: no edges at all.
+	PatternZeros
+	// PatternWalkingOnes cycles a single set bit through each byte —
+	// a classic memory-test stimulus.
+	PatternWalkingOnes
+)
+
+// String names the pattern.
+func (p TrafficPattern) String() string {
+	switch p {
+	case PatternRandom:
+		return "random"
+	case PatternZeros:
+		return "zeros"
+	case PatternWalkingOnes:
+		return "walking-ones"
+	}
+	return fmt.Sprintf("TrafficPattern(%d)", int(p))
+}
+
+// TrafficGenerator produces payload bytes for the link.
+type TrafficGenerator struct {
+	Pattern TrafficPattern
+	stream  *rng.Stream
+	counter int
+}
+
+// NewTrafficGenerator returns a generator for the given pattern.
+func NewTrafficGenerator(p TrafficPattern, stream *rng.Stream) *TrafficGenerator {
+	return &TrafficGenerator{Pattern: p, stream: stream}
+}
+
+// Next fills buf with the next payload bytes.
+func (g *TrafficGenerator) Next(buf []byte) {
+	switch g.Pattern {
+	case PatternRandom:
+		g.stream.Bytes(buf)
+	case PatternZeros:
+		for i := range buf {
+			buf[i] = 0
+		}
+	case PatternWalkingOnes:
+		for i := range buf {
+			buf[i] = 1 << (g.counter % 8)
+			g.counter++
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package core implements the DIVOT architecture's operating protocol
+// (§III): two iTDR-equipped endpoints — the CPU's memory controller and the
+// memory module's interface — observing the same bus, with calibration
+// (fingerprint enrollment), runtime monitoring (two-way authentication plus
+// tamper detection), and reaction (authentication gates and alerts).
+package core
+
+import (
+	"fmt"
+
+	"divot/internal/fingerprint"
+	"divot/internal/itdr"
+	"divot/internal/memctl"
+	"divot/internal/rng"
+	"divot/internal/signal"
+	"divot/internal/txline"
+)
+
+// Side identifies which end of the link an endpoint sits on.
+type Side int
+
+const (
+	// SideCPU is the processor/memory-controller end.
+	SideCPU Side = iota
+	// SideModule is the memory-module end.
+	SideModule
+)
+
+// String names the side.
+func (s Side) String() string {
+	switch s {
+	case SideCPU:
+		return "cpu"
+	case SideModule:
+		return "module"
+	}
+	return fmt.Sprintf("Side(%d)", int(s))
+}
+
+// Endpoint is one iTDR-equipped bus interface with its enrollment store and
+// the authentication gate it drives.
+type Endpoint struct {
+	Side Side
+	// Gate is the memctl authentication gate this endpoint controls: the
+	// CPU endpoint gates command issue; the module endpoint gates column
+	// access.
+	Gate *memctl.StaticGate
+
+	refl     *itdr.Reflectometer
+	pipeline fingerprint.Pipeline
+	store    *fingerprint.Store
+	matcher  fingerprint.Matcher
+	detector fingerprint.TamperDetector
+
+	// observed is the line this endpoint physically measures. A cold-boot
+	// swap changes the module endpoint's observed line; the CPU endpoint's
+	// observed line changes if the bus itself is rewired.
+	observed *txline.Line
+
+	// Authenticated reflects the most recent monitoring verdict.
+	authenticated bool
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	ITDR itdr.Config
+	// Probe is the launch-edge description shared by both endpoints.
+	Probe txline.Probe
+	// Pipeline post-processes measurements into fingerprints.
+	Pipeline fingerprint.Pipeline
+	// AuthThreshold is the similarity acceptance threshold.
+	AuthThreshold float64
+	// TamperThreshold is the E_xy peak flagging tampering, in volts².
+	// Zero means auto-calibrate from the clean noise floor at enrollment.
+	TamperThreshold float64
+	// EnrollMeasurements is the number of averaged measurements during
+	// calibration.
+	EnrollMeasurements int
+}
+
+// DefaultConfig returns the engine configuration matching the prototype.
+func DefaultConfig() Config {
+	return Config{
+		ITDR:               itdr.DefaultConfig(),
+		Probe:              txline.DefaultProbe(),
+		Pipeline:           fingerprint.DefaultPipeline(),
+		AuthThreshold:      0.70,
+		TamperThreshold:    0, // auto-calibrated
+		EnrollMeasurements: 8,
+	}
+}
+
+// AlertKind classifies a monitoring alarm.
+type AlertKind int
+
+const (
+	// AlertAuthFailure: the measured fingerprint no longer matches the
+	// enrolled one (module swap, bus swap, cold boot).
+	AlertAuthFailure AlertKind = iota
+	// AlertTamper: a localized IIP change indicates probing or tampering.
+	AlertTamper
+)
+
+// String names the alert kind.
+func (k AlertKind) String() string {
+	switch k {
+	case AlertAuthFailure:
+		return "auth-failure"
+	case AlertTamper:
+		return "tamper"
+	}
+	return fmt.Sprintf("AlertKind(%d)", int(k))
+}
+
+// Alert is one monitoring alarm.
+type Alert struct {
+	Side Side
+	Kind AlertKind
+	// Wire is the index of the wire that raised the alarm on a multi-wire
+	// bus; 0 for single-lane links.
+	Wire int
+	// Score is the similarity for auth failures.
+	Score float64
+	// PeakError and Position describe tamper alerts.
+	PeakError float64
+	Position  float64
+}
+
+// String renders the alert.
+func (a Alert) String() string {
+	wire := ""
+	if a.Wire != 0 {
+		wire = fmt.Sprintf(" (wire %d)", a.Wire)
+	}
+	switch a.Kind {
+	case AlertAuthFailure:
+		return fmt.Sprintf("[%s] auth failure: S=%.4f%s", a.Side, a.Score, wire)
+	default:
+		return fmt.Sprintf("[%s] tamper: E=%.3g at %.1f mm%s", a.Side, a.PeakError, a.Position*1e3, wire)
+	}
+}
+
+// Link is one DIVOT-protected bus: the physical line plus both endpoints.
+type Link struct {
+	ID  string
+	cfg Config
+	// Line is the genuine bus between the endpoints.
+	Line *txline.Line
+	// Env is the ambient environment monitoring runs under.
+	Env txline.Environment
+
+	CPU    *Endpoint
+	Module *Endpoint
+
+	calibrated bool
+	// Alerts accumulates every alarm raised by monitoring.
+	Alerts []Alert
+}
+
+// NewLink builds a protected link over a freshly manufactured line. The
+// stream seeds the line's intrinsic IIP and both endpoints' instruments.
+func NewLink(id string, cfg Config, lineCfg txline.Config, stream *rng.Stream) (*Link, error) {
+	line := txline.New(id, lineCfg, stream.Child("line"))
+	return NewLinkOver(id, cfg, line, stream)
+}
+
+// NewLinkOver builds a protected link over an existing line.
+func NewLinkOver(id string, cfg Config, line *txline.Line, stream *rng.Stream) (*Link, error) {
+	mk := func(side Side, label string) (*Endpoint, error) {
+		r, err := itdr.New(cfg.ITDR, cfg.Probe, nil, stream.Child(label))
+		if err != nil {
+			return nil, fmt.Errorf("core: %s endpoint: %w", side, err)
+		}
+		return &Endpoint{
+			Side:     side,
+			Gate:     memctl.NewStaticGate(false), // closed until calibration
+			refl:     r,
+			pipeline: cfg.Pipeline,
+			store:    fingerprint.NewStore(),
+			matcher:  fingerprint.Matcher{Threshold: cfg.AuthThreshold},
+			detector: fingerprint.TamperDetector{
+				PeakThreshold: cfg.TamperThreshold,
+				Velocity:      line.Config().Velocity,
+			},
+			observed: line,
+		}, nil
+	}
+	cpu, err := mk(SideCPU, "itdr-cpu")
+	if err != nil {
+		return nil, err
+	}
+	mod, err := mk(SideModule, "itdr-module")
+	if err != nil {
+		return nil, err
+	}
+	return &Link{
+		ID:     id,
+		cfg:    cfg,
+		Line:   line,
+		Env:    txline.RoomTemperature(),
+		CPU:    cpu,
+		Module: mod,
+	}, nil
+}
+
+// measure acquires and post-processes one fingerprint at the endpoint.
+func (e *Endpoint) measure(env txline.Environment) fingerprint.IIP {
+	return e.pipeline.FromWaveform(e.refl.Measure(e.observed, env).IIP)
+}
+
+// Authenticated reports the endpoint's latest monitoring verdict.
+func (e *Endpoint) Authenticated() bool { return e.authenticated }
+
+// ObservedLine returns the line the endpoint currently measures.
+func (e *Endpoint) ObservedLine() *txline.Line { return e.observed }
+
+// SetObservedLine rewires what the endpoint physically sees — the cold-boot
+// scenario moves the module onto an attacker's bus.
+func (e *Endpoint) SetObservedLine(l *txline.Line) { e.observed = l }
+
+// enrollKey is the store key both endpoints use for the link fingerprint.
+const enrollKey = "link"
+
+// Calibrate performs §III's pairing step: both endpoints collect averaged
+// fingerprints of the shared bus and store them. When the tamper threshold
+// is auto-calibrated (zero), it is set to a multiple of the clean-state
+// noise floor observed right after enrollment.
+func (l *Link) Calibrate() error {
+	for _, e := range []*Endpoint{l.CPU, l.Module} {
+		ws := make([]*signal.Waveform, l.cfg.EnrollMeasurements)
+		for i := range ws {
+			ws[i] = e.refl.Measure(e.observed, l.Env).IIP
+		}
+		f, err := e.pipeline.Average(ws)
+		if err != nil {
+			return fmt.Errorf("core: calibrating %s endpoint: %w", e.Side, err)
+		}
+		if err := e.store.Enroll(enrollKey, f); err != nil {
+			return fmt.Errorf("core: enrolling %s endpoint: %w", e.Side, err)
+		}
+		if e.detector.PeakThreshold == 0 {
+			var floor float64
+			for i := 0; i < 4; i++ {
+				fm := e.measure(l.Env)
+				if v, _, _ := fingerprint.PeakError(fingerprint.ErrorFunction(fm, f)); v > floor {
+					floor = v
+				}
+			}
+			e.detector.PeakThreshold = 3 * floor
+		}
+		e.authenticated = true
+		e.Gate.Set(true)
+	}
+	l.calibrated = true
+	return nil
+}
+
+// Calibrated reports whether enrollment has happened.
+func (l *Link) Calibrated() bool { return l.calibrated }
+
+// MonitorOnce runs one monitoring round at both endpoints: measure,
+// authenticate against the enrolled fingerprint, check for tampering, drive
+// the gates, and record alerts. It returns the alerts raised this round.
+func (l *Link) MonitorOnce() []Alert {
+	if !l.calibrated {
+		panic("core: monitoring before calibration")
+	}
+	var raised []Alert
+	for _, e := range []*Endpoint{l.CPU, l.Module} {
+		enrolled, ok := e.store.Lookup(enrollKey)
+		if !ok {
+			panic(fmt.Sprintf("core: %s endpoint lost its enrollment", e.Side))
+		}
+		measured := e.measure(l.Env)
+		auth := e.matcher.Authenticate(measured, enrolled)
+		if !auth.Accepted {
+			raised = append(raised, Alert{Side: e.Side, Kind: AlertAuthFailure, Score: auth.Score})
+		}
+		// Tamper detection always runs: a severe attack (wire tap) can
+		// break authentication *and* deserve a localized tamper report.
+		if v := e.detector.Check(measured, enrolled); v.Tampered {
+			raised = append(raised, Alert{
+				Side: e.Side, Kind: AlertTamper,
+				PeakError: v.PeakError, Position: v.Position,
+			})
+		}
+		// React (§III): the gate follows the authentication verdict. A
+		// tamper alert alone does not close the gate — the paper escalates
+		// tampering to system-level countermeasures — but it is reported.
+		e.authenticated = auth.Accepted
+		e.Gate.Set(auth.Accepted)
+	}
+	l.Alerts = append(l.Alerts, raised...)
+	return raised
+}
+
+// MonitorN runs n monitoring rounds and returns all alerts raised.
+func (l *Link) MonitorN(n int) []Alert {
+	var all []Alert
+	for i := 0; i < n; i++ {
+		all = append(all, l.MonitorOnce()...)
+	}
+	return all
+}
+
+// MeasurementDuration returns the wall-clock time one monitoring round takes
+// per endpoint — the paper's "within 50 µs" figure.
+func (l *Link) MeasurementDuration() float64 {
+	return l.cfg.ITDR.MeasurementDuration()
+}

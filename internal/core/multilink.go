@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"divot/internal/fingerprint"
+	"divot/internal/memctl"
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+// MultiLink protects a bus as a bundle of wires, each with its own intrinsic
+// IIP and its own pair of iTDRs, fusing per-wire similarities into one
+// authentication decision per side (§IV-C / §VI: "monitoring multiple wires
+// on a bus can exponentially increase authentication accuracy"). One fused
+// gate per side drives the memory system, so a single compromised or
+// swapped wire locks the whole bus.
+type MultiLink struct {
+	ID  string
+	cfg Config
+	// Wires are the per-wire protected links. Their individual gates are
+	// unused; the fused gates below rule.
+	Wires []*Link
+	// CPUGate and ModuleGate reflect the fused two-way decision.
+	CPUGate    *memctl.StaticGate
+	ModuleGate *memctl.StaticGate
+	// Alerts accumulates per-wire and fused alarms.
+	Alerts []Alert
+
+	calibrated bool
+}
+
+// NewMultiLink manufactures a bus of n wires.
+func NewMultiLink(id string, cfg Config, lineCfg txline.Config, n int, stream *rng.Stream) (*MultiLink, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: multi-link needs at least one wire, got %d", n)
+	}
+	m := &MultiLink{
+		ID:         id,
+		cfg:        cfg,
+		CPUGate:    memctl.NewStaticGate(false),
+		ModuleGate: memctl.NewStaticGate(false),
+	}
+	for w := 0; w < n; w++ {
+		l, err := NewLink(fmt.Sprintf("%s/w%d", id, w), cfg, lineCfg, stream.Child(fmt.Sprintf("wire-%d", w)))
+		if err != nil {
+			return nil, err
+		}
+		m.Wires = append(m.Wires, l)
+	}
+	return m, nil
+}
+
+// Calibrate enrolls every wire and opens the fused gates.
+func (m *MultiLink) Calibrate() error {
+	for _, l := range m.Wires {
+		if err := l.Calibrate(); err != nil {
+			return err
+		}
+	}
+	m.calibrated = true
+	m.CPUGate.Set(true)
+	m.ModuleGate.Set(true)
+	return nil
+}
+
+// Calibrated reports whether enrollment has happened.
+func (m *MultiLink) Calibrated() bool { return m.calibrated }
+
+// gateFor returns the fused gate for a side.
+func (m *MultiLink) gateFor(s Side) *memctl.StaticGate {
+	if s == SideCPU {
+		return m.CPUGate
+	}
+	return m.ModuleGate
+}
+
+// MonitorOnce measures every wire at both endpoints, fuses the per-wire
+// similarities per side (geometric mean), drives the fused gates, and
+// reports alarms. Per-wire tamper checks run as on single links, tagged
+// with the wire index.
+func (m *MultiLink) MonitorOnce() []Alert {
+	if !m.calibrated {
+		panic("core: monitoring a multi-link before calibration")
+	}
+	var raised []Alert
+	for _, side := range []Side{SideCPU, SideModule} {
+		scores := make([]float64, len(m.Wires))
+		for w, l := range m.Wires {
+			e := l.endpoint(side)
+			enrolled, ok := e.store.Lookup(enrollKey)
+			if !ok {
+				panic(fmt.Sprintf("core: wire %d %s endpoint lost its enrollment", w, side))
+			}
+			measured := e.measure(l.Env)
+			scores[w] = fingerprint.Similarity(measured, enrolled)
+			if v := e.detector.Check(measured, enrolled); v.Tampered {
+				raised = append(raised, Alert{
+					Side: side, Kind: AlertTamper, Wire: w,
+					PeakError: v.PeakError, Position: v.Position,
+				})
+			}
+		}
+		// Security rule: every wire must match (AND). The multi-wire
+		// accuracy gain is exponential on the impostor side — a foreign
+		// bus must match all n intrinsic profiles at once, probability
+		// ~p^n — while a mean-style fusion would let one compromised wire
+		// hide behind its healthy neighbours.
+		worst, at := scores[0], 0
+		for w, s := range scores {
+			if s < worst {
+				worst, at = s, w
+			}
+		}
+		ok := worst >= m.cfg.AuthThreshold
+		if !ok {
+			raised = append(raised, Alert{
+				Side: side, Kind: AlertAuthFailure, Wire: at, Score: worst,
+			})
+		}
+		m.gateFor(side).Set(ok)
+	}
+	m.Alerts = append(m.Alerts, raised...)
+	return raised
+}
+
+// endpoint returns the link's endpoint for a side.
+func (l *Link) endpoint(s Side) *Endpoint {
+	if s == SideCPU {
+		return l.CPU
+	}
+	return l.Module
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"divot/internal/attack"
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+func newMulti(t *testing.T, seed uint64, wires int) *MultiLink {
+	t.Helper()
+	m, err := NewMultiLink("bus", DefaultConfig(), txline.DefaultConfig(), wires, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMultiLinkLifecycle(t *testing.T) {
+	m := newMulti(t, 50, 4)
+	if m.CPUGate.Authorized() || m.ModuleGate.Authorized() {
+		t.Error("fused gates must start closed")
+	}
+	if err := m.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Calibrated() || !m.CPUGate.Authorized() || !m.ModuleGate.Authorized() {
+		t.Error("calibration should open the fused gates")
+	}
+	if alerts := m.MonitorOnce(); len(alerts) != 0 {
+		t.Errorf("clean bus alerted: %v", alerts)
+	}
+}
+
+func TestMultiLinkRejectsInvalidWireCount(t *testing.T) {
+	if _, err := NewMultiLink("x", DefaultConfig(), txline.DefaultConfig(), 0, rng.New(1)); err == nil {
+		t.Error("expected error for zero wires")
+	}
+}
+
+func TestMultiLinkMonitorBeforeCalibrationPanics(t *testing.T) {
+	m := newMulti(t, 51, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.MonitorOnce()
+}
+
+func TestMultiLinkOneCompromisedWireLocksBus(t *testing.T) {
+	m := newMulti(t, 52, 4)
+	if err := m.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	// Reroute one wire through an attacker interposer: that wire's CPU-side
+	// view changes wholesale.
+	cb := attack.NewColdBootSwap(txline.DefaultConfig(), rng.New(53))
+	m.Wires[2].CPU.SetObservedLine(cb.BusSeenByModule())
+	alerts := m.MonitorOnce()
+	var fusedFail *Alert
+	for i := range alerts {
+		if alerts[i].Kind == AlertAuthFailure && alerts[i].Side == SideCPU {
+			fusedFail = &alerts[i]
+		}
+	}
+	if fusedFail == nil {
+		t.Fatalf("compromised wire did not fail the fused decision: %v", alerts)
+	}
+	if fusedFail.Wire != 2 {
+		t.Errorf("worst wire reported as %d, want 2", fusedFail.Wire)
+	}
+	if m.CPUGate.Authorized() {
+		t.Error("fused CPU gate should close")
+	}
+	// The module side saw nothing unusual.
+	if !m.ModuleGate.Authorized() {
+		t.Error("module gate should stay open; only the CPU view changed")
+	}
+}
+
+func TestMultiLinkTamperAlertCarriesWireIndex(t *testing.T) {
+	m := newMulti(t, 54, 3)
+	if err := m.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	probe := attack.DefaultMagneticProbe(0.14)
+	probe.Apply(m.Wires[1].Line)
+	alerts := m.MonitorOnce()
+	var found bool
+	for _, a := range alerts {
+		if a.Kind == AlertTamper && a.Wire == 1 {
+			found = true
+			if a.Position < 0.12 || a.Position > 0.16 {
+				t.Errorf("probe localized at %v m on wire 1", a.Position)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no tamper alert for wire 1: %v", alerts)
+	}
+	// A probe on one wire does not close the fused gate (the bus still
+	// authenticates); it is an alarm for the platform to escalate.
+	if !m.CPUGate.Authorized() {
+		t.Error("probing alone should not close the fused gate")
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"divot/internal/fingerprint"
+)
+
+// ExportEnrollment writes the endpoint's stored bus fingerprint — its EPROM
+// image — to w. It fails before calibration.
+func (e *Endpoint) ExportEnrollment(w io.Writer) error {
+	f, ok := e.store.Lookup(enrollKey)
+	if !ok {
+		return fmt.Errorf("core: %s endpoint has no enrollment to export", e.Side)
+	}
+	return f.Encode(w)
+}
+
+// ImportEnrollment installs a previously exported fingerprint, opening the
+// endpoint's gate — the power-on path of a system whose calibration happened
+// at manufacturing time (§III) and was retained in EPROM.
+func (e *Endpoint) ImportEnrollment(r io.Reader) error {
+	f, err := fingerprint.DecodeIIP(r, e.pipeline)
+	if err != nil {
+		return fmt.Errorf("core: %s endpoint import: %w", e.Side, err)
+	}
+	if err := e.store.Enroll(enrollKey, f); err != nil {
+		return fmt.Errorf("core: %s endpoint import: %w", e.Side, err)
+	}
+	return nil
+}
+
+// RestoreCalibration installs previously exported enrollments on both
+// endpoints and re-derives the tamper thresholds from the current clean
+// state, leaving the link ready to monitor — the boot path of an
+// already-paired system.
+func (l *Link) RestoreCalibration(cpu, module io.Reader) error {
+	for _, pair := range []struct {
+		e *Endpoint
+		r io.Reader
+	}{{l.CPU, cpu}, {l.Module, module}} {
+		if err := pair.e.ImportEnrollment(pair.r); err != nil {
+			return err
+		}
+		enrolled, _ := pair.e.store.Lookup(enrollKey)
+		if pair.e.detector.PeakThreshold == 0 {
+			var floor float64
+			for i := 0; i < 4; i++ {
+				m := pair.e.measure(l.Env)
+				if v, _, _ := fingerprint.PeakError(fingerprint.ErrorFunction(m, enrolled)); v > floor {
+					floor = v
+				}
+			}
+			pair.e.detector.PeakThreshold = 3 * floor
+		}
+		pair.e.authenticated = true
+		pair.e.Gate.Set(true)
+	}
+	l.calibrated = true
+	return nil
+}

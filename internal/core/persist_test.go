@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+func TestExportBeforeCalibrationFails(t *testing.T) {
+	l := newLink(t, 20)
+	var buf bytes.Buffer
+	if err := l.CPU.ExportEnrollment(&buf); err == nil {
+		t.Error("expected error before calibration")
+	}
+}
+
+func TestCalibrationSurvivesPowerCycle(t *testing.T) {
+	// Calibrate once (manufacturing time), export both EPROM images,
+	// "power cycle" into a fresh engine over the same physical line, and
+	// restore — monitoring must work without re-pairing.
+	first := newLink(t, 21)
+	if err := first.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	var cpuROM, modROM bytes.Buffer
+	if err := first.CPU.ExportEnrollment(&cpuROM); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Module.ExportEnrollment(&modROM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same physical line, new engine instances (fresh noise streams).
+	second, err := NewLinkOver("bus0", DefaultConfig(), first.Line, rng.New(9999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.RestoreCalibration(&cpuROM, &modROM); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Calibrated() {
+		t.Fatal("link not calibrated after restore")
+	}
+	if alerts := second.MonitorN(3); len(alerts) != 0 {
+		t.Errorf("restored link alarms on its own bus: %v", alerts)
+	}
+
+	// And it still rejects a different bus.
+	attacker := txline.New("attacker", txline.DefaultConfig(), rng.New(31337))
+	second.Module.SetObservedLine(attacker)
+	alerts := second.MonitorOnce()
+	var rejected bool
+	for _, a := range alerts {
+		if a.Side == SideModule && a.Kind == AlertAuthFailure {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Error("restored link accepted a foreign bus")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	l := newLink(t, 22)
+	if err := l.CPU.ImportEnrollment(strings.NewReader("junk")); err == nil {
+		t.Error("expected import error")
+	}
+	if err := l.RestoreCalibration(strings.NewReader("junk"), strings.NewReader("junk")); err == nil {
+		t.Error("expected restore error")
+	}
+}
+
+func TestEnrollmentIntegrityMatters(t *testing.T) {
+	// §III argues the fingerprint store needs no *confidentiality* — an IIP
+	// is useless off its own line. It still needs *write protection*: an
+	// attacker who can rewrite the module's EPROM with the fingerprint of
+	// their own bus makes the module accept that bus. This test documents
+	// the threat-model boundary.
+	victim := newLink(t, 23)
+	if err := victim.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker builds their own machine and enrolls its bus fingerprint.
+	attackerStream := rng.New(31415)
+	attackerLine := txline.New("attacker-bus", txline.DefaultConfig(), attackerStream)
+	attacker, err := NewLinkOver("attacker", DefaultConfig(), attackerLine, attackerStream.Child("engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attacker.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	var forged bytes.Buffer
+	if err := attacker.Module.ExportEnrollment(&forged); err != nil {
+		t.Fatal(err)
+	}
+
+	// With EPROM write access, the attacker overwrites the victim module's
+	// enrollment and moves the module onto their bus: the module now
+	// authenticates the attacker's machine.
+	if err := victim.Module.ImportEnrollment(&forged); err != nil {
+		t.Fatal(err)
+	}
+	victim.Module.SetObservedLine(attackerLine)
+	alerts := victim.MonitorOnce()
+	for _, a := range alerts {
+		if a.Side == SideModule && a.Kind == AlertAuthFailure {
+			t.Fatalf("rewritten enrollment should (regrettably) authenticate: %v", alerts)
+		}
+	}
+	// The defense is therefore write-once/authenticated EPROM — outside
+	// DIVOT's own mechanism, as the paper's future-work reactions are.
+}

@@ -1,0 +1,167 @@
+// Package exper regenerates every table and figure of the paper's
+// evaluation (§IV) plus the ablations DESIGN.md calls out. Each experiment
+// is a pure function from a seed and a mode to a Result whose rows print the
+// same quantities the paper reports; cmd/divotbench and the root bench suite
+// both drive these generators.
+package exper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"divot/internal/fingerprint"
+	"divot/internal/itdr"
+	"divot/internal/rng"
+	"divot/internal/signal"
+	"divot/internal/txline"
+)
+
+// Mode trades runtime for statistical depth.
+type Mode int
+
+const (
+	// Quick runs in seconds; suitable for benches and CI.
+	Quick Mode = iota
+	// Full approaches the paper's sample sizes; takes tens of seconds per
+	// experiment.
+	Full
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Result is one regenerated artifact.
+type Result struct {
+	// ID is the experiment identity from DESIGN.md's index (e.g. "fig7b").
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperClaim is what the paper reports for this artifact.
+	PaperClaim string
+	// Headers and Rows form the reproduced table/series.
+	Headers []string
+	Rows    [][]string
+	// Notes carries caveats (substitutions, scale differences).
+	Notes []string
+}
+
+// String renders the result as an aligned text table.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	}
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(r.Headers)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// rig is one line with its own iTDR and pipeline — a device under test.
+type rig struct {
+	line *txline.Line
+	refl *itdr.Reflectometer
+	pipe fingerprint.Pipeline
+	ref  fingerprint.IIP
+}
+
+// newRig manufactures a line and instrument from the stream.
+func newRig(id string, icfg itdr.Config, lcfg txline.Config, stream *rng.Stream) *rig {
+	sub := stream.Child("rig-" + id)
+	return &rig{
+		line: txline.New(id, lcfg, sub.Child("line")),
+		refl: itdr.MustNew(icfg, txline.DefaultProbe(), nil, sub.Child("itdr")),
+		pipe: fingerprint.DefaultPipeline(),
+	}
+}
+
+// measure acquires one processed fingerprint.
+func (r *rig) measure(env txline.Environment) fingerprint.IIP {
+	return r.pipe.FromWaveform(r.refl.Measure(r.line, env).IIP)
+}
+
+// enroll stores the averaged reference fingerprint.
+func (r *rig) enroll(env txline.Environment, n int) {
+	ws := make([]*signal.Waveform, n)
+	for i := range ws {
+		ws[i] = r.refl.Measure(r.line, env).IIP
+	}
+	f, err := r.pipe.Average(ws)
+	if err != nil {
+		panic(err) // n > 0 by construction
+	}
+	r.ref = f
+}
+
+// fleet builds the paper's six devices under test.
+func fleet(icfg itdr.Config, lcfg txline.Config, stream *rng.Stream, n int) []*rig {
+	rigs := make([]*rig, n)
+	for i := range rigs {
+		rigs[i] = newRig(fmt.Sprintf("tx%d", i), icfg, lcfg, stream)
+	}
+	return rigs
+}
+
+// scores collects genuine and impostor similarity scores: every rig is
+// measured `per` times under env, and each measurement is scored against
+// every rig's enrolled reference.
+func scores(rigs []*rig, env txline.Environment, per int) (genuine, impostor []float64) {
+	for _, r := range rigs {
+		for k := 0; k < per; k++ {
+			m := r.measure(env)
+			for _, other := range rigs {
+				s := fingerprint.Similarity(m, other.ref)
+				if other == r {
+					genuine = append(genuine, s)
+				} else {
+					impostor = append(impostor, s)
+				}
+			}
+		}
+	}
+	return genuine, impostor
+}
+
+// distSummary formats a score distribution.
+func distSummary(xs []float64) string {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	return fmt.Sprintf("n=%d min=%.4f p5=%.4f median=%.4f p95=%.4f max=%.4f",
+		n, s[0], s[n/20], s[n/2], s[n-1-n/20], s[n-1])
+}
+
+// fmtF formats a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.6g", v) }

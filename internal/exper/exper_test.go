@@ -1,0 +1,370 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment in quick mode and applies
+// per-experiment shape assertions — the reproduction's regression suite.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := e.Generator(42, Quick)
+			if r.ID != e.ID {
+				t.Errorf("result ID %q, want %q", r.ID, e.ID)
+			}
+			if len(r.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			if r.String() == "" {
+				t.Error("empty rendering")
+			}
+			for _, n := range r.Notes {
+				if strings.Contains(n, "FAIL") || strings.Contains(n, "NOT DETECTED") {
+					t.Errorf("experiment flagged a failure: %s", n)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig7b"); !ok {
+		t.Error("fig7b should exist")
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+// value extracts the row whose first cell equals key.
+func value(t *testing.T, r Result, key string) string {
+	t.Helper()
+	for _, row := range r.Rows {
+		if row[0] == key {
+			return row[1]
+		}
+	}
+	t.Fatalf("%s: no row %q in %v", r.ID, key, r.Rows)
+	return ""
+}
+
+func parsePercent(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig7bSeparation(t *testing.T) {
+	r := Fig7bROC(42, Quick)
+	eer := parsePercent(t, value(t, r, "EER"))
+	if eer > 1.0 {
+		t.Errorf("room-temperature EER %.3f%% far above the paper's <0.06%%", eer)
+	}
+}
+
+func TestFig8WorseThanRoom(t *testing.T) {
+	room := Fig7bROC(42, Quick)
+	oven := Fig8Temperature(42, Quick)
+	// The paper's shape: the genuine distribution shifts left under the
+	// swing. Compare the EER thresholds (where the distributions meet).
+	roomTh, _ := strconv.ParseFloat(value(t, room, "EER threshold"), 64)
+	ovenTh, _ := strconv.ParseFloat(value(t, oven, "EER threshold"), 64)
+	if ovenTh >= roomTh {
+		t.Errorf("oven threshold %v should sit below room threshold %v (genuine shifted left)",
+			ovenTh, roomTh)
+	}
+}
+
+func TestVibrationWorseThanOven(t *testing.T) {
+	oven := Fig8Temperature(42, Quick)
+	vib := VibrationEER(42, Quick)
+	ovenG := value(t, oven, "genuine S_xy")
+	vibG := value(t, vib, "genuine S_xy")
+	// Compare the genuine medians: vibration ≥ oven degradation.
+	med := func(s string) float64 {
+		for _, f := range strings.Fields(s) {
+			if strings.HasPrefix(f, "median=") {
+				v, _ := strconv.ParseFloat(strings.TrimPrefix(f, "median="), 64)
+				return v
+			}
+		}
+		t.Fatalf("no median in %q", s)
+		return 0
+	}
+	if med(vibG) >= med(ovenG) {
+		t.Errorf("vibration genuine median %v should be below oven %v", med(vibG), med(ovenG))
+	}
+}
+
+func TestEMINoWorseThanRoomEER(t *testing.T) {
+	room := Fig7bROC(42, Quick)
+	emi := EMIEER(42, Quick)
+	roomEER := parsePercent(t, value(t, room, "EER"))
+	emiEER := parsePercent(t, value(t, emi, "EER"))
+	if emiEER > roomEER+0.5 {
+		t.Errorf("EMI EER %.3f%% should stay near room %.3f%%", emiEER, roomEER)
+	}
+}
+
+func TestFig9ShapesHold(t *testing.T) {
+	load := Fig9LoadMod(42, Quick)
+	tap := Fig9WireTap(42, Quick)
+	probe := Fig9MagProbe(42, Quick)
+	ratio := func(r Result) float64 {
+		s := value(t, r, "peak / clean floor")
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if ratio(load) < 3 {
+		t.Errorf("load-mod contrast %vx too weak", ratio(load))
+	}
+	if ratio(tap) < ratio(probe) {
+		t.Errorf("wire tap (%vx) should dominate magnetic probe (%vx)", ratio(tap), ratio(probe))
+	}
+	if ratio(probe) < 2 {
+		t.Errorf("magnetic probe contrast %vx below detectability", ratio(probe))
+	}
+	// Wire-tap permanence: residual stays above the floor after removal.
+	res := value(t, tap, "residual / clean floor")
+	rv, _ := strconv.ParseFloat(strings.TrimSuffix(res, "x"), 64)
+	if rv < 1.5 {
+		t.Errorf("wire-tap residual %vx should remain detectable", rv)
+	}
+}
+
+func TestUtilizationMatchesPaperScale(t *testing.T) {
+	r := UtilizationModel(1, Quick)
+	row := r.Rows[0]
+	regs, _ := strconv.Atoi(row[1])
+	luts, _ := strconv.Atoi(row[2])
+	if regs < 60 || regs > 85 || luts < 105 || luts > 145 {
+		t.Errorf("utilization %s regs / %s LUTs strays from the paper's 71/124", row[1], row[2])
+	}
+}
+
+func TestLatencyWithinEnvelope(t *testing.T) {
+	r := DetectionLatency(1, Quick)
+	// First row: prototype. Duration must be within ~50-60 µs.
+	d := r.Rows[0][3]
+	v, err := strconv.ParseFloat(strings.Fields(d)[0], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 60 {
+		t.Errorf("prototype measurement %v µs exceeds the 50 µs envelope", v)
+	}
+}
+
+func TestCoprimeAblationShape(t *testing.T) {
+	r := CoprimeAblation(42, Quick)
+	// Rows: 26/25, 6/5 (good), 5/5, 10/5 (collapsed). Fidelity of the
+	// first must beat the third by a wide margin.
+	good, _ := strconv.ParseFloat(r.Rows[0][2], 64)
+	bad, _ := strconv.ParseFloat(r.Rows[2][2], 64)
+	if good < 0.8 {
+		t.Errorf("coprime fidelity %v too low", good)
+	}
+	if bad > good-0.2 {
+		t.Errorf("collapsed ratio fidelity %v should trail coprime %v", bad, good)
+	}
+}
+
+func TestTriggerAblationShape(t *testing.T) {
+	r := TriggerAblation(42, Quick)
+	clock, _ := strconv.ParseFloat(r.Rows[0][1], 64)
+	fifo, _ := strconv.ParseFloat(r.Rows[1][1], 64)
+	none, _ := strconv.ParseFloat(r.Rows[2][1], 64)
+	if clock < 0.8 || fifo < 0.8 {
+		t.Errorf("triggered modes should reconstruct: clock %v, fifo %v", clock, fifo)
+	}
+	if none > 0.5 {
+		t.Errorf("untriggered mode should cancel, got %v", none)
+	}
+}
+
+func TestMultiWireImprovesMargin(t *testing.T) {
+	r := MultiWireAblation(42, Quick)
+	margin := func(row []string) float64 {
+		v, _ := strconv.ParseFloat(row[3], 64)
+		return v
+	}
+	one := margin(r.Rows[0])
+	eight := margin(r.Rows[len(r.Rows)-1])
+	if eight <= one {
+		t.Errorf("8-wire margin %v should beat 1-wire %v", eight, one)
+	}
+}
+
+func TestBaselineMatrixShape(t *testing.T) {
+	r := Baselines(42, Quick)
+	// The DIVOT row is last and must detect every class.
+	divotRow := r.Rows[len(r.Rows)-1]
+	for _, cell := range divotRow[5:] {
+		if cell != "detect" {
+			t.Errorf("DIVOT row misses an attack: %v", divotRow)
+		}
+	}
+	// PAD (first row) must miss the magnetic probe (column 7).
+	if r.Rows[0][7] != "miss" {
+		t.Errorf("PAD should miss the magnetic probe: %v", r.Rows[0])
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("mode names")
+	}
+}
+
+func TestCloneResistanceShape(t *testing.T) {
+	r := CloneResistance(42, Quick)
+	genuine, _ := strconv.ParseFloat(r.Rows[0][1], 64)
+	for _, row := range r.Rows[1:] {
+		best, _ := strconv.ParseFloat(row[1], 64)
+		if best >= genuine {
+			t.Errorf("clone %q (%v) reached genuine level (%v)", row[0], best, genuine)
+		}
+		if row[3] == "true" {
+			t.Errorf("clone %q accepted at the strict threshold", row[0])
+		}
+	}
+}
+
+func TestAlignmentRestoresGenuineFloor(t *testing.T) {
+	r := AlignmentExtension(42, Quick)
+	parseMin := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.Split(row[1], " / ")[0], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	plain := parseMin(r.Rows[0])
+	aligned := parseMin(r.Rows[1])
+	if aligned <= plain {
+		t.Errorf("aligned genuine floor %v should beat plain %v", aligned, plain)
+	}
+	if aligned < 0.9 {
+		t.Errorf("aligned genuine floor %v should approach room level", aligned)
+	}
+}
+
+func TestInterposerDetectionShape(t *testing.T) {
+	r := InterposerDetection(42, Quick)
+	genuine, _ := strconv.ParseFloat(r.Rows[0][1], 64)
+	prev := -1.0
+	for _, row := range r.Rows[1:] {
+		s, _ := strconv.ParseFloat(row[1], 64)
+		if row[2] != "false" {
+			t.Errorf("interposer %q accepted", row[0])
+		}
+		if s >= genuine {
+			t.Errorf("interposer %q similarity %v at genuine level", row[0], s)
+		}
+		if s <= prev {
+			t.Errorf("similarity should rise with insertion distance: %v after %v", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestOffsetDriftToleranceShape(t *testing.T) {
+	r := OffsetDriftAblation(42, Quick)
+	first, _ := strconv.ParseFloat(r.Rows[0][2], 64)
+	mid, _ := strconv.ParseFloat(r.Rows[4][2], 64)              // 4σ
+	last, _ := strconv.ParseFloat(r.Rows[len(r.Rows)-1][2], 64) // 16σ
+	if mid < first-0.05 {
+		t.Errorf("similarity at 4σ drift (%v) should hold near zero-drift (%v)", mid, first)
+	}
+	if last > 0.7 {
+		t.Errorf("similarity at 16σ drift (%v) should collapse", last)
+	}
+}
+
+func TestJitterShape(t *testing.T) {
+	r := JitterAblation(42, Quick)
+	ideal, _ := strconv.ParseFloat(r.Rows[0][2], 64)
+	worst, _ := strconv.ParseFloat(r.Rows[len(r.Rows)-1][2], 64)
+	if worst >= ideal {
+		t.Errorf("5x-step jitter (%v) should degrade vs ideal PLL (%v)", worst, ideal)
+	}
+	mmcm, _ := strconv.ParseFloat(r.Rows[2][2], 64) // 2 ps default
+	if mmcm < ideal-0.02 {
+		t.Errorf("MMCM-class jitter (%v) should be nearly free vs ideal (%v)", mmcm, ideal)
+	}
+}
+
+func TestSharingShape(t *testing.T) {
+	r := SharingAblation(42, Quick)
+	// At 64 buses the multiplexed LUT cost must be far below dedicated.
+	last := r.Rows[len(r.Rows)-1]
+	dedicated := strings.Split(last[1], " / ")
+	multiplexed := strings.Split(last[3], " / ")
+	d, _ := strconv.Atoi(strings.TrimSpace(dedicated[1]))
+	m, _ := strconv.Atoi(strings.TrimSpace(multiplexed[1]))
+	if m*10 > d {
+		t.Errorf("multiplexed LUTs %d should be <10%% of dedicated %d at 64 buses", m, d)
+	}
+}
+
+func TestCrosstalkShape(t *testing.T) {
+	r := CrosstalkAblation(42, Quick)
+	ratio := func(i int) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(r.Rows[i][3], "x"), 64)
+		return v
+	}
+	if ratio(1) < 3 {
+		t.Errorf("state-mismatched crosstalk should produce a phantom bump, got %vx", ratio(1))
+	}
+	if ratio(2) > 2 {
+		t.Errorf("matched-calibration crosstalk should be absorbed, got %vx", ratio(2))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{
+		ID:         "x",
+		Title:      "demo",
+		PaperClaim: "claimed",
+		Headers:    []string{"a", "longer-header"},
+		Rows:       [][]string{{"1", "2"}, {"wide-cell", "3"}},
+		Notes:      []string{"a note"},
+	}
+	s := r.String()
+	for _, want := range []string{"== x: demo ==", "paper: claimed", "longer-header",
+		"wide-cell", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	// Ragged rows (more cells than headers) must not panic.
+	r.Rows = append(r.Rows, []string{"1", "2", "extra"})
+	if !strings.Contains(r.String(), "extra") {
+		t.Error("extra cells dropped")
+	}
+}
+
+func TestDistSummary(t *testing.T) {
+	s := distSummary([]float64{3, 1, 2})
+	for _, want := range []string{"n=3", "min=1.0000", "max=3.0000", "median=2.0000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestFmtF(t *testing.T) {
+	if fmtF(0.000123456) != "0.000123456" {
+		t.Errorf("fmtF = %q", fmtF(0.000123456))
+	}
+}

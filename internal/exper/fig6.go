@@ -1,0 +1,112 @@
+package exper
+
+import (
+	"fmt"
+
+	"divot"
+	"divot/internal/sim"
+)
+
+// Fig6MemoryBus reproduces the example design of Fig. 6 end to end: a
+// DIVOT-protected memory controller and SDRAM module run traffic, then
+// suffer a cold-boot module theft and a module swap; the gates react as §III
+// prescribes.
+func Fig6MemoryBus(seed uint64, mode Mode) Result {
+	reqs := 64
+	if mode == Full {
+		reqs = 512
+	}
+	sys := divot.NewSystem(seed, divot.DefaultConfig())
+	m, err := sys.NewMemorySystem("dimm0", divot.DefaultMemoryConfig())
+	if err != nil {
+		panic(err)
+	}
+	if err := m.Calibrate(); err != nil {
+		panic(err)
+	}
+
+	res := Result{
+		ID:    "fig6",
+		Title: "memory-bus protection: calibrate → monitor → react",
+		PaperClaim: "two-way runtime authentication; unauthorized accesses blocked; " +
+			"column address gated by the authentication result",
+		Headers: []string{"phase", "outcome"},
+	}
+
+	// Phase 1: normal traffic under continuous monitoring.
+	burst := make([]byte, divot.DefaultMemoryConfig().Geometry.BurstBytes)
+	stream := sys.Stream("traffic")
+	for i := 0; i < reqs; i++ {
+		addr := divot.MemAddress{Bank: stream.Intn(8), Row: stream.Intn(64), Col: stream.Intn(128)}
+		if stream.Bool(0.5) {
+			m.Write(addr, burst)
+		} else {
+			m.Read(addr)
+		}
+	}
+	if err := m.Drain(reqs, 100*sim.Millisecond); err != nil {
+		panic(err)
+	}
+	okCount := 0
+	for _, r := range m.Responses() {
+		if r.Status == divot.StatusOK {
+			okCount++
+		}
+	}
+	stats := m.Controller.Stats
+	res.Rows = append(res.Rows,
+		[]string{"normal operation", fmt.Sprintf(
+			"%d/%d requests OK, avg latency %v, row hit rate %.0f%%, %d monitor rounds, 0 alerts=%v",
+			okCount, reqs, stats.AvgLatency(), 100*stats.RowHitRate(),
+			int(m.Sched.Now().Seconds()/m.Bus.MeasurementDuration()), len(m.Bus.Alerts) == 0)})
+
+	// Phase 2: cold boot — the module is moved to an attacker's machine.
+	m.ClearResponses()
+	cb := divot.NewColdBootSwap(sys.Config().Line, sys.Stream("coldboot"))
+	victim := m.Bus.Module.ObservedLine()
+	m.Bus.Module.SetObservedLine(cb.BusSeenByModule())
+	m.RunFor(sim.FromSeconds(3 * m.Bus.MeasurementDuration()))
+	m.Read(divot.MemAddress{Bank: 0, Row: 0, Col: 0})
+	blocked := "module gate CLOSED; read stalls/blocked"
+	if m.Drain(1, 5*sim.Millisecond) == nil {
+		r := m.Responses()[0]
+		blocked = fmt.Sprintf("read returned %v", r.Status)
+		if r.Status == divot.StatusOK {
+			blocked = "FAILURE: attacker read succeeded"
+			res.Notes = append(res.Notes, "cold-boot protection FAILED")
+		}
+	}
+	res.Rows = append(res.Rows, []string{"cold-boot theft", fmt.Sprintf(
+		"%s; module gate authorized=%v", blocked, m.Bus.Module.Gate.Authorized())})
+
+	// Phase 3: module returned to the genuine bus — service resumes.
+	m.ClearResponses()
+	m.Bus.Module.SetObservedLine(victim)
+	m.RunFor(sim.FromSeconds(3 * m.Bus.MeasurementDuration()))
+	m.Read(divot.MemAddress{Bank: 0, Row: 0, Col: 0})
+	recovered := "stalled"
+	if m.Drain(1, 100*sim.Millisecond) == nil && m.Responses()[0].Status == divot.StatusOK {
+		recovered = "read OK"
+	}
+	res.Rows = append(res.Rows, []string{"module restored", fmt.Sprintf(
+		"%s; gates authorized cpu=%v module=%v", recovered,
+		m.Bus.CPU.Gate.Authorized(), m.Bus.Module.Gate.Authorized())})
+
+	// Phase 4: wire tap during live traffic — alert raised, traffic keeps
+	// flowing (monitoring is concurrent and non-disruptive).
+	m.ClearResponses()
+	tap := divot.NewMagneticProbe(0.12)
+	tap.Apply(m.Bus.Line)
+	before := len(m.Bus.Alerts)
+	for i := 0; i < 16; i++ {
+		m.Read(divot.MemAddress{Bank: i % 8, Row: i, Col: i})
+	}
+	m.RunFor(sim.FromSeconds(4 * m.Bus.MeasurementDuration()))
+	drainErr := m.Drain(16, 100*sim.Millisecond)
+	res.Rows = append(res.Rows, []string{"probing during traffic", fmt.Sprintf(
+		"alerts raised=%d, traffic uninterrupted=%v",
+		len(m.Bus.Alerts)-before, drainErr == nil)})
+
+	m.StopMonitor()
+	return res
+}

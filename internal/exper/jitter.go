@@ -1,0 +1,49 @@
+package exper
+
+import (
+	"fmt"
+
+	"divot/internal/fingerprint"
+	"divot/internal/itdr"
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+// JitterAblation sweeps the PLL's phase-shift jitter: ETS buys its 89.6 GHz
+// equivalent rate from the PLL's fine phase control, so the time base is
+// only as good as the PLL. Jitter converts the waveform's local slew rate
+// into amplitude noise; once the jitter approaches the 11.16 ps step, the
+// equivalent-time grid smears and the fingerprint blurs.
+func JitterAblation(seed uint64, mode Mode) Result {
+	stream := rng.New(seed).Child("jitter")
+	lcfg := txline.DefaultConfig()
+	env := txline.RoomTemperature()
+	res := Result{
+		ID:    "jitter",
+		Title: "ETS time-base (PLL phase jitter) ablation",
+		PaperClaim: "(design choice) the 11.16 ps phase step assumes a stable " +
+			"PLL; the Ultrascale+ MMCM's ps-class jitter must not erase the gain",
+		Headers: []string{"jitter RMS", "vs phase step", "genuine similarity"},
+	}
+	enroll := 8
+	if mode == Quick {
+		enroll = 6
+	}
+	for _, jit := range []float64{0, 1e-12, 2e-12, 5e-12, 11e-12, 25e-12, 60e-12} {
+		icfg := itdr.DefaultConfig()
+		icfg.PhaseJitterRMS = jit
+		r := newRig(fmt.Sprintf("dut-%.0fps", jit*1e12), icfg, lcfg, stream)
+		r.enroll(env, enroll)
+		s := fingerprint.Similarity(r.measure(env), r.ref)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%.0f ps", jit*1e12),
+			fmt.Sprintf("%.1fx", jit/icfg.PhaseStepSec),
+			fmt.Sprintf("%.4f", s),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"jitter well below the probe rise time (~120 ps) barely matters — the "+
+			"band-limited waveform has little energy at the jitter's timescale; "+
+			"the default 2 ps MMCM-class jitter is essentially free")
+	return res
+}

@@ -1,0 +1,57 @@
+package exper
+
+import (
+	"fmt"
+
+	"divot/internal/fingerprint"
+	"divot/internal/itdr"
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+// OffsetDriftAblation quantifies how much uncalibrated comparator offset
+// (aging, supply drift after factory calibration) the authentication margin
+// tolerates. The enrolled fingerprint was taken with a fresh instrument;
+// drift then biases every reconstructed bin through the nonlinear inverse
+// CDF. A DC bias alone would vanish in the derivative comparison — the
+// damage comes from the nonlinearity compressing different waveform regions
+// differently.
+func OffsetDriftAblation(seed uint64, mode Mode) Result {
+	stream := rng.New(seed).Child("offsetdrift")
+	icfg := itdr.DefaultConfig()
+	sigma := icfg.ComparatorNoise
+	r := newRig("dut", icfg, txline.DefaultConfig(), stream)
+	env := txline.RoomTemperature()
+	enroll := 8
+	if mode == Quick {
+		enroll = 6
+	}
+	r.enroll(env, enroll)
+
+	res := Result{
+		ID:    "offsetdrift",
+		Title: "uncalibrated comparator-offset drift tolerance",
+		PaperClaim: "(design choice) APC assumes a calibrated comparator; aging " +
+			"drift biases the inverse map and eats the authentication margin",
+		Headers: []string{"drift (σ units)", "drift (µV)", "genuine similarity"},
+	}
+	injected := 0.0
+	for _, driftSigma := range []float64{0, 0.5, 1, 2, 4, 8, 12, 16} {
+		target := driftSigma * sigma
+		r.refl.InjectOffsetDrift(target - injected)
+		injected = target
+		s := fingerprint.Similarity(r.measure(env), r.ref)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%.2f", driftSigma),
+			fmt.Sprintf("%.0f", target*1e6),
+			fmt.Sprintf("%.4f", s),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"PDM makes APC remarkably drift-tolerant: a DC offset shifts the whole "+
+			"composite CDF, and within the Vernier sweep's span the inverse map "+
+			"just rides the shifted curve. Matching degrades only once the offset "+
+			"pushes the signal toward the sweep's edge (~the modulator amplitude), "+
+			"where one-sided clamping distorts the waveform shape")
+	return res
+}

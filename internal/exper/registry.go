@@ -1,0 +1,57 @@
+package exper
+
+// Generator produces one experiment result.
+type Generator func(seed uint64, mode Mode) Result
+
+// Entry pairs an experiment ID with its generator.
+type Entry struct {
+	ID        string
+	Generator Generator
+}
+
+// All lists every experiment in DESIGN.md's per-experiment index, in
+// presentation order.
+func All() []Entry {
+	return []Entry{
+		{"fig2", Fig2APCTransfer},
+		{"fig3", Fig3PDMVernier},
+		{"fig4", Fig4PDMLinearRange},
+		{"fig5", Fig5ETS},
+		{"fig6", Fig6MemoryBus},
+		{"fig7a", Fig7aDistributions},
+		{"fig7b", Fig7bROC},
+		{"fig8", Fig8Temperature},
+		{"vib", VibrationEER},
+		{"emi", EMIEER},
+		{"fig9bc", Fig9LoadMod},
+		{"fig9ef", Fig9WireTap},
+		{"fig9hi", Fig9MagProbe},
+		{"util", UtilizationModel},
+		{"latency", DetectionLatency},
+		{"multiwire", MultiWireAblation},
+		{"coprime", CoprimeAblation},
+		{"trigger", TriggerAblation},
+		{"trials", TrialsAblation},
+		{"repr", RepresentationAblation},
+		{"align", AlignmentExtension},
+		{"clone", CloneResistance},
+		{"mitm", InterposerDetection},
+		{"secorder", SecondOrderAblation},
+		{"offsetdrift", OffsetDriftAblation},
+		{"jitter", JitterAblation},
+		{"sharing", SharingAblation},
+		{"crosstalk", CrosstalkAblation},
+		{"pagepolicy", PagePolicyAblation},
+		{"baselines", Baselines},
+	}
+}
+
+// Lookup returns the generator for an experiment ID.
+func Lookup(id string) (Generator, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Generator, true
+		}
+	}
+	return nil, false
+}

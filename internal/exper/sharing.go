@@ -1,0 +1,44 @@
+package exper
+
+import (
+	"fmt"
+
+	"divot/internal/itdr"
+)
+
+// SharingAblation quantifies the paper's multiplexing claim (§V: ">90% of
+// the hardware in a DIVOT detector can be shared"): dedicated per-bus iTDRs
+// give every bus a 54.9 µs alert latency at full silicon cost, while one
+// time-shared datapath scanning buses round-robin costs almost nothing per
+// bus but stretches the worst-case alert latency n-fold.
+func SharingAblation(uint64, Mode) Result {
+	cfg := itdr.DefaultConfig()
+	per := cfg.MeasurementDuration()
+	res := Result{
+		ID:    "sharing",
+		Title: "dedicated vs time-multiplexed iTDRs",
+		PaperClaim: ">90% of detector hardware can be shared/multiplexed, scaling " +
+			"cost-effectively to multiple buses in a complex SoC",
+		Headers: []string{"buses", "dedicated regs/LUTs", "alert latency",
+			"multiplexed regs/LUTs", "worst-case latency", "shared fraction"},
+	}
+	for _, n := range []int{1, 4, 16, 64} {
+		ded := itdr.FleetUtilization(cfg, n)
+		mux := itdr.MultiplexedUtilization(cfg, n)
+		one := itdr.ResourceModel(cfg)
+		sharedFrac := 1 - float64(mux.LUTs-itdr.MultiplexedUtilization(cfg, 0).LUTs)/
+			float64(n*one.LUTs)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d / %d", ded.Registers, ded.LUTs),
+			fmt.Sprintf("%.1f µs", per*1e6),
+			fmt.Sprintf("%d / %d", mux.Registers, mux.LUTs),
+			fmt.Sprintf("%.1f µs", float64(n)*per*1e6),
+			fmt.Sprintf("%.0f%%", 100*sharedFrac),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"even the 64-bus multiplexed scan alerts within 3.5 ms — far inside any "+
+			"human tampering timescale — at 2.6% of the dedicated silicon")
+	return res
+}

@@ -1,0 +1,102 @@
+package fingerprint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"divot/internal/signal"
+)
+
+// The paper stores enrolled fingerprints in each endpoint's EPROM (§III) and
+// argues their secrecy is not critical — an IIP is useless away from its own
+// line. This codec is that EPROM image: a plain, versioned JSON encoding of
+// the raw fingerprint waveform. The comparison view is rebuilt from the
+// pipeline on load, so stored images survive pipeline-mode upgrades.
+
+// codecVersion guards against silently decoding incompatible images.
+const codecVersion = 1
+
+// iipImage is the serialized form of one fingerprint.
+type iipImage struct {
+	Version int       `json:"version"`
+	Rate    float64   `json:"rate"`
+	Samples []float64 `json:"samples"`
+}
+
+// storeImage is the serialized form of a whole store.
+type storeImage struct {
+	Version int                 `json:"version"`
+	Entries map[string]iipImage `json:"entries"`
+}
+
+// Encode writes the fingerprint to w.
+func (f IIP) Encode(w io.Writer) error {
+	if !f.Valid() {
+		return fmt.Errorf("fingerprint: encoding invalid fingerprint")
+	}
+	return json.NewEncoder(w).Encode(iipImage{
+		Version: codecVersion,
+		Rate:    f.Raw.Rate,
+		Samples: f.Raw.Samples,
+	})
+}
+
+// DecodeIIP reads a fingerprint from r and rebuilds its comparison view with
+// the given pipeline. Smoothing is not re-applied: the stored waveform is
+// already the post-pipeline Raw view.
+func DecodeIIP(r io.Reader, p Pipeline) (IIP, error) {
+	var img iipImage
+	if err := json.NewDecoder(r).Decode(&img); err != nil {
+		return IIP{}, fmt.Errorf("fingerprint: decoding: %w", err)
+	}
+	return imageToIIP(img, p)
+}
+
+func imageToIIP(img iipImage, p Pipeline) (IIP, error) {
+	if img.Version != codecVersion {
+		return IIP{}, fmt.Errorf("fingerprint: image version %d, want %d", img.Version, codecVersion)
+	}
+	if img.Rate <= 0 || len(img.Samples) == 0 {
+		return IIP{}, fmt.Errorf("fingerprint: corrupt image (rate %v, %d samples)",
+			img.Rate, len(img.Samples))
+	}
+	// Rebuild without smoothing: Raw is stored post-smoothing.
+	noSmooth := p
+	noSmooth.SmoothSigmaBins = 0
+	return noSmooth.FromWaveform(signal.FromSamples(img.Rate, img.Samples)), nil
+}
+
+// Save writes every enrollment in the store to w.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	img := storeImage{Version: codecVersion, Entries: make(map[string]iipImage, len(s.entries))}
+	for id, f := range s.entries {
+		img.Entries[id] = iipImage{Version: codecVersion, Rate: f.Raw.Rate, Samples: f.Raw.Samples}
+	}
+	return json.NewEncoder(w).Encode(img)
+}
+
+// LoadStore reads a store image from r, rebuilding comparison views with the
+// given pipeline.
+func LoadStore(r io.Reader, p Pipeline) (*Store, error) {
+	var img storeImage
+	if err := json.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("fingerprint: decoding store: %w", err)
+	}
+	if img.Version != codecVersion {
+		return nil, fmt.Errorf("fingerprint: store version %d, want %d", img.Version, codecVersion)
+	}
+	s := NewStore()
+	for id, e := range img.Entries {
+		f, err := imageToIIP(e, p)
+		if err != nil {
+			return nil, fmt.Errorf("fingerprint: entry %q: %w", id, err)
+		}
+		if err := s.Enroll(id, f); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,118 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"divot/internal/itdr"
+	"divot/internal/rng"
+	"divot/internal/signal"
+	"divot/internal/txline"
+)
+
+// rig bundles one line with its reflectometer and the processing pipeline —
+// the full measurement chain the architecture deploys.
+type rig struct {
+	line *txline.Line
+	r    *itdr.Reflectometer
+	p    Pipeline
+}
+
+func newRig(t *testing.T, seed uint64) *rig {
+	t.Helper()
+	stream := rng.New(seed)
+	line := txline.New("L", txline.DefaultConfig(), stream.Child("line"))
+	r, err := itdr.New(itdr.DefaultConfig(), txline.DefaultProbe(), nil, stream.Child("itdr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{line: line, r: r, p: DefaultPipeline()}
+}
+
+func (rg *rig) measure(env txline.Environment) IIP {
+	return rg.p.FromWaveform(rg.r.Measure(rg.line, env).IIP)
+}
+
+func (rg *rig) enroll(t *testing.T, env txline.Environment, n int) IIP {
+	t.Helper()
+	ws := make([]*signal.Waveform, n)
+	for i := range ws {
+		ws[i] = rg.r.Measure(rg.line, env).IIP
+	}
+	f, err := rg.p.Average(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEndToEndGenuineVsImpostor(t *testing.T) {
+	env := txline.RoomTemperature()
+	a := newRig(t, 100)
+	b := newRig(t, 200)
+	refA := a.enroll(t, env, 8)
+	refB := b.enroll(t, env, 8)
+
+	var genuine, impostor []float64
+	for i := 0; i < 10; i++ {
+		genuine = append(genuine, Similarity(a.measure(env), refA))
+		impostor = append(impostor, Similarity(b.measure(env), refA))
+		genuine = append(genuine, Similarity(b.measure(env), refB))
+		impostor = append(impostor, Similarity(a.measure(env), refB))
+	}
+	minG, maxI := 1.0, 0.0
+	for _, s := range genuine {
+		if s < minG {
+			minG = s
+		}
+	}
+	for _, s := range impostor {
+		if s > maxI {
+			maxI = s
+		}
+	}
+	t.Logf("genuine min %.4f, impostor max %.4f", minG, maxI)
+	if minG <= maxI {
+		t.Errorf("no separation: genuine min %v <= impostor max %v", minG, maxI)
+	}
+	if minG < 0.95 {
+		t.Errorf("genuine similarity dips to %v; expected tight distribution near 1", minG)
+	}
+}
+
+func TestEndToEndTamperDetection(t *testing.T) {
+	env := txline.RoomTemperature()
+	rg := newRig(t, 300)
+	ref := rg.enroll(t, env, 8)
+	det := TamperDetector{Velocity: rg.line.Config().Velocity}
+
+	// Calibrate the threshold from the clean noise floor: max clean peak
+	// across a few measurements, with margin.
+	var floor float64
+	for i := 0; i < 5; i++ {
+		e := ErrorFunction(rg.measure(env), ref)
+		if v, _, _ := PeakError(e); v > floor {
+			floor = v
+		}
+	}
+	det.PeakThreshold = 3 * floor
+
+	// A magnetic probe: the weakest attack class.
+	pos := 0.12
+	rg.line.ApplyPerturbation("magprobe", txline.Perturbation{
+		Position: pos, Extent: 3e-3, DeltaZ: 1.5,
+	})
+	v := det.Check(rg.measure(env), ref)
+	if !v.Tampered {
+		t.Fatalf("magnetic probe not detected: %+v (floor %v)", v, floor)
+	}
+	if v.Position < pos-0.02 || v.Position > pos+0.02 {
+		t.Errorf("probe localized at %v m, want ~%v m", v.Position, pos)
+	}
+
+	// Removing the probe restores a clean verdict.
+	rg.line.RemovePerturbation("magprobe")
+	v = det.Check(rg.measure(env), ref)
+	if v.Tampered {
+		t.Errorf("clean line still flagged after probe removal: %+v", v)
+	}
+}

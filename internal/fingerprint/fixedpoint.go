@@ -1,0 +1,122 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fixed-point similarity: the deployed iTDR computes Eq. 4 in integer
+// hardware, not floating point. This implementation quantizes fingerprints
+// to signed fixed-point samples, accumulates the inner product and energies
+// in int64 (the widths a small multiplier-accumulator block provides), and
+// reports the same [0, 1] score. The test suite bounds its deviation from
+// the float reference, which is what justifies synthesizing the integer
+// datapath.
+
+// FixedPointScorer quantizes and scores fingerprints in integer arithmetic.
+type FixedPointScorer struct {
+	// Bits is the sample quantization width (sign included), e.g. 8 for
+	// an 8-bit datapath. Scores use (2·Bits + log2(n))-bit accumulators,
+	// which int64 covers for any realistic fingerprint length.
+	Bits int
+}
+
+// DefaultFixedPointScorer quantizes to an 8-bit datapath.
+func DefaultFixedPointScorer() FixedPointScorer {
+	return FixedPointScorer{Bits: 8}
+}
+
+// Quantize converts a fingerprint's comparison view to integer codes,
+// auto-ranging to the vector's own peak (the AGC stage a real front end
+// provides). Cosine similarity is invariant to an independent positive
+// scaling of each operand, so per-vector ranging costs no accuracy while
+// keeping every code in range regardless of the comparison view's units.
+func (s FixedPointScorer) Quantize(f IIP) ([]int32, error) {
+	if s.Bits < 2 || s.Bits > 24 {
+		return nil, fmt.Errorf("fingerprint: quantizer width %d out of [2, 24]", s.Bits)
+	}
+	if !f.Valid() {
+		return nil, fmt.Errorf("fingerprint: quantizing invalid fingerprint")
+	}
+	maxCode := int32(1)<<(s.Bits-1) - 1
+	var peak float64
+	for _, v := range f.cmp.Samples {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	out := make([]int32, f.cmp.Len())
+	if peak == 0 {
+		return out, nil
+	}
+	lsb := peak / float64(maxCode)
+	for i, v := range f.cmp.Samples {
+		q := int64(math.Round(v / lsb))
+		if q > int64(maxCode) {
+			q = int64(maxCode)
+		}
+		if q < -int64(maxCode) {
+			q = -int64(maxCode)
+		}
+		out[i] = int32(q)
+	}
+	return out, nil
+}
+
+// Score computes Eq. 4 on quantized fingerprints entirely in integers
+// (except the final normalization). It returns 0 for mismatched lengths or
+// zero-energy inputs, mirroring Similarity's conventions.
+func (s FixedPointScorer) Score(x, y []int32) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	var dot, ex, ey int64
+	for i := range x {
+		dot += int64(x[i]) * int64(y[i])
+		ex += int64(x[i]) * int64(x[i])
+		ey += int64(y[i]) * int64(y[i])
+	}
+	if ex == 0 || ey == 0 {
+		return 0
+	}
+	v := float64(dot) / math.Sqrt(float64(ex)*float64(ey))
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SimilarityFixed quantizes both fingerprints and scores them — the
+// hardware-equivalent of Similarity.
+func (s FixedPointScorer) SimilarityFixed(x, y IIP) (float64, error) {
+	qx, err := s.Quantize(x)
+	if err != nil {
+		return 0, err
+	}
+	qy, err := s.Quantize(y)
+	if err != nil {
+		return 0, err
+	}
+	return s.Score(qx, qy), nil
+}
+
+// MACResources estimates the integer datapath cost: one Bits×Bits multiplier
+// and three accumulators — far smaller than a floating-point unit, which is
+// the point of the fixed-point formulation.
+func (s FixedPointScorer) MACResources(samples int) (registers, luts int) {
+	accBits := 2*s.Bits + ceilLog2(samples)
+	registers = 3*accBits + 2*s.Bits // three accumulators + two operand regs
+	luts = s.Bits*s.Bits + 3*accBits // array multiplier + adder chains
+	return registers, luts
+}
+
+func ceilLog2(n int) int {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

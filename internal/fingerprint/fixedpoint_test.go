@@ -1,0 +1,129 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+
+	"divot/internal/txline"
+)
+
+func TestFixedPointMatchesFloat(t *testing.T) {
+	// The integer datapath must track the float reference closely enough
+	// that thresholds transfer: genuine stays genuine, impostor impostor.
+	env := txline.Environment{TempC: 23}
+	a := newRig(t, 500)
+	b := newRig(t, 501)
+	refA := a.enroll(t, env, 6)
+	refB := b.enroll(t, env, 6)
+	s := DefaultFixedPointScorer()
+
+	cases := []struct {
+		name string
+		x, y IIP
+	}{
+		{"genuine A", a.measure(env), refA},
+		{"genuine B", b.measure(env), refB},
+		{"impostor AB", a.measure(env), refB},
+		{"impostor BA", b.measure(env), refA},
+	}
+	for _, c := range cases {
+		want := Similarity(c.x, c.y)
+		got, err := s.SimilarityFixed(c.x, c.y)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("%s: fixed %v vs float %v", c.name, got, want)
+		}
+	}
+}
+
+func TestFixedPointWidthSweep(t *testing.T) {
+	// Wider datapaths converge to the float score.
+	env := txline.Environment{TempC: 23}
+	rg := newRig(t, 502)
+	ref := rg.enroll(t, env, 6)
+	m := rg.measure(env)
+	want := Similarity(m, ref)
+	var prevErr = math.Inf(1)
+	for _, bits := range []int{4, 8, 16} {
+		s := FixedPointScorer{Bits: bits}
+		got, err := s.SimilarityFixed(m, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(got - want)
+		if e > prevErr+0.01 {
+			t.Errorf("%d bits error %v worse than narrower width %v", bits, e, prevErr)
+		}
+		prevErr = e
+	}
+	if prevErr > 0.005 {
+		t.Errorf("16-bit datapath error %v should be negligible", prevErr)
+	}
+}
+
+func TestFixedPointScoreConventions(t *testing.T) {
+	s := DefaultFixedPointScorer()
+	if s.Score(nil, nil) != 0 {
+		t.Error("empty score should be 0")
+	}
+	if s.Score([]int32{1, 2}, []int32{1}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if s.Score([]int32{0, 0}, []int32{1, 1}) != 0 {
+		t.Error("zero-energy input should be 0")
+	}
+	if got := s.Score([]int32{3, 4}, []int32{3, 4}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self score = %v", got)
+	}
+	if got := s.Score([]int32{1, 0}, []int32{-1, 0}); got != 0 {
+		t.Errorf("anti-correlated score = %v, want clamped 0", got)
+	}
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	p := DefaultPipeline()
+	f := p.FromWaveform(waveOf(1e-3, -1e-3, 2e-3, 0))
+	if _, err := (FixedPointScorer{Bits: 1}).Quantize(f); err == nil {
+		t.Error("expected width error")
+	}
+	if _, err := DefaultFixedPointScorer().Quantize(IIP{}); err == nil {
+		t.Error("expected invalid-fingerprint error")
+	}
+	// Auto-ranging keeps every code inside the rails regardless of scale.
+	hot := p.FromWaveform(waveOf(10, -10, 10, -10))
+	q, err := DefaultFixedPointScorer().Quantize(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range q {
+		if v > 127 || v < -127 {
+			t.Fatalf("quantized code %d outside 8-bit rails", v)
+		}
+	}
+	// A flat comparison view quantizes to all-zero codes without error.
+	flat := p.FromWaveform(waveOf(1, 1, 1, 1, 1, 1, 1, 1, 1, 1))
+	qz, err := DefaultFixedPointScorer().Quantize(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range qz {
+		if v != 0 {
+			t.Fatal("flat view should quantize to zero")
+		}
+	}
+}
+
+func TestMACResourcesModest(t *testing.T) {
+	s := DefaultFixedPointScorer()
+	regs, luts := s.MACResources(343)
+	if regs <= 0 || luts <= 0 {
+		t.Fatal("non-positive resource estimate")
+	}
+	// The scoring MAC must stay in the same class as the iTDR itself
+	// (~hundreds of LUTs), far from a floating-point unit.
+	if luts > 500 {
+		t.Errorf("MAC estimate %d LUTs too large", luts)
+	}
+}

@@ -1,0 +1,44 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+)
+
+// FuseSimilarities combines per-wire similarity scores from monitoring
+// several wires of the same bus into one decision score (§IV-C: "monitoring
+// multiple wires on a bus can exponentially increase authentication
+// accuracy"). The combined score is the geometric mean, so one badly
+// mismatched wire drags the whole bus score down, while independent
+// per-wire noise averages out.
+func FuseSimilarities(scores []float64) float64 {
+	if len(scores) == 0 {
+		panic("fingerprint: fusing zero scores")
+	}
+	logSum := 0.0
+	for _, s := range scores {
+		if s <= 0 {
+			return 0
+		}
+		logSum += math.Log(s)
+	}
+	return math.Exp(logSum / float64(len(scores)))
+}
+
+// MultiWireAuthenticate scores a bus by fusing per-wire matches. The two
+// slices pair up by index: measured[i] is checked against enrolled[i].
+func (m Matcher) MultiWireAuthenticate(measured, enrolled []IIP) (AuthResult, error) {
+	if len(measured) != len(enrolled) {
+		return AuthResult{}, fmt.Errorf("fingerprint: %d measured vs %d enrolled wires",
+			len(measured), len(enrolled))
+	}
+	if len(measured) == 0 {
+		return AuthResult{}, fmt.Errorf("fingerprint: no wires to authenticate")
+	}
+	scores := make([]float64, len(measured))
+	for i := range measured {
+		scores[i] = Similarity(measured[i], enrolled[i])
+	}
+	s := FuseSimilarities(scores)
+	return AuthResult{Score: s, Threshold: m.Threshold, Accepted: s >= m.Threshold}, nil
+}

@@ -1,0 +1,192 @@
+package fingerprint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divot/internal/signal"
+)
+
+func waveOf(vals ...float64) *signal.Waveform {
+	return signal.FromSamples(89.6e9, vals)
+}
+
+func randIIP(r *rand.Rand, n int) IIP {
+	w := signal.New(89.6e9, n)
+	for i := range w.Samples {
+		w.Samples[i] = r.NormFloat64()
+	}
+	return Pipeline{}.FromWaveform(w)
+}
+
+func TestSimilarityRange(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		a, b := randIIP(r, 64), randIIP(r, 64)
+		s := Similarity(a, b)
+		if s < 0 || s > 1 {
+			t.Fatalf("similarity %v out of [0,1]", s)
+		}
+		if sym := Similarity(b, a); sym != s {
+			t.Fatalf("similarity not symmetric: %v vs %v", s, sym)
+		}
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) < 4 {
+			return true
+		}
+		var spread bool
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+			if v != vals[0] {
+				spread = true
+			}
+		}
+		if !spread {
+			return true // constant waveform has zero AC energy
+		}
+		x := Pipeline{}.FromWaveform(waveOf(vals...))
+		return math.Abs(Similarity(x, x)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityClampsAnticorrelation(t *testing.T) {
+	p := Pipeline{}
+	x := p.FromWaveform(waveOf(1, -1, 1, -1))
+	y := p.FromWaveform(waveOf(-1, 1, -1, 1))
+	if got := Similarity(x, y); got != 0 {
+		t.Errorf("anti-correlated similarity = %v, want 0", got)
+	}
+}
+
+func TestSimilarityInvalid(t *testing.T) {
+	x := Pipeline{}.FromWaveform(waveOf(1, 2, 3))
+	if Similarity(x, IIP{}) != 0 || Similarity(IIP{}, x) != 0 {
+		t.Error("invalid fingerprints should score 0")
+	}
+}
+
+func TestErrorFunctionProperties(t *testing.T) {
+	p := Pipeline{}
+	x := p.FromWaveform(waveOf(1, 2, 3, 4))
+	y := p.FromWaveform(waveOf(1, 2, 5, 4))
+	e := ErrorFunction(x, y)
+	for i, v := range e.Samples {
+		if v < 0 {
+			t.Fatalf("E_xy[%d] = %v negative", i, v)
+		}
+	}
+	if e.Samples[2] != 4 {
+		t.Errorf("E_xy[2] = %v, want (3-5)² = 4", e.Samples[2])
+	}
+	// E_xx is identically zero.
+	exx := ErrorFunction(x, x)
+	if signal.Energy(exx) != 0 {
+		t.Error("E_xx should be zero")
+	}
+}
+
+func TestErrorFunctionPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ErrorFunction(IIP{}, IIP{})
+}
+
+func TestPeakErrorAndLocalization(t *testing.T) {
+	p := Pipeline{}
+	x := p.FromWaveform(waveOf(0, 0, 0, 0, 0, 0))
+	y := p.FromWaveform(waveOf(0, 0, 0, 0.02, 0, 0))
+	e := ErrorFunction(x, y)
+	v, idx, at := PeakError(e)
+	if idx != 3 {
+		t.Errorf("peak at bin %d, want 3", idx)
+	}
+	if math.Abs(v-4e-4) > 1e-12 {
+		t.Errorf("peak value = %v", v)
+	}
+	wantTime := 3.0 / 89.6e9
+	if math.Abs(at-wantTime) > 1e-15 {
+		t.Errorf("peak time = %v", at)
+	}
+	pos := LocalizeError(e, idx, 1.5e8)
+	if math.Abs(pos-wantTime*1.5e8/2) > 1e-12 {
+		t.Errorf("localized at %v m", pos)
+	}
+	if !math.IsNaN(LocalizeError(e, -1, 1.5e8)) {
+		t.Error("negative index should localize to NaN")
+	}
+}
+
+func TestPeakErrorEmpty(t *testing.T) {
+	v, idx, at := PeakError(signal.New(1, 0))
+	if v != 0 || idx != -1 || at != 0 {
+		t.Errorf("empty peak = %v, %d, %v", v, idx, at)
+	}
+}
+
+func TestContrast(t *testing.T) {
+	e := waveOf(1, 1, 1, 9)
+	if got := Contrast(e); got != 3 {
+		t.Errorf("contrast = %v, want 9/3=3", got)
+	}
+	if Contrast(waveOf(0, 0)) != 0 {
+		t.Error("zero error field should have zero contrast")
+	}
+}
+
+func TestAverageReducesToMean(t *testing.T) {
+	p := Pipeline{}
+	a := waveOf(0, 2, 4)
+	b := waveOf(2, 4, 6)
+	f, err := p.Average([]*signal.Waveform{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5}
+	for i, v := range want {
+		if f.Raw.Samples[i] != v {
+			t.Errorf("averaged[%d] = %v, want %v", i, f.Raw.Samples[i], v)
+		}
+	}
+	if _, err := p.Average(nil); err == nil {
+		t.Error("expected error for empty average")
+	}
+}
+
+func TestPipelineSmoothingReducesNoiseSimilarityGap(t *testing.T) {
+	// Two noisy observations of the same underlying pattern must score
+	// higher with smoothing than without.
+	r := rand.New(rand.NewSource(7))
+	base := signal.New(89.6e9, 343)
+	for i := range base.Samples {
+		base.Samples[i] = math.Sin(float64(i) / 15)
+	}
+	noisy := func() *signal.Waveform {
+		w := base.Clone()
+		for i := range w.Samples {
+			w.Samples[i] += 0.5 * r.NormFloat64()
+		}
+		return w
+	}
+	raw := Pipeline{SmoothSigmaBins: 0}
+	sm := Pipeline{SmoothSigmaBins: 4}
+	a, b := noisy(), noisy()
+	sRaw := Similarity(raw.FromWaveform(a), raw.FromWaveform(b))
+	sSm := Similarity(sm.FromWaveform(a), sm.FromWaveform(b))
+	if sSm <= sRaw {
+		t.Errorf("smoothing should raise genuine similarity: %v vs %v", sSm, sRaw)
+	}
+}

@@ -1,0 +1,112 @@
+package itdr
+
+import (
+	"fmt"
+	"math"
+
+	"divot/internal/stats"
+)
+
+// APC implements the analog-to-probability conversion math: the forward map
+// from signal voltage to ones-probability for a given reference-level set,
+// and the inverse map used to reconstruct the voltage from a measured count.
+type APC struct {
+	// NoiseSigma is the comparator's input-referred RMS noise.
+	NoiseSigma float64
+	// Offset is the comparator's calibrated static offset.
+	Offset float64
+}
+
+// Probability returns p{Y=1} for signal voltage v against the given set of
+// reference levels, each visited equally often (Eq. 1 generalized to the PDM
+// composite of Fig. 4). With a single reference level this is the plain
+// Gaussian CDF of Fig. 2.
+func (a APC) Probability(v float64, refs []float64) float64 {
+	if len(refs) == 0 {
+		panic("itdr: APC needs at least one reference level")
+	}
+	g := stats.NewGaussian(0, a.NoiseSigma)
+	var p float64
+	for _, r := range refs {
+		p += g.CDF(v + a.Offset - r)
+	}
+	return p / float64(len(refs))
+}
+
+// Sensitivity returns d p{Y=1} / d v at voltage v — the composite PDF, which
+// is the APC sensitivity definition of Eq. 3.
+func (a APC) Sensitivity(v float64, refs []float64) float64 {
+	g := stats.NewGaussian(0, a.NoiseSigma)
+	var s float64
+	for _, r := range refs {
+		s += g.PDF(v + a.Offset - r)
+	}
+	return s / float64(len(refs))
+}
+
+// EstimateVoltage inverts the composite CDF: given a measured ones-fraction
+// over trials trials, it returns the voltage estimate (Eq. 2 generalized).
+// The estimate is clamped to the invertible range spanned by the reference
+// levels plus a few noise sigmas.
+func (a APC) EstimateVoltage(onesFraction float64, trials int, refs []float64) float64 {
+	if trials <= 0 {
+		panic(fmt.Sprintf("itdr: non-positive trial count %d", trials))
+	}
+	// A count of 0 or trials carries only one-sided information; clamp the
+	// fraction half a count inside so the inverse stays finite.
+	eps := 0.5 / float64(trials)
+	p := onesFraction
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	lo, hi := refs[0], refs[0]
+	for _, r := range refs {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	lo -= 6 * a.NoiseSigma
+	hi += 6 * a.NoiseSigma
+	// The composite CDF is strictly monotone in v; bisect. 36 halvings of
+	// a ~20 mV bracket reach sub-picovolt precision, far below the noise.
+	for i := 0; i < 36; i++ {
+		mid := (lo + hi) / 2
+		if a.Probability(mid, refs) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// LinearRegion returns the width of the voltage interval around the center
+// of the reference span where the APC sensitivity stays within the given
+// relative tolerance of its central value — the "linear region" the paper
+// uses to compare single-reference APC against PDM (Fig. 4). The interval is
+// scanned at the given voltage step.
+func (a APC) LinearRegion(refs []float64, tol, step float64) float64 {
+	var center float64
+	for _, r := range refs {
+		center += r
+	}
+	center /= float64(len(refs))
+	s0 := a.Sensitivity(center, refs)
+	if s0 == 0 {
+		return 0
+	}
+	within := func(v float64) bool {
+		s := a.Sensitivity(v, refs)
+		return math.Abs(s-s0) <= tol*s0
+	}
+	var lo, hi float64
+	for v := center; within(v); v -= step {
+		lo = v
+	}
+	for v := center; within(v); v += step {
+		hi = v
+	}
+	return hi - lo
+}

@@ -1,0 +1,36 @@
+package itdr
+
+// gcd returns the greatest common divisor of a and b.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Coprime reports whether the modulation ratio numerator and denominator are
+// relatively prime — the PDM validity condition from §II-C. When they are
+// not, the reference voltage repeats after fewer than Den probes and the
+// Vernier sweep collapses.
+func Coprime(num, den int) bool { return gcd(num, den) == 1 }
+
+// VernierLevelCount returns the number of distinct reference voltages a
+// fixed phase bin sees across consecutive probes for the ratio num/den:
+// den when coprime, den/gcd otherwise.
+func VernierLevelCount(num, den int) int { return den / gcd(num, den) }
+
+// VernierPhases returns the modulator phases (as fractions of the modulation
+// period, in [0,1)) observed at a fixed offset t0 into the probe cycle, for
+// `count` consecutive probes. With a coprime ratio the phases visit den
+// equally spaced points — the discrete reference levels of Fig. 3.
+func VernierPhases(cfg Config, t0 float64, count int) []float64 {
+	fm := cfg.ModFrequency()
+	period := 1 / cfg.SampleClockHz
+	phases := make([]float64, count)
+	for k := range phases {
+		t := float64(k)*period + t0
+		p := t * fm
+		phases[k] = p - float64(int(p)) // fractional part; t >= 0 here
+	}
+	return phases
+}

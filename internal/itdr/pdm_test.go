@@ -1,0 +1,78 @@
+package itdr
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestCoprime(t *testing.T) {
+	cases := []struct {
+		num, den int
+		want     bool
+	}{
+		{6, 5, true},
+		{5, 6, true},
+		{4, 6, false},
+		{1, 1, true},
+		{10, 5, false},
+		{9, 4, true},
+	}
+	for _, c := range cases {
+		if got := Coprime(c.num, c.den); got != c.want {
+			t.Errorf("Coprime(%d, %d) = %v, want %v", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestVernierLevelCount(t *testing.T) {
+	if got := VernierLevelCount(6, 5); got != 5 {
+		t.Errorf("6/5 levels = %d, want 5", got)
+	}
+	if got := VernierLevelCount(4, 6); got != 3 {
+		t.Errorf("4/6 levels = %d, want 3 (collapsed)", got)
+	}
+	if got := VernierLevelCount(5, 5); got != 1 {
+		t.Errorf("5/5 levels = %d, want 1 (fully collapsed)", got)
+	}
+}
+
+func TestVernierPhasesCoprimeVisitAllLevels(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ModFreqRatioNum, cfg.ModFreqRatioDen = 6, 5 // the paper's Fig. 3 example
+	phases := VernierPhases(cfg, 0.3e-9, 5)
+	// Across 5 consecutive probes the fractional phases must be 5 distinct
+	// values, equally spaced by 1/5.
+	sorted := append([]float64(nil), phases...)
+	sort.Float64s(sorted)
+	for i := 1; i < len(sorted); i++ {
+		gap := sorted[i] - sorted[i-1]
+		if math.Abs(gap-0.2) > 1e-9 {
+			t.Fatalf("phase gap %d = %v, want 0.2 (phases %v)", i, gap, sorted)
+		}
+	}
+}
+
+func TestVernierPhasesNonCoprimeCollapse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ModFreqRatioNum = 5
+	cfg.ModFreqRatioDen = 5 // f_m = f_s: the paper's failure case
+	phases := VernierPhases(cfg, 0.3e-9, 5)
+	for _, p := range phases[1:] {
+		if math.Abs(p-phases[0]) > 1e-9 {
+			t.Fatalf("f_m = f_s should repeat the same phase, got %v", phases)
+		}
+	}
+}
+
+func TestVernierPhasesPeriodicity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ModFreqRatioNum, cfg.ModFreqRatioDen = 6, 5
+	phases := VernierPhases(cfg, 1e-9, 10)
+	// With den=5, probe k and probe k+5 see the same phase.
+	for k := 0; k < 5; k++ {
+		if math.Abs(phases[k]-phases[k+5]) > 1e-9 {
+			t.Fatalf("phase not periodic with den: %v vs %v", phases[k], phases[k+5])
+		}
+	}
+}

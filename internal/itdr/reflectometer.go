@@ -1,0 +1,200 @@
+package itdr
+
+import (
+	"fmt"
+	"math"
+
+	"divot/internal/analog"
+	"divot/internal/rng"
+	"divot/internal/signal"
+	"divot/internal/txline"
+)
+
+// Measurement is the result of one full IIP acquisition.
+type Measurement struct {
+	// IIP is the reconstructed back-reflection waveform at the line input,
+	// sampled at the ETS-equivalent rate (one sample per phase bin). The
+	// coupler factor has been divided out, so values are line-referred
+	// volts.
+	IIP *signal.Waveform
+	// Trials is the total number of comparator decisions taken.
+	Trials int
+	// CyclesUsed is the number of sample-clock cycles consumed, including
+	// data cycles that offered no usable launch edge.
+	CyclesUsed int
+	// Duration is CyclesUsed divided by the sample clock — the wall-clock
+	// measurement time.
+	Duration float64
+}
+
+// Reflectometer is one iTDR instance attached to a line. It owns the
+// comparator (whose noise stream is part of the instrument's identity) and
+// the PDM modulator, which in a real chip is shared among all iTDRs.
+type Reflectometer struct {
+	cfg   Config
+	comp  *analog.Comparator
+	mod   analog.Modulator
+	apc   APC
+	probe txline.Probe
+	envRN *rng.Stream
+	seq   uint64 // measurement counter, for per-measurement sub-streams
+}
+
+// New builds a reflectometer. The stream seeds both the comparator noise and
+// per-measurement environment sampling; modulator may be nil to use the
+// config's RC quasi-triangle.
+func New(cfg Config, probe txline.Probe, mod analog.Modulator, stream *rng.Stream) (*Reflectometer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// A non-coprime modulation ratio is permitted — the Vernier sweep
+	// degrades and the dynamic range collapses, which the coprime ablation
+	// demonstrates — so it is not a validation error.
+	if mod == nil {
+		mod = analog.NewTriangleModulator(cfg.ModFrequency(), cfg.ModAmplitude, cfg.ModTauRatio)
+	}
+	return &Reflectometer{
+		cfg:   cfg,
+		comp:  analog.NewComparator(cfg.ComparatorNoise, cfg.ComparatorOffset, stream.Child("comparator")),
+		mod:   mod,
+		apc:   APC{NoiseSigma: cfg.ComparatorNoise, Offset: cfg.ComparatorOffset},
+		probe: probe,
+		envRN: stream.Child("environment"),
+	}, nil
+}
+
+// MustNew is New but panics on configuration errors; for tests and examples
+// with static configuration.
+func MustNew(cfg Config, probe txline.Probe, mod analog.Modulator, stream *rng.Stream) *Reflectometer {
+	r, err := New(cfg, probe, mod, stream)
+	if err != nil {
+		panic(fmt.Sprintf("itdr: %v", err))
+	}
+	return r
+}
+
+// Config returns the instrument configuration.
+func (r *Reflectometer) Config() Config { return r.cfg }
+
+// InjectOffsetDrift adds v volts of *uncalibrated* comparator offset — aging
+// or supply drift that happened after factory calibration, which the APC's
+// inverse map does not know about. Reconstruction then carries a systematic
+// bias; the offset-drift ablation quantifies how much drift the
+// authentication margin tolerates before recalibration is due.
+func (r *Reflectometer) InjectOffsetDrift(v float64) {
+	r.comp.Offset += v
+}
+
+// Probe returns the probing-edge description.
+func (r *Reflectometer) Probe() txline.Probe { return r.probe }
+
+// Measure acquires one full IIP of the line under the given environment.
+// The environment condition (temperature, strain, EMI phase) is sampled once
+// per measurement; comparator noise is drawn per trial.
+func (r *Reflectometer) Measure(line *txline.Line, env txline.Environment) Measurement {
+	cond := env.Sample(r.envRN)
+	return r.measureUnder(line, cond)
+}
+
+// measureUnder runs the acquisition for a fixed environmental condition.
+func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) Measurement {
+	cfg := r.cfg
+	bins := cfg.Bins()
+	rate := cfg.EquivalentRate()
+
+	// Physical truth: the back-reflection waveform for this condition, and
+	// the incident edge that leaks through the coupler's finite directivity.
+	backward := line.Reflect(r.probe, cond.DeltaT, cond.Stretch, rate, bins)
+	forward := signal.StepEdge(rate, bins, 0, r.probe.RiseTime, r.probe.Amplitude)
+	seen := cfg.Coupler.Output(backward, forward)
+	// Directional couplers are inherently AC-coupled: the DC level of the
+	// reflected waveform (set by the line's average impedance offset from
+	// nominal) never reaches the detector. Removing it keeps the waveform
+	// centered in the APC's dynamic range regardless of which line is
+	// attached — without this, lines with a large average offset would
+	// saturate the comparator range.
+	seen = signal.RemoveMean(seen)
+
+	clockPeriod := 1 / cfg.SampleClockHz
+	// Fresh randomness for each measurement: the trigger pattern depends
+	// on the live traffic and the EMI aggressor drifts in phase, so
+	// neither may repeat identically between measurements.
+	r.seq++
+	mStream := r.envRN.Child(fmt.Sprintf("measurement-%d", r.seq))
+	trigStream := mStream.Child("trigger")
+	emiStream := mStream.Child("emi")
+	jitStream := mStream.Child("pll-jitter")
+
+	out := signal.New(rate, bins)
+	trials := 0
+	cycle := 0
+	refs := make([]float64, cfg.TrialsPerBin)
+	for m := 0; m < bins; m++ {
+		tBin := float64(m) * cfg.PhaseStepSec
+		ones := 0
+		for j := 0; j < cfg.TrialsPerBin; j++ {
+			// Advance to the next cycle carrying a usable launch edge.
+			polarity := 1.0
+			switch cfg.Trigger {
+			case TriggerClock:
+				cycle++
+			case TriggerFIFO:
+				for {
+					cycle++
+					if trigStream.Bool(cfg.TriggerDensity) {
+						break
+					}
+				}
+			case TriggerNone:
+				for {
+					cycle++
+					if trigStream.Bool(2 * cfg.TriggerDensity) {
+						break
+					}
+				}
+				// Edge direction is uncontrolled: half the launches are
+				// rising, half falling, and a falling edge's reflection is
+				// the negative of the rising edge's.
+				if trigStream.Bool(0.5) {
+					polarity = -1
+				}
+			}
+			tAbs := float64(cycle)*clockPeriod + tBin
+			ref := r.mod.Level(tAbs)
+			refs[j] = ref
+			// The EMI aggressor is asynchronous to the sampling clock: its
+			// frequency offset and jitter decorrelate the phase between
+			// successive visits to the same bin, so each trial sees an
+			// independent phase — the premise of the paper's synchronized-
+			// averaging argument (§IV-C). A phase-locked aggressor would
+			// not average out; that adversarial case is out of scope here.
+			var emi float64
+			if cond.EMIAmplitude != 0 {
+				emi = cond.EMIAmplitude * math.Sin(emiStream.Uniform(0, 2*math.Pi))
+			}
+			// The PLL's phase-shifted clock jitters around the nominal
+			// bin position, so each trial samples the waveform slightly
+			// off-bin — a timing-noise contribution that scales with the
+			// local slew rate.
+			tSample := tBin
+			if cfg.PhaseJitterRMS > 0 {
+				tSample += jitStream.Gaussian(0, cfg.PhaseJitterRMS)
+			}
+			vsig := polarity*seen.At(tSample) + emi + cond.CrosstalkAt(tBin)
+			if r.comp.Sample(vsig, ref) {
+				ones++
+			}
+			trials++
+		}
+		p := float64(ones) / float64(cfg.TrialsPerBin)
+		v := r.apc.EstimateVoltage(p, cfg.TrialsPerBin, refs)
+		// Refer the estimate back to the line by undoing the coupler gain.
+		out.Samples[m] = v / cfg.Coupler.Factor
+	}
+	return Measurement{
+		IIP:        out,
+		Trials:     trials,
+		CyclesUsed: cycle,
+		Duration:   float64(cycle) / cfg.SampleClockHz,
+	}
+}

@@ -1,0 +1,138 @@
+package itdr
+
+import "fmt"
+
+// Resources is the FPGA utilization model for the iTDR digital logic. It is
+// an analytic model calibrated against the paper's Vivado report for the
+// xczu7ev-ffvc1156-2-e prototype: 71 registers and 124 LUTs, with roughly
+// 80 % of the logic spent on counters (§IV-A).
+type Resources struct {
+	Registers int
+	LUTs      int
+	// CounterRegisters/CounterLUTs are the subsets consumed by the trial
+	// and ones counters plus the phase-bin index.
+	CounterRegisters int
+	CounterLUTs      int
+}
+
+// ResourceModel computes the utilization for one iTDR instance.
+//
+// Breakdown (per instance):
+//   - ones counter and trial counter, each wide enough to count
+//     TrialsPerBin·Bins trials;
+//   - phase-bin counter wide enough to index Bins;
+//   - PLL phase-shift step counter wide enough to count the phase steps in
+//     one clock period;
+//   - two 4-bit FIFO pointers for the result buffer;
+//   - 3-bit trigger shift register + 5-bit control FSM + 2 CDC
+//     synchronizer registers + 5 configuration/handshake registers.
+//
+// LUT cost: carry/increment plus terminal-count compare logic ≈ 1.75 LUTs
+// per counter bit, and ~25 LUTs of control, trigger and handshake logic.
+// With the default configuration this lands at 70 registers / 121 LUTs with
+// ~80 % of LUTs in counters — the paper reports 71 / 124 / "80 % counters".
+//
+// The PLL (phase stepper) and the PDM modulator pin are *shared* across all
+// iTDRs on a chip (§II-D, §II-C), so they are not part of the per-instance
+// cost; SharedOverhead reports them separately.
+func ResourceModel(cfg Config) Resources {
+	trialBits := bitsFor(cfg.TotalTrials())
+	binBits := bitsFor(cfg.Bins())
+	phaseBits := bitsFor(int(1 / (cfg.SampleClockHz * cfg.PhaseStepSec)))
+	const fifoPtrBits = 4
+	counterRegs := 2*trialBits + binBits + phaseBits + 2*fifoPtrBits
+	counterLUTs := counterRegs * 7 / 4
+	const (
+		triggerRegs = 3
+		fsmRegs     = 5
+		cdcRegs     = 2
+		cfgRegs     = 5
+		ctrlLUTs    = 25
+	)
+	return Resources{
+		Registers:        counterRegs + triggerRegs + fsmRegs + cdcRegs + cfgRegs,
+		LUTs:             counterLUTs + ctrlLUTs,
+		CounterRegisters: counterRegs,
+		CounterLUTs:      counterLUTs,
+	}
+}
+
+// bitsFor returns the number of bits needed to count up to n inclusive.
+func bitsFor(n int) int {
+	bits := 0
+	for v := n; v > 0; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// SharedOverhead reports the chip-level resources shared by every iTDR:
+// one PLL with dynamic phase shift and one digital output pin driving the RC
+// modulator network, expressed as register/LUT equivalents of the wrapper
+// logic around the hard PLL macro.
+func SharedOverhead() Resources {
+	return Resources{Registers: 24, LUTs: 18}
+}
+
+// FleetUtilization returns the total register/LUT cost of protecting n buses
+// with n iTDR instances plus the single shared PLL/modulator.
+func FleetUtilization(cfg Config, n int) Resources {
+	if n < 0 {
+		panic(fmt.Sprintf("itdr: negative fleet size %d", n))
+	}
+	per := ResourceModel(cfg)
+	shared := SharedOverhead()
+	return Resources{
+		Registers:        shared.Registers + n*per.Registers,
+		LUTs:             shared.LUTs + n*per.LUTs,
+		CounterRegisters: n * per.CounterRegisters,
+		CounterLUTs:      n * per.CounterLUTs,
+	}
+}
+
+// MultiplexedUtilization returns the cost of protecting n buses with ONE
+// time-shared iTDR datapath (§V: "over 90% of the hardware in a DIVOT
+// detector can be shared/multiplexed by many detectors on a chip"): the
+// counter bank, FSM and reconstruction logic are instantiated once; each
+// additional bus adds only its analog front-end selection — a comparator
+// enable, a coupler mux leg, and a few control registers. The price is
+// monitoring cadence: buses are scanned round-robin, so the worst-case
+// alert latency grows n-fold.
+func MultiplexedUtilization(cfg Config, n int) Resources {
+	if n < 0 {
+		panic(fmt.Sprintf("itdr: negative fleet size %d", n))
+	}
+	shared := SharedOverhead()
+	one := ResourceModel(cfg)
+	const (
+		perBusRegs = 4 // channel-select, enable, status
+		perBusLUTs = 3 // mux legs and decode
+	)
+	return Resources{
+		Registers:        shared.Registers + one.Registers + n*perBusRegs,
+		LUTs:             shared.LUTs + one.LUTs + n*perBusLUTs,
+		CounterRegisters: one.CounterRegisters,
+		CounterLUTs:      one.CounterLUTs,
+	}
+}
+
+// DeviceFraction returns the utilization as a fraction of the paper's
+// xczu7ev device (230,400 LUTs and 460,800 registers).
+func (r Resources) DeviceFraction() (regFrac, lutFrac float64) {
+	const (
+		xczu7evRegs = 460800
+		xczu7evLUTs = 230400
+	)
+	return float64(r.Registers) / xczu7evRegs, float64(r.LUTs) / xczu7evLUTs
+}
+
+// CounterShare returns the fraction of LUTs spent on counters.
+func (r Resources) CounterShare() float64 {
+	if r.LUTs == 0 {
+		return 0
+	}
+	return float64(r.CounterLUTs) / float64(r.LUTs)
+}

@@ -1,0 +1,93 @@
+package itdr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResourceModelMatchesPaper(t *testing.T) {
+	// The paper's Vivado report: 71 registers, 124 LUTs, ~80 % counters,
+	// ~0.8 % of the device overall (utilization table T-U).
+	r := ResourceModel(DefaultConfig())
+	if r.Registers < 60 || r.Registers > 85 {
+		t.Errorf("Registers = %d, want ~71", r.Registers)
+	}
+	if r.LUTs < 105 || r.LUTs > 145 {
+		t.Errorf("LUTs = %d, want ~124", r.LUTs)
+	}
+	if share := r.CounterShare(); math.Abs(share-0.8) > 0.1 {
+		t.Errorf("counter share = %v, want ~0.8", share)
+	}
+}
+
+func TestResourceModelScalesWithTrials(t *testing.T) {
+	small := DefaultConfig()
+	big := DefaultConfig()
+	big.TrialsPerBin = small.TrialsPerBin * 256
+	rs := ResourceModel(small)
+	rb := ResourceModel(big)
+	if rb.Registers <= rs.Registers {
+		t.Error("wider counters should cost more registers")
+	}
+}
+
+func TestFleetUtilizationAmortizesSharedLogic(t *testing.T) {
+	cfg := DefaultConfig()
+	one := FleetUtilization(cfg, 1)
+	ten := FleetUtilization(cfg, 10)
+	per := ResourceModel(cfg)
+	// Marginal cost of going from 1 to 10 instances is exactly 9 instances:
+	// the PLL and modulator are shared.
+	if got := ten.Registers - one.Registers; got != 9*per.Registers {
+		t.Errorf("marginal register cost = %d, want %d", got, 9*per.Registers)
+	}
+	if got := ten.LUTs - one.LUTs; got != 9*per.LUTs {
+		t.Errorf("marginal LUT cost = %d, want %d", got, 9*per.LUTs)
+	}
+	zero := FleetUtilization(cfg, 0)
+	if zero.Registers != SharedOverhead().Registers {
+		t.Errorf("empty fleet should cost only the shared overhead")
+	}
+}
+
+func TestDeviceFractionSmall(t *testing.T) {
+	r := ResourceModel(DefaultConfig())
+	regFrac, lutFrac := r.DeviceFraction()
+	if regFrac > 0.01 || lutFrac > 0.01 {
+		t.Errorf("device fractions %v, %v should be below 1%%", regFrac, lutFrac)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, 8575: 14}
+	for n, want := range cases {
+		if got := bitsFor(n); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFleetUtilizationPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FleetUtilization(DefaultConfig(), -1)
+}
+
+func TestCounterShareZeroLUTs(t *testing.T) {
+	if (Resources{}).CounterShare() != 0 {
+		t.Error("zero resources should have zero counter share")
+	}
+}
+
+func TestTriggerModeString(t *testing.T) {
+	if TriggerClock.String() != "clock" || TriggerFIFO.String() != "fifo" ||
+		TriggerNone.String() != "none" {
+		t.Error("unexpected trigger mode names")
+	}
+	if TriggerMode(9).String() == "" {
+		t.Error("unknown mode should still format")
+	}
+}

@@ -1,0 +1,169 @@
+package memctl
+
+import (
+	"fmt"
+)
+
+// Device is the SDRAM module: banks of rows with open-row state, the data
+// array, and the module-side DIVOT gate sitting in front of the column
+// access path. Rows are allocated lazily; untouched rows read as zero.
+type Device struct {
+	geom Geometry
+	gate Gate
+
+	openRow []int // per bank; -1 = all precharged
+	storage map[int64][]byte
+	ecc     *eccSidecar // non-nil when geom.ECC
+
+	// ColumnAccesses counts granted column operations; BlockedAccesses
+	// counts gate rejections — the module's tamper-evidence counters.
+	ColumnAccesses  int64
+	BlockedAccesses int64
+}
+
+// NewDevice builds a device with the given geometry and module-side gate.
+// A nil gate means permanently authorized (an unprotected legacy module).
+func NewDevice(geom Geometry, gate Gate) (*Device, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if gate == nil {
+		gate = GateFunc(func() bool { return true })
+	}
+	open := make([]int, geom.Banks)
+	for i := range open {
+		open[i] = -1
+	}
+	d := &Device{
+		geom:    geom,
+		gate:    gate,
+		openRow: open,
+		storage: make(map[int64][]byte),
+	}
+	if geom.ECC {
+		d.ecc = newECCSidecar()
+	}
+	return d, nil
+}
+
+// ECCStats returns the correction counters; zero value if ECC is disabled.
+func (d *Device) ECCStats() ECCStats {
+	if d.ecc == nil {
+		return ECCStats{}
+	}
+	return d.ecc.Stats
+}
+
+// Geometry returns the device organization.
+func (d *Device) Geometry() Geometry { return d.geom }
+
+// OpenRow returns the open row in the bank, or -1 if precharged.
+func (d *Device) OpenRow(bank int) int { return d.openRow[bank] }
+
+// rowKey flattens a bank/row pair for storage lookup.
+func (d *Device) rowKey(bank, row int) int64 {
+	return int64(bank)*int64(d.geom.Rows) + int64(row)
+}
+
+// Activate opens a row in a bank. The bank must be precharged — the
+// controller is responsible for protocol legality, and violating it is a
+// programming error in the controller, hence panic.
+func (d *Device) Activate(bank, row int) {
+	if d.openRow[bank] != -1 {
+		panic(fmt.Sprintf("memctl: ACTIVATE b%d/r%d with row %d open",
+			bank, row, d.openRow[bank]))
+	}
+	d.openRow[bank] = row
+}
+
+// Precharge closes the open row in a bank (idempotent).
+func (d *Device) Precharge(bank int) { d.openRow[bank] = -1 }
+
+// PrechargeAll closes every bank — the state after a refresh or reset.
+func (d *Device) PrechargeAll() {
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+}
+
+// ColumnAccess performs the burst read or write. It enforces two things:
+// protocol legality (the addressed row must be open) and the DIVOT gate —
+// an unauthorized access is counted and rejected without touching the array.
+func (d *Device) ColumnAccess(op Op, addr Address, data []byte) ([]byte, error) {
+	if !d.geom.Contains(addr) {
+		return nil, fmt.Errorf("memctl: address %v outside geometry", addr)
+	}
+	if d.openRow[addr.Bank] != addr.Row {
+		panic(fmt.Sprintf("memctl: column access %v with row %d open",
+			addr, d.openRow[addr.Bank]))
+	}
+	if !d.gate.Authorized() {
+		d.BlockedAccesses++
+		return nil, fmt.Errorf("%w: %v", ErrUnauthorized, addr)
+	}
+	d.ColumnAccesses++
+	key := d.rowKey(addr.Bank, addr.Row)
+	rowBytes := d.geom.Cols * d.geom.BurstBytes
+	row, ok := d.storage[key]
+	if !ok {
+		if op == OpRead {
+			// Untouched rows read as zero; with ECC the sidecar pre-seeds
+			// matching check bits, so zeros decode clean.
+			return make([]byte, d.geom.BurstBytes), nil
+		}
+		row = make([]byte, rowBytes)
+		d.storage[key] = row
+	}
+	off := addr.Col * d.geom.BurstBytes
+	burst := row[off : off+d.geom.BurstBytes]
+	if op == OpWrite {
+		if len(data) != d.geom.BurstBytes {
+			return nil, fmt.Errorf("memctl: write burst %d bytes, want %d",
+				len(data), d.geom.BurstBytes)
+		}
+		copy(burst, data)
+		if d.ecc != nil {
+			d.ecc.writeBurst(key, rowBytes, off, burst)
+		}
+		return nil, nil
+	}
+	out := make([]byte, d.geom.BurstBytes)
+	copy(out, burst)
+	if d.ecc != nil {
+		corrected, err := d.ecc.readBurst(key, rowBytes, off, out)
+		if err != nil {
+			return nil, fmt.Errorf("memctl: %v: %w", addr, err)
+		}
+		if corrected > 0 {
+			// Scrub: write the repaired word back to the array.
+			copy(burst, out)
+		}
+	}
+	return out, nil
+}
+
+// InjectBitError flips one stored data bit — a cell upset. byteOffset and
+// bit address within the burst at addr. The row is materialized if needed.
+func (d *Device) InjectBitError(addr Address, byteOffset, bit int) {
+	if !d.geom.Contains(addr) {
+		panic(fmt.Sprintf("memctl: inject at %v outside geometry", addr))
+	}
+	if byteOffset < 0 || byteOffset >= d.geom.BurstBytes || bit < 0 || bit > 7 {
+		panic(fmt.Sprintf("memctl: inject at byte %d bit %d out of burst", byteOffset, bit))
+	}
+	key := d.rowKey(addr.Bank, addr.Row)
+	rowBytes := d.geom.Cols * d.geom.BurstBytes
+	row, ok := d.storage[key]
+	if !ok {
+		row = make([]byte, rowBytes)
+		d.storage[key] = row
+		if d.ecc != nil {
+			d.ecc.rowChecks(key, rowBytes)
+		}
+	}
+	row[addr.Col*d.geom.BurstBytes+byteOffset] ^= 1 << bit
+}
+
+// Refresh models a refresh cycle: all banks precharge. (Cell retention is
+// not modelled; refresh matters here for its scheduling interference.)
+func (d *Device) Refresh() { d.PrechargeAll() }

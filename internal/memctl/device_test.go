@@ -1,0 +1,209 @@
+package memctl
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testDevice(t *testing.T, gate Gate) *Device {
+	t.Helper()
+	d, err := NewDevice(DefaultGeometry(), gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceReadWriteRoundTrip(t *testing.T) {
+	d := testDevice(t, nil)
+	addr := Address{Bank: 2, Row: 100, Col: 5}
+	d.Activate(2, 100)
+	payload := bytes.Repeat([]byte{0xAB}, d.Geometry().BurstBytes)
+	if _, err := d.ColumnAccess(OpWrite, addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ColumnAccess(OpRead, addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("read data differs from written data")
+	}
+}
+
+func TestDeviceUntouchedReadsZero(t *testing.T) {
+	d := testDevice(t, nil)
+	d.Activate(0, 7)
+	got, err := d.ColumnAccess(OpRead, Address{Bank: 0, Row: 7, Col: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("untouched row should read zero")
+		}
+	}
+}
+
+func TestDeviceActivatePrechargeProtocol(t *testing.T) {
+	d := testDevice(t, nil)
+	d.Activate(1, 10)
+	if d.OpenRow(1) != 10 {
+		t.Errorf("OpenRow = %d", d.OpenRow(1))
+	}
+	d.Precharge(1)
+	if d.OpenRow(1) != -1 {
+		t.Errorf("OpenRow after precharge = %d", d.OpenRow(1))
+	}
+	d.Activate(1, 11) // legal again after precharge
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double ACTIVATE")
+		}
+	}()
+	d.Activate(1, 12)
+}
+
+func TestDeviceColumnAccessClosedRowPanics(t *testing.T) {
+	d := testDevice(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on column access to closed row")
+		}
+	}()
+	d.ColumnAccess(OpRead, Address{Bank: 0, Row: 5, Col: 0}, nil)
+}
+
+func TestDeviceGateBlocksAccess(t *testing.T) {
+	gate := NewStaticGate(false)
+	d := testDevice(t, gate)
+	d.Activate(0, 1)
+	if _, err := d.ColumnAccess(OpRead, Address{Bank: 0, Row: 1, Col: 0}, nil); err == nil {
+		t.Fatal("unauthorized access should be rejected")
+	}
+	if d.BlockedAccesses != 1 || d.ColumnAccesses != 0 {
+		t.Errorf("counters: blocked %d, granted %d", d.BlockedAccesses, d.ColumnAccesses)
+	}
+	gate.Set(true)
+	if _, err := d.ColumnAccess(OpRead, Address{Bank: 0, Row: 1, Col: 0}, nil); err != nil {
+		t.Fatalf("authorized access failed: %v", err)
+	}
+	if d.ColumnAccesses != 1 {
+		t.Errorf("granted count = %d", d.ColumnAccesses)
+	}
+}
+
+func TestDeviceRejectsBadAddress(t *testing.T) {
+	d := testDevice(t, nil)
+	if _, err := d.ColumnAccess(OpRead, Address{Bank: 99, Row: 0, Col: 0}, nil); err == nil {
+		t.Error("expected out-of-geometry error")
+	}
+}
+
+func TestDeviceRejectsBadBurst(t *testing.T) {
+	d := testDevice(t, nil)
+	d.Activate(0, 0)
+	if _, err := d.ColumnAccess(OpWrite, Address{}, []byte{1, 2, 3}); err == nil {
+		t.Error("expected burst-size error")
+	}
+}
+
+func TestDeviceRefreshPrechargesAll(t *testing.T) {
+	d := testDevice(t, nil)
+	d.Activate(0, 1)
+	d.Activate(3, 9)
+	d.Refresh()
+	for b := 0; b < d.Geometry().Banks; b++ {
+		if d.OpenRow(b) != -1 {
+			t.Fatalf("bank %d open after refresh", b)
+		}
+	}
+}
+
+func TestDeviceWritePreservedAcrossPrecharge(t *testing.T) {
+	d := testDevice(t, nil)
+	addr := Address{Bank: 4, Row: 42, Col: 9}
+	d.Activate(4, 42)
+	payload := bytes.Repeat([]byte{0x5A}, d.Geometry().BurstBytes)
+	if _, err := d.ColumnAccess(OpWrite, addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	d.Precharge(4)
+	d.Activate(4, 42)
+	got, err := d.ColumnAccess(OpRead, addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("data lost across precharge/activate")
+	}
+}
+
+func TestNewDeviceRejectsBadGeometry(t *testing.T) {
+	if _, err := NewDevice(Geometry{}, nil); err == nil {
+		t.Error("expected geometry error")
+	}
+}
+
+func TestGateHelpers(t *testing.T) {
+	var calls int
+	g := GateFunc(func() bool { calls++; return true })
+	if !g.Authorized() || calls != 1 {
+		t.Error("GateFunc misbehaved")
+	}
+	sg := NewStaticGate(true)
+	if !sg.Authorized() {
+		t.Error("static gate should start authorized")
+	}
+	sg.Set(false)
+	if sg.Authorized() {
+		t.Error("static gate should deny after Set(false)")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if OpRead.String() != "READ" || OpWrite.String() != "WRITE" || Op(9).String() == "" {
+		t.Error("Op names")
+	}
+	if StatusOK.String() != "OK" || StatusBlockedByCPU.String() != "BLOCKED(cpu)" ||
+		StatusBlockedByModule.String() != "BLOCKED(module)" || Status(9).String() == "" {
+		t.Error("Status names")
+	}
+	if (Address{1, 2, 3}).String() != "b1/r2/c3" {
+		t.Error("Address format")
+	}
+	if ArbiterFCFS.String() != "fcfs" || ArbiterFRFCFS.String() != "fr-fcfs" ||
+		ArbiterPolicy(7).String() == "" {
+		t.Error("ArbiterPolicy names")
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := DefaultTiming().Validate(); err != nil {
+		t.Errorf("default timing invalid: %v", err)
+	}
+	bad := DefaultTiming()
+	bad.TRCD = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero tRCD")
+	}
+	bad = DefaultTiming()
+	bad.RefreshInterval = bad.TRFC
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for tREFI <= tRFC")
+	}
+}
+
+func TestGeometryValidateAndContains(t *testing.T) {
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Errorf("default geometry invalid: %v", err)
+	}
+	if err := (Geometry{Banks: 1}).Validate(); err == nil {
+		t.Error("expected error")
+	}
+	g := DefaultGeometry()
+	if !g.Contains(Address{0, 0, 0}) || g.Contains(Address{-1, 0, 0}) ||
+		g.Contains(Address{0, g.Rows, 0}) {
+		t.Error("Contains misbehaves")
+	}
+}

@@ -1,0 +1,183 @@
+package memctl
+
+import (
+	"bytes"
+	"divot/internal/sim"
+	"errors"
+	"testing"
+)
+
+func eccGeometry() Geometry {
+	g := DefaultGeometry()
+	g.ECC = true
+	return g
+}
+
+func TestECCGeometryValidation(t *testing.T) {
+	g := eccGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("ECC geometry invalid: %v", err)
+	}
+	g.BurstBytes = 12
+	if err := g.Validate(); err == nil {
+		t.Error("expected error for unaligned ECC burst")
+	}
+}
+
+func TestECCCleanRoundTrip(t *testing.T) {
+	d, err := NewDevice(eccGeometry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := Address{Bank: 1, Row: 2, Col: 3}
+	d.Activate(1, 2)
+	payload := bytes.Repeat([]byte{0xA5, 0x3C}, d.Geometry().BurstBytes/2)
+	if _, err := d.ColumnAccess(OpWrite, addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ColumnAccess(OpRead, addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("clean ECC read differs")
+	}
+	if s := d.ECCStats(); s.CorrectedWords != 0 || s.UncorrectableReads != 0 {
+		t.Errorf("unexpected ECC activity: %+v", s)
+	}
+}
+
+func TestECCUntouchedRowReadsCleanZeros(t *testing.T) {
+	d, _ := NewDevice(eccGeometry(), nil)
+	d.Activate(0, 9)
+	got, err := d.ColumnAccess(OpRead, Address{Bank: 0, Row: 9, Col: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("untouched ECC row should read zero")
+		}
+	}
+}
+
+func TestECCCorrectsSingleBitUpset(t *testing.T) {
+	d, _ := NewDevice(eccGeometry(), nil)
+	addr := Address{Bank: 0, Row: 1, Col: 2}
+	d.Activate(0, 1)
+	payload := bytes.Repeat([]byte{0x77}, d.Geometry().BurstBytes)
+	if _, err := d.ColumnAccess(OpWrite, addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectBitError(addr, 13, 4)
+	got, err := d.ColumnAccess(OpRead, addr, nil)
+	if err != nil {
+		t.Fatalf("single-bit upset should be corrected: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("corrected data differs from original")
+	}
+	if s := d.ECCStats(); s.CorrectedWords != 1 {
+		t.Errorf("CorrectedWords = %d", s.CorrectedWords)
+	}
+	// Scrubbing: a second read needs no correction.
+	if _, err := d.ColumnAccess(OpRead, addr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.ECCStats(); s.CorrectedWords != 1 {
+		t.Errorf("scrub failed: CorrectedWords = %d after re-read", s.CorrectedWords)
+	}
+}
+
+func TestECCDetectsDoubleBitUpset(t *testing.T) {
+	d, _ := NewDevice(eccGeometry(), nil)
+	addr := Address{Bank: 0, Row: 1, Col: 0}
+	d.Activate(0, 1)
+	payload := bytes.Repeat([]byte{0x01}, d.Geometry().BurstBytes)
+	if _, err := d.ColumnAccess(OpWrite, addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Two flips in the same 8-byte word.
+	d.InjectBitError(addr, 0, 0)
+	d.InjectBitError(addr, 3, 5)
+	_, err := d.ColumnAccess(OpRead, addr, nil)
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("double-bit upset error = %v, want ErrUncorrectable", err)
+	}
+	if s := d.ECCStats(); s.UncorrectableReads != 1 {
+		t.Errorf("UncorrectableReads = %d", s.UncorrectableReads)
+	}
+}
+
+func TestECCThroughController(t *testing.T) {
+	h2 := newECCHarness(t, DefaultControllerConfig())
+	addr := Address{Bank: 2, Row: 4, Col: 6}
+	payload := bytes.Repeat([]byte{0xEE}, 64)
+	h2.submit(OpWrite, addr, payload)
+	h2.sched.Run(1 << 20)
+	// Upset two bits in the stored word, then read through the controller.
+	h2.dev.InjectBitError(addr, 8, 1)
+	h2.dev.InjectBitError(addr, 9, 2)
+	h2.submit(OpRead, addr, nil)
+	h2.sched.Run(1 << 20)
+	last := h2.resps[len(h2.resps)-1]
+	if last.Status != StatusUncorrectable {
+		t.Fatalf("read status %v, want ECC-UNCORRECTABLE", last.Status)
+	}
+	if h2.ctl.Stats.Uncorrectable != 1 {
+		t.Errorf("controller Uncorrectable = %d", h2.ctl.Stats.Uncorrectable)
+	}
+
+	// A single-bit upset elsewhere is transparent.
+	addr2 := Address{Bank: 2, Row: 4, Col: 7}
+	h2.submit(OpWrite, addr2, payload)
+	h2.sched.Run(1 << 20)
+	h2.dev.InjectBitError(addr2, 0, 0)
+	h2.submit(OpRead, addr2, nil)
+	h2.sched.Run(1 << 20)
+	last = h2.resps[len(h2.resps)-1]
+	if last.Status != StatusOK || !bytes.Equal(last.Data, payload) {
+		t.Fatalf("corrected read: %v", last.Status)
+	}
+}
+
+// newECCHarness builds a harness over an ECC device.
+func newECCHarness(t *testing.T, cfg ControllerConfig) *harness {
+	t.Helper()
+	h := &harness{sched: &sim.Scheduler{}}
+	var err error
+	h.dev, err = NewDevice(eccGeometry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctl, err = NewController(h.sched, h.dev, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestInjectBitErrorValidation(t *testing.T) {
+	d, _ := NewDevice(eccGeometry(), nil)
+	for name, f := range map[string]func(){
+		"address": func() { d.InjectBitError(Address{Bank: 99}, 0, 0) },
+		"byte":    func() { d.InjectBitError(Address{}, 999, 0) },
+		"bit":     func() { d.InjectBitError(Address{}, 0, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNonECCDeviceIgnoresECCStats(t *testing.T) {
+	d, _ := NewDevice(DefaultGeometry(), nil)
+	if s := d.ECCStats(); s != (ECCStats{}) {
+		t.Errorf("non-ECC device stats = %+v", s)
+	}
+}

@@ -1,0 +1,84 @@
+package memctl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"divot/internal/ecc"
+)
+
+// Sentinel errors the device distinguishes for the controller.
+var (
+	// ErrUnauthorized is returned when the module-side DIVOT gate rejects
+	// a column access.
+	ErrUnauthorized = errors.New("memctl: access blocked by module gate")
+	// ErrUncorrectable is returned when ECC detects a multi-bit upset it
+	// cannot repair.
+	ErrUncorrectable = errors.New("memctl: uncorrectable ECC error")
+)
+
+// ECCStats counts the ECC engine's work.
+type ECCStats struct {
+	CorrectedWords     int64
+	UncorrectableReads int64
+}
+
+// eccSidecar holds the check bits for the device's rows: one CheckBits per
+// 8-byte word, allocated lazily alongside the data rows.
+type eccSidecar struct {
+	checks map[int64][]ecc.CheckBits
+	// Stats accumulates correction activity.
+	Stats ECCStats
+}
+
+func newECCSidecar() *eccSidecar {
+	return &eccSidecar{checks: make(map[int64][]ecc.CheckBits)}
+}
+
+// rowChecks returns (allocating if needed) the check-bit slice for a row of
+// the given byte size.
+func (s *eccSidecar) rowChecks(key int64, rowBytes int) []ecc.CheckBits {
+	c, ok := s.checks[key]
+	if !ok {
+		c = make([]ecc.CheckBits, rowBytes/8)
+		// Fresh rows read as zero; pre-set the check bits to match so the
+		// first read of an untouched word decodes clean.
+		zero := ecc.Encode(0)
+		for i := range c {
+			c[i] = zero
+		}
+		s.checks[key] = c
+	}
+	return c
+}
+
+// writeBurst updates the check bits for a burst written at byte offset off.
+func (s *eccSidecar) writeBurst(key int64, rowBytes, off int, data []byte) {
+	checks := s.rowChecks(key, rowBytes)
+	for w := 0; w < len(data)/8; w++ {
+		word := binary.LittleEndian.Uint64(data[w*8:])
+		checks[off/8+w] = ecc.Encode(word)
+	}
+}
+
+// readBurst verifies and repairs a burst in place. It returns the number of
+// corrected words, or an error if any word is uncorrectable.
+func (s *eccSidecar) readBurst(key int64, rowBytes, off int, data []byte) (int, error) {
+	checks := s.rowChecks(key, rowBytes)
+	corrected := 0
+	for w := 0; w < len(data)/8; w++ {
+		word := binary.LittleEndian.Uint64(data[w*8:])
+		fixed, verdict := ecc.Decode(word, checks[off/8+w])
+		switch verdict {
+		case ecc.Corrected:
+			corrected++
+			s.Stats.CorrectedWords++
+			binary.LittleEndian.PutUint64(data[w*8:], fixed)
+		case ecc.Detected:
+			s.Stats.UncorrectableReads++
+			return corrected, fmt.Errorf("%w: word %d of burst", ErrUncorrectable, w)
+		}
+	}
+	return corrected, nil
+}

@@ -1,0 +1,37 @@
+package memctl
+
+import "sync/atomic"
+
+// Gate is the authentication input that DIVOT wires into the memory system:
+// the CPU-side controller consults one before issuing operations, and the
+// module-side device consults its own before allowing any column access
+// (§III: "the column address is gated by the authentication result").
+type Gate interface {
+	// Authorized reports the current authentication state.
+	Authorized() bool
+}
+
+// GateFunc adapts a function to the Gate interface.
+type GateFunc func() bool
+
+// Authorized implements Gate.
+func (f GateFunc) Authorized() bool { return f() }
+
+// StaticGate is a settable gate, safe for concurrent use; the DIVOT engine
+// flips it as monitoring results arrive.
+type StaticGate struct {
+	denied atomic.Bool
+}
+
+// NewStaticGate returns a gate in the given initial state.
+func NewStaticGate(authorized bool) *StaticGate {
+	g := &StaticGate{}
+	g.Set(authorized)
+	return g
+}
+
+// Set updates the authentication state.
+func (g *StaticGate) Set(authorized bool) { g.denied.Store(!authorized) }
+
+// Authorized implements Gate.
+func (g *StaticGate) Authorized() bool { return !g.denied.Load() }

@@ -1,0 +1,100 @@
+// Package memctl models the memory system of the paper's example design
+// (Fig. 6): a DDR-style controller (request queue, FR-FCFS arbiter, refresh)
+// on the CPU side and an SDRAM device on the module side, with DIVOT
+// authentication gates at both ends. The CPU-side gate halts memory
+// operations when the bus fingerprint stops matching; the module-side gate
+// blocks the column access path so unauthorized hosts can never read or
+// write the array — the cold-boot defense.
+package memctl
+
+import (
+	"fmt"
+
+	"divot/internal/sim"
+)
+
+// Op is a memory operation type.
+type Op int
+
+const (
+	// OpRead requests a burst read.
+	OpRead Op = iota
+	// OpWrite requests a burst write.
+	OpWrite
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Address is a decomposed DRAM address.
+type Address struct {
+	Bank, Row, Col int
+}
+
+// String formats the address.
+func (a Address) String() string {
+	return fmt.Sprintf("b%d/r%d/c%d", a.Bank, a.Row, a.Col)
+}
+
+// Status is the terminal state of a request.
+type Status int
+
+const (
+	// StatusOK means the operation completed.
+	StatusOK Status = iota
+	// StatusBlockedByCPU means the CPU-side DIVOT gate halted operations
+	// (bus or module no longer authenticated from the processor's view).
+	StatusBlockedByCPU
+	// StatusBlockedByModule means the module-side gate rejected the column
+	// access (host not authenticated from the memory's view).
+	StatusBlockedByModule
+	// StatusUncorrectable means ECC detected a multi-bit upset it could
+	// not repair.
+	StatusUncorrectable
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusBlockedByCPU:
+		return "BLOCKED(cpu)"
+	case StatusBlockedByModule:
+		return "BLOCKED(module)"
+	case StatusUncorrectable:
+		return "ECC-UNCORRECTABLE"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Request is one memory operation in flight.
+type Request struct {
+	ID   uint64
+	Op   Op
+	Addr Address
+	// Data is the burst payload for writes and the returned payload for
+	// completed reads.
+	Data []byte
+	// Issued is when the request entered the controller queue.
+	Issued sim.Time
+	// Done, if non-nil, is invoked at completion (or blockage).
+	Done func(Response)
+}
+
+// Response reports the outcome of a request.
+type Response struct {
+	ID        uint64
+	Status    Status
+	Data      []byte
+	Completed sim.Time
+	Latency   sim.Time
+}

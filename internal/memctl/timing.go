@@ -1,0 +1,93 @@
+package memctl
+
+import "fmt"
+
+// Timing holds the DRAM timing parameters in controller clock cycles,
+// following the standard DDR nomenclature.
+type Timing struct {
+	// TRCD: row-to-column delay (ACTIVATE to READ/WRITE).
+	TRCD int
+	// TRP: row precharge time.
+	TRP int
+	// TCAS: column access latency (READ to data).
+	TCAS int
+	// TWR: write recovery before precharge.
+	TWR int
+	// TRAS: minimum row open time.
+	TRAS int
+	// TRFC: refresh cycle time (bank unavailable).
+	TRFC int
+	// RefreshInterval: cycles between refresh commands (tREFI).
+	RefreshInterval int
+	// BurstCycles: data-burst duration for one column access.
+	BurstCycles int
+}
+
+// DefaultTiming returns DDR3-1600-like parameters at an 800 MHz controller
+// clock.
+func DefaultTiming() Timing {
+	return Timing{
+		TRCD:            11,
+		TRP:             11,
+		TCAS:            11,
+		TWR:             12,
+		TRAS:            28,
+		TRFC:            208,
+		RefreshInterval: 6240,
+		BurstCycles:     4,
+	}
+}
+
+// Validate reports nonsensical parameters.
+func (t Timing) Validate() error {
+	for name, v := range map[string]int{
+		"tRCD": t.TRCD, "tRP": t.TRP, "tCAS": t.TCAS, "tWR": t.TWR,
+		"tRAS": t.TRAS, "tRFC": t.TRFC, "tREFI": t.RefreshInterval,
+		"burst": t.BurstCycles,
+	} {
+		if v <= 0 {
+			return fmt.Errorf("memctl: %s = %d must be positive", name, v)
+		}
+	}
+	if t.RefreshInterval <= t.TRFC {
+		return fmt.Errorf("memctl: tREFI %d must exceed tRFC %d",
+			t.RefreshInterval, t.TRFC)
+	}
+	return nil
+}
+
+// Geometry describes the DRAM organization.
+type Geometry struct {
+	Banks, Rows, Cols int
+	// BurstBytes is the payload size of one column access.
+	BurstBytes int
+	// ECC enables (72,64) SECDED protection: every 8-byte word carries
+	// check bits, single-bit upsets are corrected on read, double-bit
+	// upsets are reported uncorrectable. BurstBytes must be a multiple of
+	// 8 when set.
+	ECC bool
+}
+
+// DefaultGeometry returns an 8-bank, 4096-row, 1024-column device with
+// 64-byte bursts (sized for simulation).
+func DefaultGeometry() Geometry {
+	return Geometry{Banks: 8, Rows: 4096, Cols: 1024, BurstBytes: 64}
+}
+
+// Validate reports nonsensical geometry.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.Rows <= 0 || g.Cols <= 0 || g.BurstBytes <= 0 {
+		return fmt.Errorf("memctl: invalid geometry %+v", g)
+	}
+	if g.ECC && g.BurstBytes%8 != 0 {
+		return fmt.Errorf("memctl: ECC needs 8-byte-aligned bursts, got %d", g.BurstBytes)
+	}
+	return nil
+}
+
+// Contains reports whether the address falls inside the geometry.
+func (g Geometry) Contains(a Address) bool {
+	return a.Bank >= 0 && a.Bank < g.Banks &&
+		a.Row >= 0 && a.Row < g.Rows &&
+		a.Col >= 0 && a.Col < g.Cols
+}

@@ -1,0 +1,83 @@
+package netlink
+
+import (
+	"encoding/binary"
+
+	"divot/internal/bus"
+)
+
+// Deframer turns a continuous 10b symbol stream into frames: it aligns on
+// K28.5 commas, decodes bytes, uses the header's length field to find the
+// frame boundary, and validates the CRC. Corruption drops the current frame
+// and the deframer re-locks on the next comma — the recovery behaviour of a
+// real deserializer.
+type Deframer struct {
+	dec    bus.Decoder8b10b
+	buf    []byte
+	locked bool
+
+	// Frames and Errors count deframing outcomes.
+	Frames int64
+	Errors int64
+}
+
+// Push consumes symbols and returns any complete frames. Decode and CRC
+// errors are counted, the partial frame is discarded, and scanning resumes
+// at the next comma.
+func (d *Deframer) Push(symbols []uint16) []Frame {
+	var out []Frame
+	for _, sym := range symbols {
+		if bus.IsComma(sym) {
+			if err := d.dec.ConsumeComma(sym); err != nil {
+				// Disparity slip: resynchronize the decoder to the comma's
+				// implied state and drop the partial frame.
+				d.Errors++
+				d.dec = bus.Decoder8b10b{}
+				_ = d.dec.ConsumeComma(sym)
+			}
+			if len(d.buf) > 0 {
+				// A comma mid-frame means the previous frame was cut short.
+				d.Errors++
+			}
+			d.buf = d.buf[:0]
+			d.locked = true
+			continue
+		}
+		if !d.locked {
+			// Before the first comma the stream is unaligned noise; a real
+			// deserializer discards it.
+			continue
+		}
+		b, err := d.dec.DecodeSymbol(sym)
+		if err != nil {
+			d.Errors++
+			d.buf = d.buf[:0]
+			d.locked = false // wait for the next comma
+			continue
+		}
+		d.buf = append(d.buf, b)
+		if want, ok := d.expected(); ok && len(d.buf) >= want {
+			f, err := Unmarshal(d.buf[:want])
+			if err != nil {
+				d.Errors++
+			} else {
+				d.Frames++
+				out = append(out, f)
+			}
+			d.buf = d.buf[:0]
+		}
+	}
+	return out
+}
+
+// expected returns the full frame length once the header is available.
+func (d *Deframer) expected() (int, bool) {
+	if len(d.buf) < headerBytes {
+		return 0, false
+	}
+	length := int(binary.BigEndian.Uint16(d.buf[4:]))
+	if length > MaxPayload {
+		return headerBytes + crcBytes, true // will fail Unmarshal and recover
+	}
+	return headerBytes + length + crcBytes, true
+}

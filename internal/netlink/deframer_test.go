@@ -1,0 +1,146 @@
+package netlink
+
+import (
+	"bytes"
+	"testing"
+
+	"divot/internal/bus"
+)
+
+func TestDeframerStream(t *testing.T) {
+	tx := NewPort(1, nil)
+	var d Deframer
+	var wire []uint16
+	payloads := [][]byte{[]byte("alpha"), []byte("beta"), {}, bytes.Repeat([]byte{7}, 100)}
+	for _, p := range payloads {
+		syms, err := tx.TransmitFramed(2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire = append(wire, syms...)
+	}
+	frames := d.Push(wire)
+	if len(frames) != len(payloads) {
+		t.Fatalf("deframed %d/%d frames (errors %d)", len(frames), len(payloads), d.Errors)
+	}
+	for i, f := range frames {
+		if !bytes.Equal(f.Payload, payloads[i]) {
+			t.Errorf("frame %d payload mismatch", i)
+		}
+		if f.Src != 1 || f.Dst != 2 {
+			t.Errorf("frame %d addressing %+v", i, f)
+		}
+	}
+	if d.Errors != 0 {
+		t.Errorf("errors = %d", d.Errors)
+	}
+}
+
+func TestDeframerSplitDelivery(t *testing.T) {
+	// Symbols arrive in arbitrary chunks (as from a serial receiver).
+	tx := NewPort(1, nil)
+	syms, err := tx.TransmitFramed(2, []byte("chunked delivery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Deframer
+	var got []Frame
+	for i := 0; i < len(syms); i += 3 {
+		end := i + 3
+		if end > len(syms) {
+			end = len(syms)
+		}
+		got = append(got, d.Push(syms[i:end])...)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "chunked delivery" {
+		t.Fatalf("frames = %+v", got)
+	}
+}
+
+func TestDeframerIgnoresPreCommaNoise(t *testing.T) {
+	tx := NewPort(1, nil)
+	syms, err := tx.TransmitFramed(2, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := []uint16{0x3FF, 0x001, 0x155}
+	var d Deframer
+	frames := d.Push(append(noise, syms...))
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d (errors %d)", len(frames), d.Errors)
+	}
+}
+
+func TestDeframerRecoversAfterCorruption(t *testing.T) {
+	tx := NewPort(1, nil)
+	a, err := tx.TransmitFramed(2, []byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tx.TransmitFramed(2, []byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a symbol in the middle of frame a.
+	a[4] = 0 // invalid symbol
+	var d Deframer
+	frames := d.Push(append(a, b...))
+	if len(frames) != 1 || string(frames[0].Payload) != "second" {
+		t.Fatalf("frames = %+v (errors %d)", frames, d.Errors)
+	}
+	if d.Errors == 0 {
+		t.Error("corruption should be counted")
+	}
+}
+
+func TestDeframerMidFrameCommaDropsPartial(t *testing.T) {
+	tx := NewPort(1, nil)
+	a, err := tx.TransmitFramed(2, []byte("truncated!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tx.TransmitFramed(2, []byte("whole"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver only the first half of frame a, then frame b.
+	var d Deframer
+	frames := d.Push(append(a[:len(a)/2], b...))
+	if len(frames) != 1 || string(frames[0].Payload) != "whole" {
+		t.Fatalf("frames = %+v", frames)
+	}
+	if d.Errors == 0 {
+		t.Error("truncated frame should be counted")
+	}
+}
+
+func TestCommaCodec(t *testing.T) {
+	var enc bus.Encoder8b10b
+	c1 := enc.EncodeComma()
+	if !bus.IsComma(c1) {
+		t.Fatal("encoded comma not recognized")
+	}
+	// Disparity alternates across commas.
+	c2 := enc.EncodeComma()
+	if c1 == c2 {
+		t.Error("consecutive commas should use alternating forms")
+	}
+	var dec bus.Decoder8b10b
+	if err := dec.ConsumeComma(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.ConsumeComma(c2); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-polarity comma is a disparity violation.
+	var dec2 bus.Decoder8b10b
+	if err := dec2.ConsumeComma(c2); err == nil {
+		t.Error("expected disparity violation")
+	}
+	if err := dec2.ConsumeComma(0x123); err == nil {
+		t.Error("non-comma should be rejected")
+	}
+	if bus.IsComma(0x155) {
+		t.Error("0x155 misidentified as comma")
+	}
+}

@@ -1,0 +1,67 @@
+// Package netlink extends DIVOT to a network interface — §VI names "network
+// interfaces" alongside I/O buses and storage. It implements a minimal
+// framed MAC layer over an 8b/10b-coded serial lane: framing with CRC-32,
+// transmit/receive queues, and the DIVOT gates in both directions, so a NIC
+// whose cable is re-plugged into a rogue switch port (or tapped mid-span)
+// stops passing traffic and raises alarms.
+package netlink
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout: | dst(2) | src(2) | length(2) | payload(0..MaxPayload) | crc32(4) |
+const (
+	headerBytes = 6
+	crcBytes    = 4
+	// MaxPayload is the largest payload per frame.
+	MaxPayload = 1500
+)
+
+// Frame is one MAC frame.
+type Frame struct {
+	Dst, Src uint16
+	Payload  []byte
+}
+
+// Marshal serializes the frame with its CRC.
+func (f Frame) Marshal() ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, fmt.Errorf("netlink: payload %d exceeds %d", len(f.Payload), MaxPayload)
+	}
+	buf := make([]byte, headerBytes+len(f.Payload)+crcBytes)
+	binary.BigEndian.PutUint16(buf[0:], f.Dst)
+	binary.BigEndian.PutUint16(buf[2:], f.Src)
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(f.Payload)))
+	copy(buf[headerBytes:], f.Payload)
+	crc := crc32.ChecksumIEEE(buf[:headerBytes+len(f.Payload)])
+	binary.BigEndian.PutUint32(buf[headerBytes+len(f.Payload):], crc)
+	return buf, nil
+}
+
+// Unmarshal parses and validates a serialized frame.
+func Unmarshal(buf []byte) (Frame, error) {
+	if len(buf) < headerBytes+crcBytes {
+		return Frame{}, fmt.Errorf("netlink: frame of %d bytes too short", len(buf))
+	}
+	length := int(binary.BigEndian.Uint16(buf[4:]))
+	if length > MaxPayload {
+		return Frame{}, fmt.Errorf("netlink: declared payload %d exceeds %d", length, MaxPayload)
+	}
+	want := headerBytes + length + crcBytes
+	if len(buf) != want {
+		return Frame{}, fmt.Errorf("netlink: frame of %d bytes, header declares %d", len(buf), want)
+	}
+	crc := binary.BigEndian.Uint32(buf[headerBytes+length:])
+	if got := crc32.ChecksumIEEE(buf[:headerBytes+length]); got != crc {
+		return Frame{}, fmt.Errorf("netlink: CRC mismatch (%08x vs %08x)", got, crc)
+	}
+	f := Frame{
+		Dst:     binary.BigEndian.Uint16(buf[0:]),
+		Src:     binary.BigEndian.Uint16(buf[2:]),
+		Payload: append([]byte(nil), buf[headerBytes:headerBytes+length]...),
+	}
+	return f, nil
+}

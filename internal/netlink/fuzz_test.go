@@ -1,0 +1,49 @@
+package netlink
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the frame parser: it must never
+// panic, and anything it accepts must re-marshal to the same bytes.
+func FuzzUnmarshal(f *testing.F) {
+	seed, _ := (Frame{Dst: 1, Src: 2, Payload: []byte("seed")}).Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := fr.Marshal()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatal("accepted frame is not canonical")
+		}
+	})
+}
+
+// FuzzFrameRoundTrip checks marshal/unmarshal over arbitrary field values.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint16(2), []byte("payload"))
+	f.Fuzz(func(t *testing.T, dst, src uint16, payload []byte) {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		raw, err := (Frame{Dst: dst, Src: src, Payload: payload}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Dst != dst || back.Src != src || !bytes.Equal(back.Payload, payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

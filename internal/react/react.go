@@ -1,0 +1,208 @@
+// Package react implements the reaction stage of the §III protocol — the
+// part the paper sketches ("the CPU would perform necessary actions to
+// protect sensitive information") and defers to future work. It is an
+// escalation state machine: monitoring alerts feed in, and the machine
+// decides between logging, halting traffic, and destroying in-memory
+// secrets, with hysteresis so a single noisy round cannot wipe a machine
+// and a persistent attack cannot be ridden out.
+package react
+
+import (
+	"fmt"
+
+	"divot/internal/core"
+)
+
+// Action is what the platform is told to do.
+type Action int
+
+const (
+	// ActionNone: keep operating.
+	ActionNone Action = iota
+	// ActionLog: record the event; operation continues (a first tamper
+	// sighting, e.g. a transient probe).
+	ActionLog
+	// ActionHalt: stop memory traffic until the link recovers (the
+	// paper's stall reaction).
+	ActionHalt
+	// ActionWipe: destroy volatile secrets (keys, caches) — the response
+	// to sustained physical attack, borrowed from the secure-coprocessor
+	// practice the paper cites (IBM 4765).
+	ActionWipe
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionLog:
+		return "log"
+	case ActionHalt:
+		return "halt"
+	case ActionWipe:
+		return "wipe"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Policy sets the escalation thresholds.
+type Policy struct {
+	// TamperToleranceRounds is how many consecutive tamper-alerting rounds
+	// are logged before escalating to a halt. Non-contact probes that
+	// disappear within the tolerance never interrupt service.
+	TamperToleranceRounds int
+	// AuthFailureToleranceRounds is how many consecutive authentication
+	// failures are tolerated (as halts) before secrets are wiped. Module
+	// swaps that persist mean the platform is in hostile hands.
+	AuthFailureToleranceRounds int
+	// RecoveryRounds is how many consecutive clean rounds restore Normal
+	// from the alerted/halted states.
+	RecoveryRounds int
+}
+
+// DefaultPolicy tolerates two rounds of tampering and five rounds of
+// authentication failure, and recovers after three clean rounds.
+func DefaultPolicy() Policy {
+	return Policy{
+		TamperToleranceRounds:      2,
+		AuthFailureToleranceRounds: 5,
+		RecoveryRounds:             3,
+	}
+}
+
+// Validate reports nonsensical policies.
+func (p Policy) Validate() error {
+	if p.TamperToleranceRounds < 0 || p.AuthFailureToleranceRounds < 0 || p.RecoveryRounds <= 0 {
+		return fmt.Errorf("react: invalid policy %+v", p)
+	}
+	return nil
+}
+
+// State is the escalation level.
+type State int
+
+const (
+	// StateNormal: no active concern.
+	StateNormal State = iota
+	// StateAlerted: tampering observed recently; logged, watching.
+	StateAlerted
+	// StateHalted: traffic stopped pending recovery.
+	StateHalted
+	// StateWiped: secrets destroyed; terminal until operator reset.
+	StateWiped
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateNormal:
+		return "normal"
+	case StateAlerted:
+		return "alerted"
+	case StateHalted:
+		return "halted"
+	case StateWiped:
+		return "wiped"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Reactor is the escalation state machine. Feed it each monitoring round's
+// alerts; it returns the action to take. Not safe for concurrent use.
+type Reactor struct {
+	policy Policy
+	state  State
+
+	tamperStreak int
+	authStreak   int
+	cleanStreak  int
+
+	// Log records every non-None action with its triggering round index.
+	Log []LogEntry
+	// Rounds counts monitoring rounds observed.
+	Rounds int
+}
+
+// LogEntry is one recorded reaction.
+type LogEntry struct {
+	Round  int
+	Action Action
+	State  State
+	Cause  string
+}
+
+// NewReactor builds a reactor with the given policy.
+func NewReactor(p Policy) (*Reactor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reactor{policy: p}, nil
+}
+
+// State returns the current escalation level.
+func (r *Reactor) State() State { return r.state }
+
+// Observe consumes one monitoring round's alerts and returns the action.
+func (r *Reactor) Observe(alerts []core.Alert) Action {
+	r.Rounds++
+	if r.state == StateWiped {
+		return ActionWipe // terminal: remains wiped until Reset
+	}
+
+	var tamper, authFail bool
+	for _, a := range alerts {
+		switch a.Kind {
+		case core.AlertTamper:
+			tamper = true
+		case core.AlertAuthFailure:
+			authFail = true
+		}
+	}
+
+	if !tamper && !authFail {
+		r.tamperStreak, r.authStreak = 0, 0
+		r.cleanStreak++
+		if r.state != StateNormal && r.cleanStreak >= r.policy.RecoveryRounds {
+			r.state = StateNormal
+			r.record(ActionLog, "recovered after clean rounds")
+		}
+		return ActionNone
+	}
+	r.cleanStreak = 0
+
+	if authFail {
+		r.authStreak++
+		if r.authStreak > r.policy.AuthFailureToleranceRounds {
+			r.state = StateWiped
+			r.record(ActionWipe, "persistent authentication failure")
+			return ActionWipe
+		}
+		r.state = StateHalted
+		r.record(ActionHalt, "authentication failure")
+		return ActionHalt
+	}
+
+	// Tamper without auth failure.
+	r.tamperStreak++
+	if r.tamperStreak > r.policy.TamperToleranceRounds {
+		r.state = StateHalted
+		r.record(ActionHalt, "sustained tampering")
+		return ActionHalt
+	}
+	r.state = StateAlerted
+	r.record(ActionLog, "tamper observed")
+	return ActionLog
+}
+
+// Reset returns the reactor to Normal — the operator path after physical
+// inspection (and, from Wiped, re-provisioning of secrets).
+func (r *Reactor) Reset() {
+	r.state = StateNormal
+	r.tamperStreak, r.authStreak, r.cleanStreak = 0, 0, 0
+	r.record(ActionLog, "operator reset")
+}
+
+func (r *Reactor) record(a Action, cause string) {
+	r.Log = append(r.Log, LogEntry{Round: r.Rounds, Action: a, State: r.state, Cause: cause})
+}

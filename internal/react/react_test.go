@@ -1,0 +1,158 @@
+package react
+
+import (
+	"fmt"
+	"testing"
+
+	"divot/internal/core"
+)
+
+func newReactor(t *testing.T) *Reactor {
+	t.Helper()
+	r, err := NewReactor(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func tamper() []core.Alert {
+	return []core.Alert{{Kind: core.AlertTamper, Side: core.SideCPU}}
+}
+
+func authFail() []core.Alert {
+	return []core.Alert{{Kind: core.AlertAuthFailure, Side: core.SideModule}}
+}
+
+func TestCleanRoundsStayNormal(t *testing.T) {
+	r := newReactor(t)
+	for i := 0; i < 10; i++ {
+		if a := r.Observe(nil); a != ActionNone {
+			t.Fatalf("round %d action %v", i, a)
+		}
+	}
+	if r.State() != StateNormal || len(r.Log) != 0 {
+		t.Errorf("state %v, log %v", r.State(), r.Log)
+	}
+}
+
+func TestTransientTamperOnlyLogged(t *testing.T) {
+	r := newReactor(t)
+	if a := r.Observe(tamper()); a != ActionLog {
+		t.Fatalf("first tamper action %v", a)
+	}
+	if r.State() != StateAlerted {
+		t.Errorf("state %v", r.State())
+	}
+	// The probe disappears; recovery after RecoveryRounds clean rounds.
+	for i := 0; i < DefaultPolicy().RecoveryRounds; i++ {
+		r.Observe(nil)
+	}
+	if r.State() != StateNormal {
+		t.Errorf("state after recovery %v", r.State())
+	}
+}
+
+func TestSustainedTamperHalts(t *testing.T) {
+	r := newReactor(t)
+	p := DefaultPolicy()
+	var last Action
+	for i := 0; i <= p.TamperToleranceRounds; i++ {
+		last = r.Observe(tamper())
+	}
+	if last != ActionHalt || r.State() != StateHalted {
+		t.Errorf("after sustained tamper: action %v, state %v", last, r.State())
+	}
+}
+
+func TestAuthFailureHaltsImmediately(t *testing.T) {
+	r := newReactor(t)
+	if a := r.Observe(authFail()); a != ActionHalt {
+		t.Fatalf("auth failure action %v", a)
+	}
+	if r.State() != StateHalted {
+		t.Errorf("state %v", r.State())
+	}
+}
+
+func TestPersistentAuthFailureWipes(t *testing.T) {
+	r := newReactor(t)
+	p := DefaultPolicy()
+	var last Action
+	for i := 0; i <= p.AuthFailureToleranceRounds; i++ {
+		last = r.Observe(authFail())
+	}
+	if last != ActionWipe || r.State() != StateWiped {
+		t.Fatalf("after persistent failure: action %v, state %v", last, r.State())
+	}
+	// Terminal: clean rounds do not recover a wiped machine.
+	for i := 0; i < 10; i++ {
+		if a := r.Observe(nil); a != ActionWipe {
+			t.Fatalf("wiped state returned %v", a)
+		}
+	}
+	if r.State() != StateWiped {
+		t.Error("wiped state must persist")
+	}
+	// Operator reset re-provisions.
+	r.Reset()
+	if r.State() != StateNormal {
+		t.Error("reset failed")
+	}
+	if a := r.Observe(nil); a != ActionNone {
+		t.Errorf("post-reset action %v", a)
+	}
+}
+
+func TestIntermittentAuthFailureDoesNotWipe(t *testing.T) {
+	// Failures broken by a recovery never accumulate to a wipe — the
+	// paper's module-restored scenario.
+	r := newReactor(t)
+	p := DefaultPolicy()
+	for cycle := 0; cycle < 4; cycle++ {
+		for i := 0; i < p.AuthFailureToleranceRounds; i++ {
+			r.Observe(authFail())
+		}
+		for i := 0; i < p.RecoveryRounds; i++ {
+			r.Observe(nil)
+		}
+		if r.State() != StateNormal {
+			t.Fatalf("cycle %d: state %v", cycle, r.State())
+		}
+	}
+}
+
+func TestLogRecordsCauses(t *testing.T) {
+	r := newReactor(t)
+	r.Observe(tamper())
+	r.Observe(authFail())
+	if len(r.Log) != 2 {
+		t.Fatalf("log %v", r.Log)
+	}
+	if r.Log[0].Cause != "tamper observed" || r.Log[1].Cause != "authentication failure" {
+		t.Errorf("log causes: %v", r.Log)
+	}
+	if r.Log[0].Round != 1 || r.Log[1].Round != 2 {
+		t.Errorf("log rounds: %v", r.Log)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := NewReactor(Policy{RecoveryRounds: 0}); err == nil {
+		t.Error("expected policy error")
+	}
+	if _, err := NewReactor(Policy{TamperToleranceRounds: -1, RecoveryRounds: 1}); err == nil {
+		t.Error("expected policy error")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []fmt.Stringer{
+		ActionNone, ActionLog, ActionHalt, ActionWipe, Action(9),
+		StateNormal, StateAlerted, StateHalted, StateWiped, State(9),
+	} {
+		if s.String() == "" {
+			t.Errorf("empty name for %#v", s)
+		}
+	}
+}

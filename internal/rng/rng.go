@@ -1,0 +1,69 @@
+// Package rng provides deterministic, splittable random streams for the DIVOT
+// simulation. Every stochastic component (line manufacturing, comparator
+// noise, traffic, environment) draws from its own labelled child stream so
+// that experiments are reproducible and components are statistically
+// independent of each other.
+package rng
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Stream is a deterministic random source. It wraps math/rand with a seed
+// derivation scheme that lets a stream be split into independent, labelled
+// children.
+type Stream struct {
+	seed uint64
+	r    *rand.Rand
+}
+
+// New returns a stream rooted at the given seed.
+func New(seed uint64) *Stream {
+	return &Stream{seed: seed, r: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Child derives an independent stream from this stream's seed and a label.
+// Calling Child with the same label always yields an identically seeded
+// stream, regardless of how much the parent has been consumed.
+func (s *Stream) Child(label string) *Stream {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(s.seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	return New(h.Sum64())
+}
+
+// Seed returns the seed this stream was created with.
+func (s *Stream) Seed() uint64 { return s.seed }
+
+// Float64 returns a uniform sample in [0, 1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Gaussian returns a normal sample with the given mean and standard deviation.
+func (s *Stream) Gaussian(mean, sigma float64) float64 {
+	return mean + sigma*s.r.NormFloat64()
+}
+
+// Intn returns a uniform sample in [0, n).
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool { return s.r.Float64() < p }
+
+// Bytes fills b with random bytes.
+func (s *Stream) Bytes(b []byte) {
+	// math/rand Read never fails.
+	s.r.Read(b)
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }

@@ -1,0 +1,41 @@
+package signal
+
+// Convolve returns the full linear convolution of a and b, with length
+// a.Len()+b.Len()-1. Both inputs must share the same rate; the output keeps
+// it. The direct algorithm is used: reflection responses in this codebase are
+// short (hundreds to a few thousand samples) so O(n·m) is faster in practice
+// than setting up transforms, and it is exact.
+func Convolve(a, b *Waveform) *Waveform {
+	sameRate("Convolve", a, b)
+	if a.Len() == 0 || b.Len() == 0 {
+		return New(a.Rate, 0)
+	}
+	out := New(a.Rate, a.Len()+b.Len()-1)
+	for i, av := range a.Samples {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b.Samples {
+			out.Samples[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// sameRate panics unless a and b share a sample rate.
+func sameRate(op string, a, b *Waveform) {
+	if a.Rate != b.Rate {
+		panic("signal: " + op + " rate mismatch")
+	}
+}
+
+// ConvolveTruncated convolves a and b and truncates the result to n samples.
+func ConvolveTruncated(a, b *Waveform, n int) *Waveform {
+	full := Convolve(a, b)
+	if full.Len() <= n {
+		out := New(full.Rate, n)
+		copy(out.Samples, full.Samples)
+		return out
+	}
+	return &Waveform{Rate: full.Rate, Samples: full.Samples[:n]}
+}

@@ -1,0 +1,90 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvolveKnown(t *testing.T) {
+	a := FromSamples(1, []float64{1, 2})
+	b := FromSamples(1, []float64{3, 4, 5})
+	c := Convolve(a, b)
+	want := []float64{3, 10, 13, 10}
+	if c.Len() != len(want) {
+		t.Fatalf("length %d, want %d", c.Len(), len(want))
+	}
+	for i, v := range want {
+		if c.Samples[i] != v {
+			t.Errorf("sample %d = %v, want %v", i, c.Samples[i], v)
+		}
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	w := randWave(r, 32)
+	delta := Impulse(w.Rate, 1, 0)
+	c := Convolve(w, delta)
+	for i := range w.Samples {
+		if math.Abs(c.Samples[i]-w.Samples[i]) > 1e-15 {
+			t.Fatalf("identity convolution differs at %d", i)
+		}
+	}
+}
+
+func TestConvolveCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randWave(r, 17)
+	b := randWave(r, 9)
+	ab := Convolve(a, b)
+	ba := Convolve(b, a)
+	for i := range ab.Samples {
+		if math.Abs(ab.Samples[i]-ba.Samples[i]) > 1e-9 {
+			t.Fatalf("convolution not commutative at %d", i)
+		}
+	}
+}
+
+func TestConvolveLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randWave(r, 12)
+		b := randWave(r, 12)
+		h := randWave(r, 5)
+		lhs := Convolve(Add(a, b), h)
+		rhs := Add(Convolve(a, h), Convolve(b, h))
+		for i := range lhs.Samples {
+			if math.Abs(lhs.Samples[i]-rhs.Samples[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	a := New(1, 0)
+	b := New(1, 5)
+	if Convolve(a, b).Len() != 0 {
+		t.Error("empty convolution should be empty")
+	}
+}
+
+func TestConvolveTruncated(t *testing.T) {
+	a := FromSamples(1, []float64{1, 1})
+	b := FromSamples(1, []float64{1, 1})
+	c := ConvolveTruncated(a, b, 2)
+	if c.Len() != 2 || c.Samples[0] != 1 || c.Samples[1] != 2 {
+		t.Errorf("truncated = %v", c.Samples)
+	}
+	// Truncation longer than the full result zero-pads.
+	c2 := ConvolveTruncated(a, b, 10)
+	if c2.Len() != 10 || c2.Samples[3] != 0 {
+		t.Errorf("padded = %v", c2.Samples)
+	}
+}

@@ -1,0 +1,75 @@
+package signal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStepEdgeLimits(t *testing.T) {
+	w := StepEdge(1e12, 1000, 500e-12, 50e-12, 0.8)
+	if got := w.Samples[0]; math.Abs(got) > 1e-6 {
+		t.Errorf("edge start = %v, want ~0", got)
+	}
+	if got := w.Samples[999]; math.Abs(got-0.8) > 1e-6 {
+		t.Errorf("edge end = %v, want ~0.8", got)
+	}
+	mid := w.At(500e-12)
+	if math.Abs(mid-0.4) > 1e-3 {
+		t.Errorf("edge midpoint = %v, want ~0.4", mid)
+	}
+}
+
+func TestStepEdgeRiseTime(t *testing.T) {
+	rise := 100e-12
+	w := StepEdge(1e13, 20000, 1000e-12, rise, 1)
+	var t10, t90 float64
+	for i, v := range w.Samples {
+		if t10 == 0 && v >= 0.1 {
+			t10 = w.TimeOf(i)
+		}
+		if t90 == 0 && v >= 0.9 {
+			t90 = w.TimeOf(i)
+			break
+		}
+	}
+	got := t90 - t10
+	if math.Abs(got-rise)/rise > 0.05 {
+		t.Errorf("10-90%% rise time = %v, want ~%v", got, rise)
+	}
+}
+
+func TestFallingEdgeMirrors(t *testing.T) {
+	r := StepEdge(1e12, 100, 50e-12, 20e-12, 1)
+	f := FallingEdge(1e12, 100, 50e-12, 20e-12, 1)
+	for i := range r.Samples {
+		if math.Abs(r.Samples[i]+f.Samples[i]-1) > 1e-12 {
+			t.Fatalf("rising+falling != amplitude at %d", i)
+		}
+	}
+}
+
+func TestEdgeDerivativeArea(t *testing.T) {
+	rate := 1e13
+	w := EdgeDerivative(rate, 10000, 500e-12, 40e-12, 0.7)
+	var area float64
+	for _, v := range w.Samples {
+		area += v / rate
+	}
+	if math.Abs(area-0.7) > 1e-3 {
+		t.Errorf("derivative area = %v, want amplitude 0.7", area)
+	}
+	pi, _ := PeakIndex(w)
+	if got := w.TimeOf(pi); math.Abs(got-500e-12) > 1e-12 {
+		t.Errorf("derivative peak at %v, want 500ps", got)
+	}
+}
+
+func TestImpulse(t *testing.T) {
+	w := Impulse(1, 5, 2)
+	if w.Samples[2] != 1 || Energy(w) != 1 {
+		t.Errorf("impulse = %v", w.Samples)
+	}
+	if Energy(Impulse(1, 5, 9)) != 0 {
+		t.Error("out-of-range impulse should be zero")
+	}
+}

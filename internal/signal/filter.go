@@ -1,0 +1,75 @@
+package signal
+
+import "math"
+
+// GaussianSmooth convolves w with a unit-gain Gaussian kernel of the given
+// standard deviation in samples, handling edges by renormalizing the kernel
+// mass that falls inside the waveform. Smoothing at the probe-edge bandwidth
+// removes reconstruction noise above the physical bandwidth without touching
+// the IIP content.
+func GaussianSmooth(w *Waveform, sigmaSamples float64) *Waveform {
+	if sigmaSamples <= 0 {
+		return w.Clone()
+	}
+	radius := int(math.Ceil(4 * sigmaSamples))
+	kernel := make([]float64, 2*radius+1)
+	for i := range kernel {
+		z := (float64(i) - float64(radius)) / sigmaSamples
+		kernel[i] = math.Exp(-0.5 * z * z)
+	}
+	out := New(w.Rate, w.Len())
+	for i := range w.Samples {
+		var acc, mass float64
+		for k, kv := range kernel {
+			j := i + k - radius
+			if j < 0 || j >= w.Len() {
+				continue
+			}
+			acc += kv * w.Samples[j]
+			mass += kv
+		}
+		if mass > 0 {
+			out.Samples[i] = acc / mass
+		}
+	}
+	return out
+}
+
+// MovingAverage smooths w with a centered boxcar of the given width in
+// samples (width < 2 returns a copy).
+func MovingAverage(w *Waveform, width int) *Waveform {
+	if width < 2 {
+		return w.Clone()
+	}
+	half := width / 2
+	out := New(w.Rate, w.Len())
+	for i := range w.Samples {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > w.Len() {
+			hi = w.Len()
+		}
+		var acc float64
+		for j := lo; j < hi; j++ {
+			acc += w.Samples[j]
+		}
+		out.Samples[i] = acc / float64(hi-lo)
+	}
+	return out
+}
+
+// Derivative returns the first difference of w scaled by the sample rate —
+// the local-reflectivity view of a TDR step response.
+func Derivative(w *Waveform) *Waveform {
+	if w.Len() < 2 {
+		return New(w.Rate, 0)
+	}
+	out := New(w.Rate, w.Len()-1)
+	for i := range out.Samples {
+		out.Samples[i] = (w.Samples[i+1] - w.Samples[i]) * w.Rate
+	}
+	return out
+}

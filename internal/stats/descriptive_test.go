@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Mean(xs); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := Variance(xs); got != 2 {
+		t.Errorf("Variance = %v, want 2", got)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("StdDev = %v, want sqrt(2)", got)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty slice should give zero statistics")
+	}
+	if Variance([]float64{7}) != 0 {
+		t.Error("singleton variance should be 0")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Mean != 4 || s.Min != 2 || s.Max != 6 || s.Median != 4 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		var r Running
+		for _, x := range clean {
+			r.Add(x)
+		}
+		if r.N() != len(clean) {
+			return false
+		}
+		if len(clean) == 0 {
+			return r.Mean() == 0 && r.Variance() == 0
+		}
+		scale := 1 + math.Abs(Mean(clean))
+		return math.Abs(r.Mean()-Mean(clean)) < 1e-6*scale &&
+			math.Abs(r.Variance()-Variance(clean)) < 1e-4*(1+Variance(clean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

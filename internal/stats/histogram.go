@@ -1,0 +1,82 @@
+package stats
+
+import "fmt"
+
+// Histogram accumulates counts over equal-width bins spanning [Lo, Hi).
+// Samples outside the range are clamped into the first or last bin so that
+// tail mass is never silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: non-positive bin count %d", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: empty histogram range [%v, %v)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := h.binOf(x)
+	h.Counts[i]++
+	h.total++
+}
+
+// AddAll records every sample in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+func (h *Histogram) binOf(x float64) int {
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenter returns the center x value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Density returns the normalized density of bin i, so that the histogram
+// integrates to 1 over its range. Returns 0 when the histogram is empty.
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(h.total) * h.BinWidth())
+}
+
+// CDFAt returns the empirical CDF evaluated at the right edge of the bin
+// containing x.
+func (h *Histogram) CDFAt(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c int
+	end := h.binOf(x)
+	for i := 0; i <= end; i++ {
+		c += h.Counts[i]
+	}
+	return float64(c) / float64(h.total)
+}

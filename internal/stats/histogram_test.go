@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.AddAll([]float64{0.5, 1.5, 1.6, 9.99})
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Errorf("unexpected counts %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(99)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Errorf("out-of-range samples not clamped: %v", h.Counts)
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	h := NewHistogram(-2, 2, 16)
+	for i := 0; i < 1000; i++ {
+		h.Add(-2 + 4*float64(i)/1000)
+	}
+	var integral float64
+	for i := range h.Counts {
+		integral += h.Density(i) * h.BinWidth()
+	}
+	if math.Abs(integral-1) > 1e-12 {
+		t.Errorf("density integral = %v", integral)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.AddAll([]float64{0.5, 1.5, 2.5, 3.5})
+	if got := h.CDFAt(1.5); got != 0.5 {
+		t.Errorf("CDFAt(1.5) = %v, want 0.5", got)
+	}
+	if got := h.CDFAt(3.5); got != 1 {
+		t.Errorf("CDFAt(3.5) = %v, want 1", got)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("BinCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero bins":   func() { NewHistogram(0, 1, 0) },
+		"empty range": func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of a receiver operating characteristic:
+// the false-positive and true-positive rates at a given score threshold.
+// In the authentication setting a "positive" decision is "accept as genuine",
+// so FPR is the rate at which impostor scores exceed the threshold and TPR is
+// the rate at which genuine scores do.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64
+	TPR       float64
+}
+
+// ROC is a receiver operating characteristic computed from genuine and
+// impostor score samples, with higher scores meaning "more genuine".
+type ROC struct {
+	Points []ROCPoint
+}
+
+// ComputeROC builds an ROC curve by sweeping the decision threshold over
+// every distinct score in the two samples. Both slices must be non-empty.
+func ComputeROC(genuine, impostor []float64) (*ROC, error) {
+	if len(genuine) == 0 || len(impostor) == 0 {
+		return nil, fmt.Errorf("stats: ROC needs non-empty genuine (%d) and impostor (%d) samples",
+			len(genuine), len(impostor))
+	}
+	g := append([]float64(nil), genuine...)
+	im := append([]float64(nil), impostor...)
+	sort.Float64s(g)
+	sort.Float64s(im)
+
+	// Candidate thresholds: all distinct scores plus sentinels below and
+	// above everything, so the curve always spans (0,0) to (1,1).
+	all := make([]float64, 0, len(g)+len(im)+2)
+	all = append(all, g...)
+	all = append(all, im...)
+	sort.Float64s(all)
+	uniq := all[:0]
+	for i, v := range all {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+
+	roc := &ROC{Points: make([]ROCPoint, 0, len(uniq)+2)}
+	addPoint := func(th float64) {
+		// Accept when score >= th.
+		tpr := fractionAtOrAbove(g, th)
+		fpr := fractionAtOrAbove(im, th)
+		roc.Points = append(roc.Points, ROCPoint{Threshold: th, FPR: fpr, TPR: tpr})
+	}
+	lo, hi := uniq[0], uniq[len(uniq)-1]
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	addPoint(hi + span) // accept nothing
+	for i := len(uniq) - 1; i >= 0; i-- {
+		addPoint(uniq[i])
+	}
+	addPoint(lo - span) // accept everything
+	return roc, nil
+}
+
+// fractionAtOrAbove returns the fraction of the sorted sample xs that is >= th.
+func fractionAtOrAbove(xs []float64, th float64) float64 {
+	i := sort.SearchFloat64s(xs, th)
+	return float64(len(xs)-i) / float64(len(xs))
+}
+
+// EER returns the equal error rate: the point where the false-positive rate
+// equals the false-negative rate (1 - TPR), linearly interpolated between the
+// two adjacent operating points, together with the threshold at which it
+// occurs.
+func (r *ROC) EER() (eer, threshold float64) {
+	if len(r.Points) == 0 {
+		return 0, 0
+	}
+	// Points run from strictest (FPR 0) to loosest (FPR 1). FNR = 1 - TPR
+	// decreases along the sweep while FPR increases; find the crossing.
+	prev := r.Points[0]
+	prevDiff := (1 - prev.TPR) - prev.FPR
+	for _, p := range r.Points[1:] {
+		diff := (1 - p.TPR) - p.FPR
+		if diff <= 0 {
+			// Crossing between prev and p; interpolate on the diff.
+			denom := prevDiff - diff
+			t := 1.0
+			if denom > 0 {
+				t = prevDiff / denom
+			}
+			fpr := prev.FPR + t*(p.FPR-prev.FPR)
+			fnr := (1 - prev.TPR) + t*((1-p.TPR)-(1-prev.TPR))
+			th := prev.Threshold + t*(p.Threshold-prev.Threshold)
+			return (fpr + fnr) / 2, th
+		}
+		prev, prevDiff = p, diff
+	}
+	last := r.Points[len(r.Points)-1]
+	return ((1 - last.TPR) + last.FPR) / 2, last.Threshold
+}
+
+// AUC returns the area under the ROC curve via the trapezoid rule.
+func (r *ROC) AUC() float64 {
+	var area float64
+	for i := 1; i < len(r.Points); i++ {
+		a, b := r.Points[i-1], r.Points[i]
+		area += (b.FPR - a.FPR) * (a.TPR + b.TPR) / 2
+	}
+	return area
+}
+
+// FPRAtTPR returns the smallest observed false-positive rate among operating
+// points whose true-positive rate is at least minTPR. It returns 1 if no such
+// point exists.
+func (r *ROC) FPRAtTPR(minTPR float64) float64 {
+	best := 1.0
+	for _, p := range r.Points {
+		if p.TPR >= minTPR && p.FPR < best {
+			best = p.FPR
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestROCPerfectSeparation(t *testing.T) {
+	genuine := []float64{0.9, 0.95, 0.99}
+	impostor := []float64{0.1, 0.2, 0.3}
+	roc, err := ComputeROC(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eer, th := roc.EER()
+	if eer != 0 {
+		t.Errorf("EER = %v, want 0 for perfectly separated scores", eer)
+	}
+	if th <= 0.3 || th > 0.9 {
+		t.Errorf("EER threshold %v should lie between the classes", th)
+	}
+	if auc := roc.AUC(); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+}
+
+func TestROCIndistinguishable(t *testing.T) {
+	same := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	roc, err := ComputeROC(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eer, _ := roc.EER()
+	if math.Abs(eer-0.5) > 0.1 {
+		t.Errorf("EER = %v, want ~0.5 for identical distributions", eer)
+	}
+	if auc := roc.AUC(); math.Abs(auc-0.5) > 0.1 {
+		t.Errorf("AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCPartialOverlap(t *testing.T) {
+	// 1 of 10 impostors above 1 of 10 genuines: EER should be ~0.1.
+	genuine := []float64{0.4, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9}
+	impostor := []float64{0.5, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1}
+	roc, err := ComputeROC(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eer, _ := roc.EER()
+	if math.Abs(eer-0.1) > 0.05 {
+		t.Errorf("EER = %v, want ~0.1", eer)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	roc, err := ComputeROC([]float64{1, 2}, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := roc.Points[0]
+	last := roc.Points[len(roc.Points)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("first point = %+v, want origin", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("last point = %+v, want (1,1)", last)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	genuine := []float64{0.3, 0.5, 0.7, 0.9, 0.95}
+	impostor := []float64{0.1, 0.4, 0.6, 0.2, 0.05}
+	roc, err := ComputeROC(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(roc.Points); i++ {
+		if roc.Points[i].FPR < roc.Points[i-1].FPR {
+			t.Fatalf("FPR not monotone at %d: %v < %v", i, roc.Points[i].FPR, roc.Points[i-1].FPR)
+		}
+		if roc.Points[i].TPR < roc.Points[i-1].TPR {
+			t.Fatalf("TPR not monotone at %d", i)
+		}
+	}
+}
+
+func TestROCEmptyInput(t *testing.T) {
+	if _, err := ComputeROC(nil, []float64{1}); err == nil {
+		t.Error("expected error for empty genuine sample")
+	}
+	if _, err := ComputeROC([]float64{1}, nil); err == nil {
+		t.Error("expected error for empty impostor sample")
+	}
+}
+
+func TestFPRAtTPR(t *testing.T) {
+	genuine := []float64{0.8, 0.9, 1.0}
+	impostor := []float64{0.1, 0.2, 0.85}
+	roc, err := ComputeROC(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// To accept all genuine (TPR=1) threshold must be <= 0.8, letting the
+	// 0.85 impostor in: FPR = 1/3.
+	if got := roc.FPRAtTPR(1.0); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("FPRAtTPR(1.0) = %v, want 1/3", got)
+	}
+}

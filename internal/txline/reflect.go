@@ -1,0 +1,111 @@
+package txline
+
+import (
+	"math"
+
+	"divot/internal/signal"
+)
+
+// Probe describes the edge waveform used to interrogate the line.
+type Probe struct {
+	// RiseTime is the 10-90 % rise time of the launched edge in seconds.
+	RiseTime float64
+	// Amplitude is the edge swing in volts.
+	Amplitude float64
+	// SecondOrder enables the dominant multi-bounce echo term
+	// (termination → source → termination).
+	SecondOrder bool
+}
+
+// DefaultProbe returns a probe matching a 156.25 MHz FPGA I/O edge.
+func DefaultProbe() Probe {
+	return Probe{RiseTime: 120e-12, Amplitude: 0.9, SecondOrder: true}
+}
+
+// Reflect synthesizes the back-reflection waveform received at the source for
+// the line's current state. deltaT is the temperature offset from the 23 °C
+// calibration point, stretch is the mechanical time-axis factor (1 = none),
+// and the output is sampled at rate over n samples starting at t = 0 (edge
+// launch).
+//
+// The result is the superposition over every impedance boundary of the
+// incident edge scaled by the boundary's reflection coefficient, delayed by
+// its round-trip time (under stretch) and attenuated by the line loss.
+func (l *Line) Reflect(p Probe, deltaT, stretch float64, rate float64, n int) *signal.Waveform {
+	// Thermal slowing of the wave stretches all arrival times on top of
+	// any mechanical strain.
+	stretch *= 1 + l.cfg.ThermalStretchPerC*deltaT
+	z, term := l.effectiveProfile(deltaT)
+	segDt := 2 * l.cfg.SegmentLength / l.cfg.Velocity // round trip per segment
+	alpha := l.cfg.LossDBPerMeter * math.Ln10 / 20    // nepers per meter, one way
+
+	type event struct{ t, a float64 }
+	events := make([]event, 0, len(z)+2)
+	// Launch interface (source impedance to first segment) is excluded: the
+	// iTDR couples after the driver, so this static offset carries no IIP
+	// information and is removed during calibration anyway.
+	for i := 0; i < len(z)-1; i++ {
+		g := (z[i+1] - z[i]) / (z[i+1] + z[i])
+		if g == 0 {
+			continue
+		}
+		d := float64(i+1) * l.cfg.SegmentLength
+		att := math.Exp(-2 * alpha * d)
+		events = append(events, event{t: float64(i+1) * segDt, a: g * att})
+	}
+	// Termination reflection.
+	zLast := z[len(z)-1]
+	gTerm := (term - zLast) / (term + zLast)
+	attTerm := math.Exp(-2 * alpha * l.cfg.Length)
+	tTerm := l.RoundTripTime()
+	events = append(events, event{t: tTerm, a: gTerm * attTerm})
+	if p.SecondOrder {
+		// Echo: wave reflects off termination, travels back, re-reflects
+		// off the source impedance, and bounces off the termination again.
+		gSrc := (l.cfg.SourceZ - z[0]) / (l.cfg.SourceZ + z[0])
+		echo := gTerm * gSrc * gTerm * math.Exp(-4*alpha*l.cfg.Length)
+		events = append(events, event{t: 2 * tTerm, a: echo})
+	}
+
+	out := signal.New(rate, n)
+	sigma := p.RiseTime / 2.563
+	// Each reflection is the incident erf edge delayed to the event time.
+	// Evaluate the edge only within ±5σ of its transition and hold 0/full
+	// outside — exact to 3e-7 and ~50x faster than evaluating erf everywhere.
+	window := 5 * sigma
+	for _, ev := range events {
+		tEv := ev.t * stretch
+		amp := p.Amplitude * ev.a
+		loIdx := int((tEv - window) * rate)
+		hiIdx := int((tEv+window)*rate) + 1
+		if loIdx < 0 {
+			loIdx = 0
+		}
+		if hiIdx > n {
+			hiIdx = n
+		}
+		for i := loIdx; i < hiIdx; i++ {
+			t := float64(i)/rate - tEv
+			out.Samples[i] += amp * 0.5 * (1 + math.Erf(t/(sigma*math.Sqrt2)))
+		}
+		// Samples after the window see the full step.
+		for i := hiIdx; i < n; i++ {
+			out.Samples[i] += amp
+		}
+	}
+	return out
+}
+
+// TotalReflectionEnergyBound returns the sum of absolute reflection
+// coefficients — an upper bound on the reflected amplitude relative to the
+// incident edge, used to check passivity.
+func (l *Line) TotalReflectionEnergyBound() float64 {
+	z, term := l.effectiveProfile(0)
+	var s float64
+	for i := 0; i < len(z)-1; i++ {
+		s += math.Abs((z[i+1] - z[i]) / (z[i+1] + z[i]))
+	}
+	zLast := z[len(z)-1]
+	s += math.Abs((term - zLast) / (term + zLast))
+	return s
+}

@@ -1,0 +1,234 @@
+package divot
+
+import (
+	"fmt"
+
+	"divot/internal/memctl"
+	"divot/internal/react"
+	"divot/internal/sim"
+)
+
+// MemorySystem is the paper's Fig. 6 example design, end to end: a DDR-style
+// memory controller (CPU side) and an SDRAM device (module side) joined by a
+// DIVOT-protected bus. Both iTDRs monitor continuously on a discrete-event
+// timeline; the CPU-side gate halts command issue and the module-side gate
+// blocks column accesses whenever authentication fails.
+type MemorySystem struct {
+	// Sched is the shared discrete-event timeline.
+	Sched *sim.Scheduler
+	// Bus is the protected link between controller and device.
+	Bus *Link
+	// Controller is the CPU-side memory controller.
+	Controller *memctl.Controller
+	// Device is the SDRAM module.
+	Device *memctl.Device
+	// Reactor escalates monitoring alerts into platform actions (log,
+	// halt, wipe) per the configured policy.
+	Reactor *react.Reactor
+
+	monitoring bool
+	stopped    bool
+	responses  []memctl.Response
+}
+
+// SimTime is the discrete-event timeline's time unit (picoseconds), used by
+// RunFor/Drain deadlines. The constants below let callers outside this
+// module write `10 * divot.SimMillisecond`.
+type SimTime = sim.Time
+
+// Simulation time constants.
+const (
+	SimPicosecond  = sim.Picosecond
+	SimNanosecond  = sim.Nanosecond
+	SimMicrosecond = sim.Microsecond
+	SimMillisecond = sim.Millisecond
+)
+
+// SimFromSeconds converts floating-point seconds to simulation time.
+var SimFromSeconds = sim.FromSeconds
+
+// Reaction re-exports for MemorySystem callers.
+type (
+	// ReactionPolicy sets the escalation thresholds.
+	ReactionPolicy = react.Policy
+	// ReactionAction is what the platform is told to do.
+	ReactionAction = react.Action
+	// ReactionState is the escalation level.
+	ReactionState = react.State
+)
+
+// Reaction action constants.
+const (
+	ReactNone = react.ActionNone
+	ReactLog  = react.ActionLog
+	ReactHalt = react.ActionHalt
+	ReactWipe = react.ActionWipe
+)
+
+// Reaction state constants.
+const (
+	ReactStateNormal  = react.StateNormal
+	ReactStateAlerted = react.StateAlerted
+	ReactStateHalted  = react.StateHalted
+	ReactStateWiped   = react.StateWiped
+)
+
+// DefaultReactionPolicy re-exports react.DefaultPolicy.
+var DefaultReactionPolicy = react.DefaultPolicy
+
+// Re-exported memory types for callers of MemorySystem.
+type (
+	// MemRequest is a memory operation.
+	MemRequest = memctl.Request
+	// MemResponse is a completed operation's outcome.
+	MemResponse = memctl.Response
+	// MemAddress is a decomposed DRAM address.
+	MemAddress = memctl.Address
+	// MemOp is the operation type.
+	MemOp = memctl.Op
+	// MemStatus is the request outcome status.
+	MemStatus = memctl.Status
+	// ControllerConfig configures the memory controller.
+	ControllerConfig = memctl.ControllerConfig
+	// MemGeometry is the DRAM organization.
+	MemGeometry = memctl.Geometry
+	// MemMapper translates linear physical addresses to DRAM coordinates.
+	MemMapper = memctl.Mapper
+	// MemMapPolicy selects the address-interleaving scheme.
+	MemMapPolicy = memctl.MapPolicy
+)
+
+// Address-mapping constants and constructor.
+const (
+	MapRowMajor        = memctl.MapRowMajor
+	MapBankInterleaved = memctl.MapBankInterleaved
+)
+
+// NewMemMapper builds an address mapper over a geometry.
+var NewMemMapper = memctl.NewMapper
+
+// Memory operation constants.
+const (
+	OpRead                = memctl.OpRead
+	OpWrite               = memctl.OpWrite
+	StatusOK              = memctl.StatusOK
+	StatusBlockedByCPU    = memctl.StatusBlockedByCPU
+	StatusBlockedByModule = memctl.StatusBlockedByModule
+)
+
+// MemoryConfig parameterizes NewMemorySystem.
+type MemoryConfig struct {
+	Controller memctl.ControllerConfig
+	Geometry   memctl.Geometry
+	// MonitorInterval is the simulated time between monitoring rounds;
+	// zero uses one measurement duration (back-to-back monitoring, the
+	// paper's continuous mode).
+	MonitorInterval sim.Time
+	// Reaction sets the alert-escalation policy.
+	Reaction react.Policy
+}
+
+// DefaultMemoryConfig returns an 800 MHz FR-FCFS controller over the default
+// geometry with continuous monitoring and the default escalation policy.
+func DefaultMemoryConfig() MemoryConfig {
+	return MemoryConfig{
+		Controller: memctl.DefaultControllerConfig(),
+		Geometry:   memctl.DefaultGeometry(),
+		Reaction:   react.DefaultPolicy(),
+	}
+}
+
+// NewMemorySystem wires a protected memory system from a calibrated (or
+// yet-to-be-calibrated) link of this system.
+func (s *System) NewMemorySystem(id string, mcfg MemoryConfig) (*MemorySystem, error) {
+	link, err := s.NewLink(id)
+	if err != nil {
+		return nil, err
+	}
+	sched := &sim.Scheduler{}
+	dev, err := memctl.NewDevice(mcfg.Geometry, link.Module.Gate)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := memctl.NewController(sched, dev, mcfg.Controller, link.CPU.Gate)
+	if err != nil {
+		return nil, err
+	}
+	reactor, err := react.NewReactor(mcfg.Reaction)
+	if err != nil {
+		return nil, err
+	}
+	m := &MemorySystem{Sched: sched, Bus: link, Controller: ctl, Device: dev, Reactor: reactor}
+	if mcfg.MonitorInterval > 0 {
+		m.startMonitor(mcfg.MonitorInterval)
+	} else {
+		m.startMonitor(sim.FromSeconds(link.MeasurementDuration()))
+	}
+	return m, nil
+}
+
+// startMonitor schedules the continuous monitoring loop: each round consumes
+// one measurement duration of simulated time and then updates the gates.
+func (m *MemorySystem) startMonitor(interval sim.Time) {
+	if m.monitoring {
+		return
+	}
+	m.monitoring = true
+	var round func()
+	round = func() {
+		if m.stopped {
+			return
+		}
+		if m.Bus.Calibrated() {
+			alerts := m.Bus.MonitorOnce()
+			m.Reactor.Observe(alerts)
+		}
+		m.Sched.After(interval, round)
+	}
+	m.Sched.After(interval, round)
+}
+
+// StopMonitor halts the monitoring loop (ends the simulation cleanly).
+func (m *MemorySystem) StopMonitor() { m.stopped = true }
+
+// Calibrate enrolls the bus fingerprint at both endpoints and opens the
+// gates — §III's pairing step, done at installation time.
+func (m *MemorySystem) Calibrate() error { return m.Bus.Calibrate() }
+
+// Read submits a read; the response is collected into Responses.
+func (m *MemorySystem) Read(addr MemAddress) uint64 {
+	return m.Controller.Submit(&memctl.Request{
+		Op: OpRead, Addr: addr,
+		Done: func(r memctl.Response) { m.responses = append(m.responses, r) },
+	})
+}
+
+// Write submits a write of data (one burst) to addr.
+func (m *MemorySystem) Write(addr MemAddress, data []byte) uint64 {
+	return m.Controller.Submit(&memctl.Request{
+		Op: OpWrite, Addr: addr, Data: data,
+		Done: func(r memctl.Response) { m.responses = append(m.responses, r) },
+	})
+}
+
+// RunFor advances the simulation by d.
+func (m *MemorySystem) RunFor(d sim.Time) { m.Sched.RunUntil(m.Sched.Now() + d) }
+
+// Drain runs until every submitted request has a response or the deadline
+// passes; it returns an error on timeout with requests still in flight.
+func (m *MemorySystem) Drain(submitted int, deadline sim.Time) error {
+	for m.Sched.Now() < deadline && len(m.responses) < submitted {
+		m.RunFor(10 * sim.Microsecond)
+	}
+	if len(m.responses) < submitted {
+		return fmt.Errorf("divot: %d/%d responses after %v",
+			len(m.responses), submitted, m.Sched.Now())
+	}
+	return nil
+}
+
+// Responses returns the collected responses in completion order.
+func (m *MemorySystem) Responses() []MemResponse { return m.responses }
+
+// ClearResponses resets the response log.
+func (m *MemorySystem) ClearResponses() { m.responses = nil }

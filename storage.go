@@ -1,0 +1,112 @@
+package divot
+
+import (
+	"divot/internal/sim"
+	"divot/internal/storage"
+)
+
+// StorageSystem is the §VI future-work direction rendered concrete: a block
+// device behind a DIVOT-protected link. The host-side gate stalls command
+// submission and the device-side gate refuses media access when the link
+// fingerprint stops matching — a stolen drive will not serve blocks to a
+// foreign host.
+type StorageSystem struct {
+	// Sched is the discrete-event timeline.
+	Sched *sim.Scheduler
+	// Bus is the protected link between host and drive.
+	Bus *Link
+	// Host is the command queue; Drive the media.
+	Host  *storage.Host
+	Drive *storage.Device
+
+	monitoring bool
+	stopped    bool
+	comps      []storage.Completion
+}
+
+// Storage re-exports.
+type (
+	// StorageCommand is one block operation.
+	StorageCommand = storage.Command
+	// StorageCompletion is a finished operation.
+	StorageCompletion = storage.Completion
+	// StorageHostConfig parameterizes the host queue.
+	StorageHostConfig = storage.HostConfig
+)
+
+// Storage constants.
+const (
+	StorageBlockSize   = storage.BlockSize
+	StorageRead        = storage.CmdRead
+	StorageWrite       = storage.CmdWrite
+	StorageTrim        = storage.CmdTrim
+	StorageOK          = storage.CompOK
+	StorageBlockedHost = storage.CompBlockedHost
+	StorageBlockedDev  = storage.CompBlockedDevice
+)
+
+// NewStorageSystem wires a protected drive of the given capacity.
+func (s *System) NewStorageSystem(id string, capacityBlocks int64, cfg storage.HostConfig) (*StorageSystem, error) {
+	link, err := s.NewLink(id)
+	if err != nil {
+		return nil, err
+	}
+	sched := &sim.Scheduler{}
+	drive, err := storage.NewDevice(capacityBlocks, link.Module.Gate)
+	if err != nil {
+		return nil, err
+	}
+	host, err := storage.NewHost(sched, drive, cfg, link.CPU.Gate)
+	if err != nil {
+		return nil, err
+	}
+	st := &StorageSystem{Sched: sched, Bus: link, Host: host, Drive: drive}
+	st.startMonitor(sim.FromSeconds(link.MeasurementDuration()))
+	return st, nil
+}
+
+// startMonitor schedules the continuous monitoring loop.
+func (st *StorageSystem) startMonitor(interval sim.Time) {
+	if st.monitoring {
+		return
+	}
+	st.monitoring = true
+	var round func()
+	round = func() {
+		if st.stopped {
+			return
+		}
+		if st.Bus.Calibrated() {
+			st.Bus.MonitorOnce()
+		}
+		st.Sched.After(interval, round)
+	}
+	st.Sched.After(interval, round)
+}
+
+// StopMonitor halts the monitoring loop.
+func (st *StorageSystem) StopMonitor() { st.stopped = true }
+
+// Calibrate pairs host and drive over the link fingerprint.
+func (st *StorageSystem) Calibrate() error { return st.Bus.Calibrate() }
+
+// ReadBlock queues a block read.
+func (st *StorageSystem) ReadBlock(lba int64) uint64 {
+	return st.Host.Submit(&storage.Command{Op: storage.CmdRead, LBA: lba,
+		Done: func(c storage.Completion) { st.comps = append(st.comps, c) }})
+}
+
+// WriteBlock queues a block write.
+func (st *StorageSystem) WriteBlock(lba int64, data []byte) uint64 {
+	return st.Host.Submit(&storage.Command{Op: storage.CmdWrite, LBA: lba, Data: data,
+		Done: func(c storage.Completion) { st.comps = append(st.comps, c) }})
+}
+
+// RunFor advances the simulation by d.
+func (st *StorageSystem) RunFor(d sim.Time) { st.Sched.RunUntil(st.Sched.Now() + d) }
+
+// Completions returns the collected completions in finish order.
+func (st *StorageSystem) Completions() []storage.Completion { return st.comps }
+
+// ClearCompletions resets the completion log.
+func (st *StorageSystem) ClearCompletions() { st.comps = nil }
