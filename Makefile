@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-experiments vet
+
+all: build test
+
+## build: compile every package and the divotbench CLI
+build:
+	$(GO) build ./...
+
+## test: the tier-1 gate — build everything and run the full test suite
+test: build
+	$(GO) test ./...
+
+## race: run the internal suites (core, exper, itdr, ...) under the race detector
+race:
+	$(GO) test -race ./internal/...
+
+## bench: run every benchmark once (experiment tables + hot-path micros)
+bench:
+	$(GO) test . -run XXX -bench . -benchtime 1x
+
+## bench-experiments: the fleet campaign benchmarks used in EXPERIMENTS.md's
+## performance table; pipe through benchstat to compare runs
+bench-experiments:
+	$(GO) test . -run XXX -bench 'Fig7|Fig8|Vibration|EMI|CloneResistance|IIPMeasurement|MonitorAll' -benchtime 3x
+
+vet:
+	$(GO) vet ./...

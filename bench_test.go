@@ -175,3 +175,31 @@ func BenchmarkMonitorRound(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMonitorAll times one fleet monitoring round (6 calibrated links)
+// at different worker counts — the headline operation of the parallel layer.
+func BenchmarkMonitorAll(b *testing.B) {
+	for _, par := range []int{1, 0} { // sequential vs one worker per CPU
+		name := "sequential"
+		if par == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := divot.DefaultConfig()
+			cfg.Engine.Parallelism = par
+			sys := divot.NewSystem(9, cfg)
+			for i := 0; i < 6; i++ {
+				if err := sys.MustNewLink(string(rune('a' + i))).Calibrate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rounds := sys.MonitorAll(); len(rounds) != 6 {
+					b.Fatal("missing links")
+				}
+			}
+		})
+	}
+}

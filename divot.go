@@ -32,6 +32,7 @@ package divot
 
 import (
 	"fmt"
+	"sort"
 
 	"divot/internal/core"
 	"divot/internal/rng"
@@ -40,6 +41,12 @@ import (
 
 // Config bundles every tunable of a DIVOT deployment. The zero value is not
 // usable; start from DefaultConfig.
+//
+// Engine.Parallelism is the system's single parallelism knob: it bounds the
+// worker goroutines of MonitorAll's link fan-out, MultiLink wire fan-out,
+// and the ETS-bin fan-out inside each measurement. 0 (the default) uses one
+// worker per CPU; 1 runs fully sequentially; every setting produces
+// bit-identical results.
 type Config struct {
 	// Engine is the endpoint configuration: iTDR parameters, fingerprint
 	// pipeline, thresholds, enrollment depth.
@@ -113,6 +120,41 @@ func (s *System) NewMultiLink(id string, n int) (*MultiLink, error) {
 // experiment code that needs auxiliary randomness (attack parameters,
 // traffic).
 func (s *System) Stream(label string) *rng.Stream { return s.stream.Child(label) }
+
+// LinkAlerts pairs a link's id with the alerts one monitoring round raised
+// on it (empty when the link stayed clean).
+type LinkAlerts struct {
+	ID     string
+	Alerts []core.Alert
+}
+
+// MonitorAll runs one monitoring round on every calibrated single link of
+// the system, fanning links across the engine's Parallelism workers
+// (Config.Engine.Parallelism; 0 = one worker per CPU). Links own disjoint
+// instruments and random streams, so the outcome is bit-identical to
+// monitoring each link in id order — the knob trades wall-clock only.
+// Results come back sorted by link id. Multi-wire buses created with
+// NewMultiLink are monitored through their own MonitorOnce and are not
+// included here.
+func (s *System) MonitorAll() []LinkAlerts {
+	ids := make([]string, 0, len(s.links))
+	for id, l := range s.links {
+		if l != nil { // nil entries reserve multi-link ids
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	links := make([]*core.Link, len(ids))
+	for i, id := range ids {
+		links[i] = s.links[id].Link
+	}
+	alerts := core.MonitorAll(links, s.cfg.Engine.Parallelism)
+	out := make([]LinkAlerts, len(ids))
+	for i, id := range ids {
+		out[i] = LinkAlerts{ID: id, Alerts: alerts[i]}
+	}
+	return out
+}
 
 // Link is one DIVOT-protected bus. It embeds the core engine link, so the
 // full §III protocol (Calibrate, MonitorOnce, MonitorN, gates, alerts) is

@@ -25,6 +25,64 @@ func Example() {
 	// module gate open on attacker bus: false
 }
 
+// ExampleSystem_NewLink manufactures a protected bus and calibrates it —
+// after enrollment both gates open.
+func ExampleSystem_NewLink() {
+	sys := divot.NewSystem(11, divot.DefaultConfig())
+	bus, err := sys.NewLink("pcie-lane0")
+	if err != nil {
+		panic(err)
+	}
+	if err := bus.Calibrate(); err != nil {
+		panic(err)
+	}
+	fmt.Println("CPU gate:", bus.CPU.Gate.Authorized())
+	fmt.Println("module gate:", bus.Module.Gate.Authorized())
+	// Output:
+	// CPU gate: true
+	// module gate: true
+}
+
+// ExampleLink_Authenticate spot-checks a bus before and after a wire tap is
+// soldered on: the tap dents the IIP and the check rejects.
+func ExampleLink_Authenticate() {
+	sys := divot.NewSystem(21, divot.DefaultConfig())
+	bus := sys.MustNewLink("dimm0")
+	if err := bus.Calibrate(); err != nil {
+		panic(err)
+	}
+	fmt.Println("clean bus accepted:", bus.Authenticate().Accepted)
+
+	divot.NewWireTap(0.1).Apply(bus.Line)
+	res := bus.Authenticate()
+	fmt.Println("tapped bus accepted:", res.Accepted)
+	fmt.Println("tamper localized:", res.Tampered)
+	// Output:
+	// clean bus accepted: true
+	// tapped bus accepted: false
+	// tamper localized: true
+}
+
+// ExampleSystem_MonitorAll monitors a whole fleet in one call; links fan out
+// across Config.Engine.Parallelism workers with bit-identical results.
+func ExampleSystem_MonitorAll() {
+	cfg := divot.DefaultConfig()
+	cfg.Engine.Parallelism = 4 // 0 = one worker per CPU, 1 = sequential
+	sys := divot.NewSystem(31, cfg)
+	for _, id := range []string{"cmd", "addr", "dq0"} {
+		if err := sys.MustNewLink(id).Calibrate(); err != nil {
+			panic(err)
+		}
+	}
+	for _, la := range sys.MonitorAll() {
+		fmt.Printf("%s: %d alerts\n", la.ID, len(la.Alerts))
+	}
+	// Output:
+	// addr: 0 alerts
+	// cmd: 0 alerts
+	// dq0: 0 alerts
+}
+
 // ExampleSystem_NewMultiLink protects a bus as a 2-wire bundle: both wires
 // must authenticate.
 func ExampleSystem_NewMultiLink() {

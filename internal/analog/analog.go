@@ -65,7 +65,18 @@ func NewComparator(noiseSigma, offset float64, noise *rng.Stream) *Comparator {
 // Sample returns the comparator decision for signal voltage vsig against
 // reference voltage vref, including one fresh noise draw.
 func (c *Comparator) Sample(vsig, vref float64) bool {
-	n := c.noise.Gaussian(0, c.NoiseSigma)
+	return c.SampleWith(c.noise, vsig, vref)
+}
+
+// SampleWith is Sample drawing its noise from an explicit stream instead of
+// the comparator's own. The parallel measurement engine hands each ETS phase
+// bin its own labelled child stream through here, so concurrent bins never
+// contend on (or reorder) a shared noise sequence — the property that makes
+// measurements bit-identical at any parallelism. NoiseSigma and Offset are
+// still the comparator's, so offset drift injected between measurements is
+// honoured.
+func (c *Comparator) SampleWith(noise *rng.Stream, vsig, vref float64) bool {
+	n := noise.Gaussian(0, c.NoiseSigma)
 	return vsig+c.Offset+n > vref
 }
 

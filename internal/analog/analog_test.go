@@ -108,3 +108,18 @@ func TestFixedReference(t *testing.T) {
 		t.Error("period must be positive")
 	}
 }
+
+func TestSampleWithMatchesOwnStream(t *testing.T) {
+	// SampleWith(s, ...) with an identically-derived stream must reproduce
+	// Sample's decisions exactly — the property the parallel measurement
+	// engine relies on when it hands each ETS bin its own stream child.
+	own := NewComparator(1e-3, 0.2e-3, rng.New(5).Child("noise"))
+	ext := NewComparator(1e-3, 0.2e-3, nil)
+	s := rng.New(5).Child("noise")
+	for i := 0; i < 1000; i++ {
+		vsig := float64(i%7) * 1e-4
+		if own.Sample(vsig, 3e-4) != ext.SampleWith(s, vsig, 3e-4) {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+}

@@ -22,19 +22,25 @@ type ADCTDR struct {
 	NoiseSigma float64
 	// SimilarityThreshold flags a mismatch.
 	SimilarityThreshold float64
+	// Averages is the number of captures averaged per acquisition.
+	// Scope-class TDRs always average repeated sweeps; 8 pulls the random
+	// front-end noise under the quantization floor so the 0.98 threshold
+	// discriminates on line structure, not capture luck.
+	Averages int
 
 	probe txline.Probe
 	noise *rng.Stream
 	ref   *signal.Waveform
 }
 
-// NewADCTDR returns a 40 GSa/s, 8-bit TDR.
+// NewADCTDR returns a 40 GSa/s, 8-bit TDR averaging 8 captures per sweep.
 func NewADCTDR(stream *rng.Stream) *ADCTDR {
 	return &ADCTDR{
 		SampleRateHz:        40e9,
 		Bits:                8,
 		NoiseSigma:          0.5e-3,
 		SimilarityThreshold: 0.98,
+		Averages:            8,
 		probe:               txline.DefaultProbe(),
 		noise:               stream.Child("adc-noise"),
 	}
@@ -54,25 +60,39 @@ func (a *ADCTDR) Capability() Capability {
 	}
 }
 
-// acquire digitizes one reflection capture: sampling, quantization, noise.
+// acquire digitizes one averaged acquisition: each capture is sampled,
+// noised and quantized independently, then the post-ADC captures are
+// averaged — how a real sampling scope accumulates sweeps.
 func (a *ADCTDR) acquire(l *txline.Line) *signal.Waveform {
 	n := int(1.2 * l.RoundTripTime() * a.SampleRateHz)
-	w := l.Reflect(a.probe, 0, 1, a.SampleRateHz, n)
+	avg := a.Averages
+	if avg < 1 {
+		avg = 1
+	}
 	fullScale := 0.05 // ±50 mV input range
 	lsb := 2 * fullScale / float64(int(1)<<a.Bits)
-	for i, v := range w.Samples {
-		v += a.noise.Gaussian(0, a.NoiseSigma)
-		// Quantize to the ADC grid, clipping at full scale.
-		if v > fullScale {
-			v = fullScale
+	var acc *signal.Waveform
+	for k := 0; k < avg; k++ {
+		w := l.Reflect(a.probe, 0, 1, a.SampleRateHz, n)
+		for i, v := range w.Samples {
+			v += a.noise.Gaussian(0, a.NoiseSigma)
+			// Quantize to the ADC grid, clipping at full scale.
+			if v > fullScale {
+				v = fullScale
+			}
+			if v < -fullScale {
+				v = -fullScale
+			}
+			q := float64(int(v/lsb+0.5*sign(v))) * lsb
+			w.Samples[i] = q
 		}
-		if v < -fullScale {
-			v = -fullScale
+		if acc == nil {
+			acc = w
+		} else {
+			signal.AddInPlace(acc, w)
 		}
-		q := float64(int(v/lsb+0.5*sign(v))) * lsb
-		w.Samples[i] = q
 	}
-	return w
+	return signal.Scale(acc, 1/float64(avg))
 }
 
 func sign(v float64) float64 {

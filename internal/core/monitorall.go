@@ -1,0 +1,26 @@
+package core
+
+import "divot/internal/pool"
+
+// MonitorAll runs one monitoring round on every link concurrently, with at
+// most `parallelism` worker goroutines (0 = runtime.GOMAXPROCS(0), 1 =
+// sequential). Each link owns disjoint instruments, random streams, gates and
+// alert history, so the rounds are independent and the combined outcome —
+// returned alerts, gate states, and each instrument's measurement history —
+// is bit-identical to calling MonitorOnce on each link in slice order.
+//
+// The returned slice is indexed like links: element i holds the alerts link i
+// raised this round. Links must all be calibrated; like MonitorOnce, an
+// uncalibrated link panics.
+//
+// The one sharing caveat: monitoring reads each endpoint's observed line but
+// never mutates it, so two links may safely observe the same physical line
+// (the cold-boot scenario). Mounting or removing attacks concurrently with
+// MonitorAll is a data race, exactly as it is with MonitorOnce.
+func MonitorAll(links []*Link, parallelism int) [][]Alert {
+	out := make([][]Alert, len(links))
+	pool.Run(len(links), pool.Workers(parallelism), func(_, i int) {
+		out[i] = links[i].MonitorOnce()
+	})
+	return out
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"divot/internal/attack"
+)
+
+// TestMonitorAllMatchesSequential asserts the fleet fan-out contract: one
+// MonitorAll round over a mixed fleet (clean links plus a tapped one) yields
+// exactly the alerts a sequential MonitorOnce loop would, at every worker
+// count. Links own disjoint instruments and streams, so concurrency cannot
+// change the physics.
+func TestMonitorAllMatchesSequential(t *testing.T) {
+	build := func() []*Link {
+		links := make([]*Link, 3)
+		for i, seed := range []uint64{11, 12, 13} {
+			links[i] = calibrated(t, seed)
+		}
+		// Tap the middle link so the round produces non-empty alerts too.
+		attack.DefaultWireTap(0.1).Apply(links[1].Line)
+		return links
+	}
+
+	seq := build()
+	want := make([][]Alert, len(seq))
+	for i, l := range seq {
+		want[i] = l.MonitorOnce()
+	}
+
+	for _, par := range []int{1, 4, 0} {
+		got := MonitorAll(build(), par)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: MonitorAll alerts differ from sequential MonitorOnce\ngot  %+v\nwant %+v",
+				par, got, want)
+		}
+	}
+
+	if got := MonitorAll(nil, 4); len(got) != 0 {
+		t.Fatalf("MonitorAll(nil) = %+v, want empty", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"divot/internal/fingerprint"
 	"divot/internal/memctl"
+	"divot/internal/pool"
 	"divot/internal/rng"
 	"divot/internal/txline"
 )
@@ -51,10 +52,16 @@ func NewMultiLink(id string, cfg Config, lineCfg txline.Config, n int, stream *r
 	return m, nil
 }
 
-// Calibrate enrolls every wire and opens the fused gates.
+// Calibrate enrolls every wire and opens the fused gates. Wires own disjoint
+// lines and instruments, so enrollment fans out across the engine's
+// Parallelism workers with results identical to enrolling in order.
 func (m *MultiLink) Calibrate() error {
-	for _, l := range m.Wires {
-		if err := l.Calibrate(); err != nil {
+	errs := make([]error, len(m.Wires))
+	pool.Run(len(m.Wires), pool.Workers(m.cfg.Parallelism), func(_, w int) {
+		errs[w] = m.Wires[w].Calibrate()
+	})
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
@@ -85,8 +92,14 @@ func (m *MultiLink) MonitorOnce() []Alert {
 	}
 	var raised []Alert
 	for _, side := range []Side{SideCPU, SideModule} {
+		// Wires are measured concurrently — each wire touches only its own
+		// instrument and its own result slot — then scored, reported and
+		// fused in wire order, so the round is bit-identical to the
+		// sequential loop at any worker count.
 		scores := make([]float64, len(m.Wires))
-		for w, l := range m.Wires {
+		tampers := make([]*fingerprint.TamperVerdict, len(m.Wires))
+		pool.Run(len(m.Wires), pool.Workers(m.cfg.Parallelism), func(_, w int) {
+			l := m.Wires[w]
 			e := l.endpoint(side)
 			enrolled, ok := e.store.Lookup(enrollKey)
 			if !ok {
@@ -95,6 +108,11 @@ func (m *MultiLink) MonitorOnce() []Alert {
 			measured := e.measure(l.Env)
 			scores[w] = fingerprint.Similarity(measured, enrolled)
 			if v := e.detector.Check(measured, enrolled); v.Tampered {
+				tampers[w] = &v
+			}
+		})
+		for w, v := range tampers {
+			if v != nil {
 				raised = append(raised, Alert{
 					Side: side, Kind: AlertTamper, Wire: w,
 					PeakError: v.PeakError, Position: v.Position,

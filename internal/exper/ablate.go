@@ -203,8 +203,8 @@ func RepresentationAblation(seed uint64, mode Mode) Result {
 		rigs := fleet(itdr.DefaultConfig(), txline.DefaultConfig(), stream, lines)
 		for _, r := range rigs {
 			r.pipe.Mode = m
-			r.enroll(env, enroll)
 		}
+		enrollFleet(rigs, env, enroll)
 		genuine, impostor := scores(rigs, env, per)
 		gmin, _ := stats.MinMax(genuine)
 		_, imax := stats.MinMax(impostor)

@@ -24,9 +24,7 @@ func AlignmentExtension(seed uint64, mode Mode) Result {
 	stream := rng.New(seed).Child("fleet")
 	rigs := fleet(itdr.DefaultConfig(), txline.DefaultConfig(), stream, lines)
 	room := txline.RoomTemperature()
-	for _, r := range rigs {
-		r.enroll(room, enroll)
-	}
+	enrollFleet(rigs, room, enroll)
 	env := txline.OvenSwing()
 	const maxStrain = 0.05
 

@@ -3,7 +3,6 @@ package exper
 import (
 	"fmt"
 
-	"divot/internal/fingerprint"
 	"divot/internal/itdr"
 	"divot/internal/rng"
 	"divot/internal/txline"
@@ -31,9 +30,10 @@ func CloneResistance(seed uint64, mode Mode) Result {
 	// stretch-aligned matcher makes viable under temperature swing
 	// (see the `align` experiment: aligned genuine stays ≥0.97 at 75 °C).
 	const loose, strict = 0.70, 0.85
+	reps := presentations(mode)
 
 	// Genuine baseline.
-	genuine := fingerprint.Similarity(victim.measure(env), victim.ref)
+	genuine := victim.meanSimilarity(env, reps)
 
 	res := Result{
 		ID:    "clone",
@@ -56,11 +56,14 @@ func CloneResistance(seed uint64, mode Mode) Result {
 		}
 		best := 0.0
 		// The attacker fabricates several candidates and presents the best.
+		// Each candidate is scored by its mean similarity over several
+		// presentations — the clone's structural match to the fingerprint,
+		// not the luck of one comparator-noise draw.
 		for k := 0; k < trials; k++ {
 			clone := txline.CloneLine(victim.line, spec,
 				stream.Child(fmt.Sprintf("fab-%.4f-%d", resolution, k)))
 			victim.line, clone = clone, victim.line // present clone to the victim's iTDR
-			s := fingerprint.Similarity(victim.measure(env), victim.ref)
+			s := victim.meanSimilarity(env, reps)
 			victim.line, clone = clone, victim.line // restore
 			if s > best {
 				best = s

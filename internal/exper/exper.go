@@ -12,10 +12,20 @@ import (
 
 	"divot/internal/fingerprint"
 	"divot/internal/itdr"
+	"divot/internal/pool"
 	"divot/internal/rng"
 	"divot/internal/signal"
 	"divot/internal/txline"
 )
+
+// Parallelism bounds the worker goroutines the fleet operations below
+// (construction, enrollment, scoring) fan rigs across, and is threaded into
+// every rig's iTDR so ETS bins fan out too. 0 (the default) selects
+// runtime.GOMAXPROCS(0); 1 reproduces the fully sequential path. Experiment
+// results are bit-identical at every setting — each rig and each bin derives
+// its randomness from its own labelled stream child — so this knob trades
+// wall-clock only, never output.
+var Parallelism int
 
 // Mode trades runtime for statistical depth.
 type Mode int
@@ -112,6 +122,28 @@ func (r *rig) measure(env txline.Environment) fingerprint.IIP {
 	return r.pipe.FromWaveform(r.refl.Measure(r.line, env).IIP)
 }
 
+// meanSimilarity scores k fresh presentations against the enrolled reference
+// and returns the mean similarity. A single-shot score carries a couple of
+// percent of counting noise at the default trial budget, enough to scramble
+// the ordering of nearby table rows; averaging k presentations shrinks it by
+// √k so row differences reflect the swept variable, not measurement luck.
+func (r *rig) meanSimilarity(env txline.Environment, k int) float64 {
+	var s float64
+	for i := 0; i < k; i++ {
+		s += fingerprint.Similarity(r.measure(env), r.ref)
+	}
+	return s / float64(k)
+}
+
+// presentations returns the per-row measurement count the ablation tables
+// average over.
+func presentations(mode Mode) int {
+	if mode == Full {
+		return 8
+	}
+	return 4
+}
+
 // enroll stores the averaged reference fingerprint.
 func (r *rig) enroll(env txline.Environment, n int) {
 	ws := make([]*signal.Waveform, n)
@@ -125,31 +157,56 @@ func (r *rig) enroll(env txline.Environment, n int) {
 	r.ref = f
 }
 
-// fleet builds the paper's six devices under test.
+// fleet builds the paper's six devices under test. Rig identity derives only
+// from the stream and the rig's label (never from construction order), so the
+// rigs are manufactured concurrently across Parallelism workers.
 func fleet(icfg itdr.Config, lcfg txline.Config, stream *rng.Stream, n int) []*rig {
-	rigs := make([]*rig, n)
-	for i := range rigs {
-		rigs[i] = newRig(fmt.Sprintf("tx%d", i), icfg, lcfg, stream)
+	if icfg.Parallelism == 0 {
+		icfg.Parallelism = Parallelism
 	}
+	rigs := make([]*rig, n)
+	pool.Run(n, pool.Workers(Parallelism), func(_, i int) {
+		rigs[i] = newRig(fmt.Sprintf("tx%d", i), icfg, lcfg, stream)
+	})
 	return rigs
+}
+
+// enrollFleet enrolls every rig, fanning rigs across Parallelism workers.
+// Each rig consumes only its own instrument streams, so the enrolled
+// references are identical to enrolling sequentially.
+func enrollFleet(rigs []*rig, env txline.Environment, n int) {
+	pool.Run(len(rigs), pool.Workers(Parallelism), func(_, i int) {
+		rigs[i].enroll(env, n)
+	})
 }
 
 // scores collects genuine and impostor similarity scores: every rig is
 // measured `per` times under env, and each measurement is scored against
-// every rig's enrolled reference.
+// every rig's enrolled reference. Rigs fan out across Parallelism workers —
+// a rig's measurements must stay ordered (its instrument streams advance per
+// measurement), so the rig is the unit of concurrency; per-rig score slices
+// are concatenated in rig order afterwards, reproducing the sequential
+// output exactly.
 func scores(rigs []*rig, env txline.Environment, per int) (genuine, impostor []float64) {
-	for _, r := range rigs {
+	gen := make([][]float64, len(rigs))
+	imp := make([][]float64, len(rigs))
+	pool.Run(len(rigs), pool.Workers(Parallelism), func(_, i int) {
+		r := rigs[i]
 		for k := 0; k < per; k++ {
 			m := r.measure(env)
 			for _, other := range rigs {
 				s := fingerprint.Similarity(m, other.ref)
 				if other == r {
-					genuine = append(genuine, s)
+					gen[i] = append(gen[i], s)
 				} else {
-					impostor = append(impostor, s)
+					imp[i] = append(imp[i], s)
 				}
 			}
 		}
+	})
+	for i := range rigs {
+		genuine = append(genuine, gen[i]...)
+		impostor = append(impostor, imp[i]...)
 	}
 	return genuine, impostor
 }

@@ -30,9 +30,7 @@ func authCampaign(id, title, claim string, env txline.Environment, seed uint64, 
 	stream := rng.New(seed).Child("fleet")
 	rigs := fleet(itdr.DefaultConfig(), txline.DefaultConfig(), stream, lines)
 	room := txline.RoomTemperature()
-	for _, r := range rigs {
-		r.enroll(room, enroll)
-	}
+	enrollFleet(rigs, room, enroll)
 	genuine, impostor := scores(rigs, env, per)
 	roc, err := stats.ComputeROC(genuine, impostor)
 	if err != nil {

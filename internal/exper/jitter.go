@@ -3,7 +3,6 @@ package exper
 import (
 	"fmt"
 
-	"divot/internal/fingerprint"
 	"divot/internal/itdr"
 	"divot/internal/rng"
 	"divot/internal/txline"
@@ -29,12 +28,17 @@ func JitterAblation(seed uint64, mode Mode) Result {
 	if mode == Quick {
 		enroll = 6
 	}
+	reps := presentations(mode)
 	for _, jit := range []float64{0, 1e-12, 2e-12, 5e-12, 11e-12, 25e-12, 60e-12} {
 		icfg := itdr.DefaultConfig()
 		icfg.PhaseJitterRMS = jit
-		r := newRig(fmt.Sprintf("dut-%.0fps", jit*1e12), icfg, lcfg, stream)
+		// Same rig identity for every row: stream children derive from
+		// labels, not consumption, so each row gets the *identical* line and
+		// instrument noise and differs only in the jitter magnitude — a
+		// paired ablation rather than seven different devices.
+		r := newRig("dut", icfg, lcfg, stream)
 		r.enroll(env, enroll)
-		s := fingerprint.Similarity(r.measure(env), r.ref)
+		s := r.meanSimilarity(env, reps)
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("%.0f ps", jit*1e12),
 			fmt.Sprintf("%.1fx", jit/icfg.PhaseStepSec),

@@ -10,11 +10,46 @@ import (
 // APC implements the analog-to-probability conversion math: the forward map
 // from signal voltage to ones-probability for a given reference-level set,
 // and the inverse map used to reconstruct the voltage from a measured count.
+//
+// Invariant: NoiseSigma and Offset are fixed at construction and must not be
+// mutated afterwards — NewAPC hoists the noise Gaussian into the value so the
+// per-call maps stop rebuilding (and revalidating) it, and an Inverter built
+// from an APC caches tables derived from both fields. Uncalibrated offset
+// drift is modelled at the comparator (Reflectometer.InjectOffsetDrift), not
+// here, precisely because the APC's inverse map is not supposed to know
+// about it.
 type APC struct {
 	// NoiseSigma is the comparator's input-referred RMS noise.
 	NoiseSigma float64
 	// Offset is the comparator's calibrated static offset.
 	Offset float64
+
+	// gauss is the hoisted N(0, NoiseSigma) distribution. The zero value
+	// (Sigma == 0) marks a literal-constructed APC; gaussian() falls back to
+	// building it on the fly so the exported struct stays usable as a plain
+	// value.
+	gauss stats.Gaussian
+}
+
+// NewAPC returns an APC with the noise Gaussian hoisted into the value. All
+// hot paths construct APCs through here; the composite-CDF maps below then
+// reuse the cached distribution instead of calling stats.NewGaussian per
+// evaluation.
+func NewAPC(noiseSigma, offset float64) APC {
+	return APC{
+		NoiseSigma: noiseSigma,
+		Offset:     offset,
+		gauss:      stats.NewGaussian(0, noiseSigma),
+	}
+}
+
+// gaussian returns the hoisted noise distribution, tolerating APCs built as
+// struct literals (tests, experiment code) by constructing it on demand.
+func (a APC) gaussian() stats.Gaussian {
+	if a.gauss.Sigma != 0 {
+		return a.gauss
+	}
+	return stats.NewGaussian(0, a.NoiseSigma)
 }
 
 // Probability returns p{Y=1} for signal voltage v against the given set of
@@ -25,7 +60,7 @@ func (a APC) Probability(v float64, refs []float64) float64 {
 	if len(refs) == 0 {
 		panic("itdr: APC needs at least one reference level")
 	}
-	g := stats.NewGaussian(0, a.NoiseSigma)
+	g := a.gaussian()
 	var p float64
 	for _, r := range refs {
 		p += g.CDF(v + a.Offset - r)
@@ -36,7 +71,10 @@ func (a APC) Probability(v float64, refs []float64) float64 {
 // Sensitivity returns d p{Y=1} / d v at voltage v — the composite PDF, which
 // is the APC sensitivity definition of Eq. 3.
 func (a APC) Sensitivity(v float64, refs []float64) float64 {
-	g := stats.NewGaussian(0, a.NoiseSigma)
+	if len(refs) == 0 {
+		panic("itdr: APC needs at least one reference level")
+	}
+	g := a.gaussian()
 	var s float64
 	for _, r := range refs {
 		s += g.PDF(v + a.Offset - r)
@@ -44,11 +82,75 @@ func (a APC) Sensitivity(v float64, refs []float64) float64 {
 	return s / float64(len(refs))
 }
 
-// EstimateVoltage inverts the composite CDF: given a measured ones-fraction
-// over trials trials, it returns the voltage estimate (Eq. 2 generalized).
-// The estimate is clamped to the invertible range spanned by the reference
-// levels plus a few noise sigmas.
-func (a APC) EstimateVoltage(onesFraction float64, trials int, refs []float64) float64 {
+// inverterTableSize is the grid resolution of a promoted inverter. Over the
+// default ~12 mV bracket this is a ~46 µV step, whose interpolation error
+// (sub-5 µV, see the stats tests) sits three orders of magnitude below the
+// per-bin counting noise.
+const inverterTableSize = 256
+
+// Inverter is the reusable inverse APC map for one fixed reference-level
+// set: measured ones-fraction in, reconstructed voltage out. Constructing an
+// Inverter sorts the levels once and hoists every per-call quantity; Promote
+// additionally tabulates the composite CDF so steady-state inversion does no
+// transcendental math at all. The Reflectometer keeps one Inverter per ETS
+// phase bin and promotes it as soon as the bin's reference set proves stable
+// across measurements (always, for clock-triggered probing).
+//
+// An Inverter is immutable after Promote and safe for concurrent use; the
+// promotion itself must be single-goroutine (the measurement engine
+// guarantees this by owning each bin's slot on exactly one worker).
+type Inverter struct {
+	cdf   *stats.CompositeCDF
+	table *stats.InverseTable // nil until Promote
+	refs  []float64           // the (unsorted) reference set this was built for
+}
+
+// NewInverter builds the inverse map for the given reference levels. The
+// slice is copied; callers may reuse their scratch buffer.
+func (a APC) NewInverter(refs []float64) *Inverter {
+	if len(refs) == 0 {
+		panic("itdr: APC needs at least one reference level")
+	}
+	centers := make([]float64, len(refs))
+	for i, r := range refs {
+		centers[i] = r - a.Offset
+	}
+	return &Inverter{
+		cdf:  stats.NewCompositeCDF(a.gaussian().Sigma, centers),
+		refs: append([]float64(nil), refs...),
+	}
+}
+
+// Matches reports whether the inverter was built for exactly this reference
+// sequence — the cache-hit test for per-bin reuse across measurements.
+func (iv *Inverter) Matches(refs []float64) bool {
+	if len(refs) != len(iv.refs) {
+		return false
+	}
+	for i, r := range refs {
+		if r != iv.refs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Promoted reports whether the composite CDF has been tabulated.
+func (iv *Inverter) Promoted() bool { return iv.table != nil }
+
+// Promote tabulates the composite CDF so subsequent Estimate calls invert by
+// interpolation instead of bisection. Idempotent.
+func (iv *Inverter) Promote() {
+	if iv.table == nil {
+		iv.table = iv.cdf.InverseTable(inverterTableSize)
+	}
+}
+
+// Estimate inverts the composite CDF: given a measured ones-fraction over
+// `trials` trials, it returns the voltage estimate (Eq. 2 generalized),
+// clamped to the invertible range spanned by the reference levels plus a few
+// noise sigmas.
+func (iv *Inverter) Estimate(onesFraction float64, trials int) float64 {
 	if trials <= 0 {
 		panic(fmt.Sprintf("itdr: non-positive trial count %d", trials))
 	}
@@ -62,24 +164,17 @@ func (a APC) EstimateVoltage(onesFraction float64, trials int, refs []float64) f
 	if p > 1-eps {
 		p = 1 - eps
 	}
-	lo, hi := refs[0], refs[0]
-	for _, r := range refs {
-		lo = math.Min(lo, r)
-		hi = math.Max(hi, r)
+	if iv.table != nil {
+		return iv.table.Invert(p)
 	}
-	lo -= 6 * a.NoiseSigma
-	hi += 6 * a.NoiseSigma
-	// The composite CDF is strictly monotone in v; bisect. 36 halvings of
-	// a ~20 mV bracket reach sub-picovolt precision, far below the noise.
-	for i := 0; i < 36; i++ {
-		mid := (lo + hi) / 2
-		if a.Probability(mid, refs) < p {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return (lo + hi) / 2
+	return iv.cdf.Invert(p)
+}
+
+// EstimateVoltage is the one-shot form of the inverse map, for callers that
+// do not hold a reference set long enough to amortize an Inverter. The
+// composite CDF is strictly monotone in v; bisect.
+func (a APC) EstimateVoltage(onesFraction float64, trials int, refs []float64) float64 {
+	return a.NewInverter(refs).Estimate(onesFraction, trials)
 }
 
 // LinearRegion returns the width of the voltage interval around the center

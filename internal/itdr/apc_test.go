@@ -128,3 +128,72 @@ func TestProbabilityPanicsWithoutRefs(t *testing.T) {
 	}()
 	APC{NoiseSigma: 1}.Probability(0, nil)
 }
+
+func TestInverterMatches(t *testing.T) {
+	apc := APC{NoiseSigma: 1e-3}
+	refs := []float64{-1e-3, 0, 1e-3}
+	iv := apc.NewInverter(refs)
+	if !iv.Matches(refs) {
+		t.Error("inverter must match the refs it was built for")
+	}
+	if !iv.Matches([]float64{-1e-3, 0, 1e-3}) {
+		t.Error("Matches must compare values, not slice identity")
+	}
+	if iv.Matches(refs[:2]) {
+		t.Error("matched a shorter reference set")
+	}
+	if iv.Matches([]float64{-1e-3, 0, 2e-3}) {
+		t.Error("matched a different reference set")
+	}
+}
+
+func TestInverterPromoteKeepsEstimates(t *testing.T) {
+	// Promotion swaps bisection for table interpolation; over the clamped
+	// input range the two must agree to well under the counting noise a
+	// 25-trial bin carries (~2% of a sigma), or the per-bin cache would
+	// change measurements when it kicks in.
+	apc := APC{NoiseSigma: 1e-3}
+	refs := []float64{-2e-3, -1e-3, 0, 1e-3, 2e-3}
+	exact := apc.NewInverter(refs)
+	tabled := apc.NewInverter(refs)
+	tabled.Promote()
+	if !tabled.Promoted() || exact.Promoted() {
+		t.Fatal("Promoted flags wrong")
+	}
+	tabled.Promote() // idempotent
+	const trials = 25
+	for k := 0; k <= trials; k++ {
+		p := float64(k) / trials
+		a, b := exact.Estimate(p, trials), tabled.Estimate(p, trials)
+		if math.Abs(a-b) > 2e-5 {
+			t.Errorf("p=%v: bisection %v vs table %v", p, a, b)
+		}
+	}
+}
+
+func TestEstimateVoltageMatchesInverter(t *testing.T) {
+	apc := APC{NoiseSigma: 0.4e-3}
+	refs := []float64{-1e-3, 0.5e-3, 1.5e-3}
+	iv := apc.NewInverter(refs)
+	for _, p := range []float64{0, 0.1, 0.48, 0.9, 1} {
+		if got, want := apc.EstimateVoltage(p, 25, refs), iv.Estimate(p, 25); got != want {
+			t.Errorf("p=%v: EstimateVoltage %v, Inverter.Estimate %v", p, got, want)
+		}
+	}
+}
+
+func TestNewAPCMatchesLiteral(t *testing.T) {
+	// NewAPC hoists the Gaussian; a literal APC builds it per call. Both
+	// forms must price probabilities identically.
+	hoisted := NewAPC(0.4e-3, 0.1e-3)
+	literal := APC{NoiseSigma: 0.4e-3, Offset: 0.1e-3}
+	refs := []float64{-0.5e-3, 0, 0.5e-3}
+	for _, d := range []float64{-2e-3, -1e-4, 0, 3e-4, 2e-3} {
+		if got, want := hoisted.Probability(d, refs), literal.Probability(d, refs); got != want {
+			t.Errorf("delta %v: hoisted %v, literal %v", d, got, want)
+		}
+		if got, want := hoisted.Sensitivity(d, refs), literal.Sensitivity(d, refs); got != want {
+			t.Errorf("sensitivity at %v: hoisted %v, literal %v", d, got, want)
+		}
+	}
+}

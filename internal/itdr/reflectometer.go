@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"divot/internal/analog"
+	"divot/internal/pool"
 	"divot/internal/rng"
 	"divot/internal/signal"
 	"divot/internal/txline"
@@ -38,6 +39,16 @@ type Reflectometer struct {
 	probe txline.Probe
 	envRN *rng.Stream
 	seq   uint64 // measurement counter, for per-measurement sub-streams
+
+	// binInv caches one inverse APC map per ETS phase bin across
+	// measurements. Clock-triggered probing revisits each bin with the same
+	// Vernier reference sequence every measurement, so from the second
+	// measurement on the bin's inverter is promoted to a tabulated CDF and
+	// reconstruction stops paying for erfc entirely. Each slot is touched by
+	// exactly one worker per measurement (bins are the unit of fan-out), and
+	// measurements are separated by the pool's join, so no locking is
+	// needed.
+	binInv []*Inverter
 }
 
 // New builds a reflectometer. The stream seeds both the comparator noise and
@@ -57,7 +68,7 @@ func New(cfg Config, probe txline.Probe, mod analog.Modulator, stream *rng.Strea
 		cfg:   cfg,
 		comp:  analog.NewComparator(cfg.ComparatorNoise, cfg.ComparatorOffset, stream.Child("comparator")),
 		mod:   mod,
-		apc:   APC{NoiseSigma: cfg.ComparatorNoise, Offset: cfg.ComparatorOffset},
+		apc:   NewAPC(cfg.ComparatorNoise, cfg.ComparatorOffset),
 		probe: probe,
 		envRN: stream.Child("environment"),
 	}, nil
@@ -97,6 +108,16 @@ func (r *Reflectometer) Measure(line *txline.Line, env txline.Environment) Measu
 }
 
 // measureUnder runs the acquisition for a fixed environmental condition.
+//
+// Acquisition is organized around the fact that ETS phase bins are
+// embarrassingly parallel: every bin owns its trigger search, its trial
+// loop, and its inverse-map evaluation, and nothing a bin computes feeds any
+// other bin. Each bin therefore derives all of its randomness (trigger
+// pattern, EMI phase, PLL jitter, comparator noise) from its own labelled
+// child of the per-measurement stream and writes only to its own output
+// slot, so fanning bins across cfg.EffectiveParallelism() workers yields
+// bit-identical IIPs at any worker count — Parallelism=1 runs the same
+// per-bin code inline.
 func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) Measurement {
 	cfg := r.cfg
 	bins := cfg.Bins()
@@ -112,28 +133,56 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 	// nominal) never reaches the detector. Removing it keeps the waveform
 	// centered in the APC's dynamic range regardless of which line is
 	// attached — without this, lines with a large average offset would
-	// saturate the comparator range.
-	seen = signal.RemoveMean(seen)
+	// saturate the comparator range. (In place: the coupler output above is
+	// a fresh buffer this measurement owns.)
+	seen = signal.RemoveMeanInPlace(seen)
 
 	clockPeriod := 1 / cfg.SampleClockHz
 	// Fresh randomness for each measurement: the trigger pattern depends
 	// on the live traffic and the EMI aggressor drifts in phase, so
 	// neither may repeat identically between measurements.
 	r.seq++
-	mStream := r.envRN.Child(fmt.Sprintf("measurement-%d", r.seq))
-	trigStream := mStream.Child("trigger")
-	emiStream := mStream.Child("emi")
-	jitStream := mStream.Child("pll-jitter")
+	mStream := r.envRN.ChildN("measurement", r.seq)
+	if len(r.binInv) != bins {
+		r.binInv = make([]*Inverter, bins)
+	}
 
 	out := signal.New(rate, bins)
-	trials := 0
-	cycle := 0
-	refs := make([]float64, cfg.TrialsPerBin)
-	for m := 0; m < bins; m++ {
+	binCycles := make([]int, bins)
+	workers := cfg.EffectiveParallelism()
+	if workers > bins {
+		workers = bins
+	}
+	// One reference-level scratch buffer per worker, reused across the bins
+	// that worker happens to execute.
+	scratch := make([][]float64, workers)
+	for w := range scratch {
+		scratch[w] = make([]float64, cfg.TrialsPerBin)
+	}
+
+	// Deterministic per-bin cycle base: bin m behaves as if it were acquired
+	// after the m bins before it, preserving the sequential path's Vernier
+	// phase rotation from bin to bin (without it, every bin would sweep the
+	// reference levels from the same phase and the quantization residual
+	// would correlate across the whole IIP). For data-triggered modes the
+	// base uses the expected stride 1/density.
+	binStride := cfg.TrialsPerBin
+	if cfg.Trigger != TriggerClock {
+		binStride = int(float64(cfg.TrialsPerBin) / cfg.TriggerDensity)
+	}
+
+	pool.Run(bins, workers, func(worker, m int) {
+		// All randomness below derives from the bin index, never from which
+		// worker runs the bin or in what order.
+		bs := mStream.ChildN("bin", uint64(m))
+		refs := scratch[worker]
 		tBin := float64(m) * cfg.PhaseStepSec
+		xtalk := cond.CrosstalkAt(tBin)
 		ones := 0
+		cycleBase := m * binStride
+		cycle := 0
 		for j := 0; j < cfg.TrialsPerBin; j++ {
-			// Advance to the next cycle carrying a usable launch edge.
+			// Advance to the bin's next cycle carrying a usable launch edge.
 			polarity := 1.0
 			switch cfg.Trigger {
 			case TriggerClock:
@@ -141,25 +190,25 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 			case TriggerFIFO:
 				for {
 					cycle++
-					if trigStream.Bool(cfg.TriggerDensity) {
+					if bs.Bool(cfg.TriggerDensity) {
 						break
 					}
 				}
 			case TriggerNone:
 				for {
 					cycle++
-					if trigStream.Bool(2 * cfg.TriggerDensity) {
+					if bs.Bool(2 * cfg.TriggerDensity) {
 						break
 					}
 				}
 				// Edge direction is uncontrolled: half the launches are
 				// rising, half falling, and a falling edge's reflection is
 				// the negative of the rising edge's.
-				if trigStream.Bool(0.5) {
+				if bs.Bool(0.5) {
 					polarity = -1
 				}
 			}
-			tAbs := float64(cycle)*clockPeriod + tBin
+			tAbs := float64(cycleBase+cycle)*clockPeriod + tBin
 			ref := r.mod.Level(tAbs)
 			refs[j] = ref
 			// The EMI aggressor is asynchronous to the sampling clock: its
@@ -170,7 +219,7 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 			// not average out; that adversarial case is out of scope here.
 			var emi float64
 			if cond.EMIAmplitude != 0 {
-				emi = cond.EMIAmplitude * math.Sin(emiStream.Uniform(0, 2*math.Pi))
+				emi = cond.EMIAmplitude * math.Sin(bs.Uniform(0, 2*math.Pi))
 			}
 			// The PLL's phase-shifted clock jitters around the nominal
 			// bin position, so each trial samples the waveform slightly
@@ -178,23 +227,39 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 			// local slew rate.
 			tSample := tBin
 			if cfg.PhaseJitterRMS > 0 {
-				tSample += jitStream.Gaussian(0, cfg.PhaseJitterRMS)
+				tSample += bs.Gaussian(0, cfg.PhaseJitterRMS)
 			}
-			vsig := polarity*seen.At(tSample) + emi + cond.CrosstalkAt(tBin)
-			if r.comp.Sample(vsig, ref) {
+			vsig := polarity*seen.At(tSample) + emi + xtalk
+			if r.comp.SampleWith(bs, vsig, ref) {
 				ones++
 			}
-			trials++
 		}
 		p := float64(ones) / float64(cfg.TrialsPerBin)
-		v := r.apc.EstimateVoltage(p, cfg.TrialsPerBin, refs)
+		// Per-bin inverse-map cache: reuse the inverter while the bin's
+		// reference sequence repeats (always, under TriggerClock) and
+		// promote it to a tabulated CDF on the first reuse. Data-triggered
+		// modes see fresh cycle offsets each measurement, so they rebuild —
+		// still cheaper than before thanks to the sorted, windowed CDF.
+		inv := r.binInv[m]
+		if inv == nil || !inv.Matches(refs) {
+			inv = r.apc.NewInverter(refs)
+			r.binInv[m] = inv
+		} else {
+			inv.Promote()
+		}
 		// Refer the estimate back to the line by undoing the coupler gain.
-		out.Samples[m] = v / cfg.Coupler.Factor
+		out.Samples[m] = inv.Estimate(p, cfg.TrialsPerBin) / cfg.Coupler.Factor
+		binCycles[m] = cycle
+	})
+
+	cycles := 0
+	for _, c := range binCycles {
+		cycles += c
 	}
 	return Measurement{
 		IIP:        out,
-		Trials:     trials,
-		CyclesUsed: cycle,
-		Duration:   float64(cycle) / cfg.SampleClockHz,
+		Trials:     bins * cfg.TrialsPerBin,
+		CyclesUsed: cycles,
+		Duration:   float64(cycles) / cfg.SampleClockHz,
 	}
 }

@@ -1,0 +1,104 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestRunCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		Run(n, workers, func(_, i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunResultsIndependentOfWorkerCount(t *testing.T) {
+	// The determinism contract: per-slot writes keyed by i produce identical
+	// results at any worker count.
+	compute := func(workers int) []int {
+		out := make([]int, 200)
+		Run(len(out), workers, func(_, i int) { out[i] = i * i })
+		return out
+	}
+	want := compute(1)
+	for _, workers := range []int{2, 3, 16} {
+		got := compute(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunWorkerIndexBounded(t *testing.T) {
+	const n, workers = 50, 4
+	var bad atomic.Int32
+	Run(n, workers, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d tasks saw out-of-range worker ids", bad.Load())
+	}
+}
+
+func TestRunInlineWhenSingleWorker(t *testing.T) {
+	// workers=1 must run on the calling goroutine in index order.
+	var order []int
+	Run(5, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("inline run reported worker %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order %v", order)
+		}
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	ran := false
+	Run(0, 8, func(_, _ int) { ran = true })
+	if ran {
+		t.Error("Run(0, ...) executed a task")
+	}
+}
+
+func TestRunPropagatesWorkerPanic(t *testing.T) {
+	// A panicking task must surface on the caller like the sequential path
+	// would, not kill the process from a worker goroutine.
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	Run(100, 4, func(_, i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Run returned instead of panicking")
+}

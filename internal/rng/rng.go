@@ -3,16 +3,28 @@
 // noise, traffic, environment) draws from its own labelled child stream so
 // that experiments are reproducible and components are statistically
 // independent of each other.
+//
+// Determinism contract: a stream's output depends only on its seed, and a
+// child's seed depends only on the parent's seed and the label — never on how
+// much the parent (or any sibling) has been consumed. This is what lets the
+// measurement engine fan independent units of work (ETS phase bins, fleet
+// rigs, monitored links) across goroutines and still produce bit-identical
+// results at any parallelism level: each unit derives its own child stream
+// from a stable label, so scheduling order cannot change what anyone draws.
+//
+// Streams are backed by PCG (math/rand/v2): two words of state, so forking a
+// child per phase bin inside a hot measurement loop costs a few dozen bytes,
+// not the ~5 KB a math/rand v1 source would.
 package rng
 
 import (
 	"hash/fnv"
-	"math/rand"
+	"math/rand/v2"
 )
 
-// Stream is a deterministic random source. It wraps math/rand with a seed
-// derivation scheme that lets a stream be split into independent, labelled
-// children.
+// Stream is a deterministic random source. It wraps a PCG generator with a
+// seed derivation scheme that lets a stream be split into independent,
+// labelled children.
 type Stream struct {
 	seed uint64
 	r    *rand.Rand
@@ -20,13 +32,30 @@ type Stream struct {
 
 // New returns a stream rooted at the given seed.
 func New(seed uint64) *Stream {
-	return &Stream{seed: seed, r: rand.New(rand.NewSource(int64(seed)))}
+	// The second PCG word is decorrelated from the first with a golden-ratio
+	// increment so that nearby seeds do not yield overlapping sequences.
+	return &Stream{seed: seed, r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
 }
 
 // Child derives an independent stream from this stream's seed and a label.
 // Calling Child with the same label always yields an identically seeded
 // stream, regardless of how much the parent has been consumed.
 func (s *Stream) Child(label string) *Stream {
+	return New(s.deriveSeed(label, 0, false))
+}
+
+// ChildN derives an independent stream from the seed, a label, and an index —
+// the allocation-light equivalent of Child(fmt.Sprintf("%s-%d", label, n))
+// for fan-out loops that fork one stream per work unit. Distinct (label, n)
+// pairs yield independent streams, and ChildN never collides with Child: the
+// index is hashed as a fixed-width suffix, not formatted into the label.
+func (s *Stream) ChildN(label string, n uint64) *Stream {
+	return New(s.deriveSeed(label, n, true))
+}
+
+// deriveSeed hashes the parent seed, the label, and (optionally) an index
+// into a child seed.
+func (s *Stream) deriveSeed(label string, n uint64, indexed bool) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for i := range buf {
@@ -34,7 +63,13 @@ func (s *Stream) Child(label string) *Stream {
 	}
 	h.Write(buf[:])
 	h.Write([]byte(label))
-	return New(h.Sum64())
+	if indexed {
+		for i := range buf {
+			buf[i] = byte(n >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // Seed returns the seed this stream was created with.
@@ -54,15 +89,27 @@ func (s *Stream) Gaussian(mean, sigma float64) float64 {
 }
 
 // Intn returns a uniform sample in [0, n).
-func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+func (s *Stream) Intn(n int) int { return s.r.IntN(n) }
 
 // Bool returns true with probability p.
 func (s *Stream) Bool(p float64) bool { return s.r.Float64() < p }
 
 // Bytes fills b with random bytes.
 func (s *Stream) Bytes(b []byte) {
-	// math/rand Read never fails.
-	s.r.Read(b)
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := s.r.Uint64()
+		for j := 0; j < 8; j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	if i < len(b) {
+		v := s.r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
 }
 
 // Perm returns a random permutation of [0, n).

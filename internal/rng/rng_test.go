@@ -96,3 +96,30 @@ func TestSeedAccessor(t *testing.T) {
 		t.Error("Seed accessor mismatch")
 	}
 }
+
+func TestChildNIndependentOfParentConsumption(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	b.Float64() // consume the parent; children must not notice
+	ca, cb := a.ChildN("bin", 7), b.ChildN("bin", 7)
+	for i := 0; i < 100; i++ {
+		if ca.Float64() != cb.Float64() {
+			t.Fatalf("ChildN depends on parent consumption (draw %d)", i)
+		}
+	}
+}
+
+func TestChildNIndicesDiffer(t *testing.T) {
+	p := New(42)
+	seen := make(map[uint64]uint64)
+	for n := uint64(0); n < 343; n++ {
+		s := p.ChildN("bin", n).Seed()
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ChildN seeds collide: indices %d and %d", prev, n)
+		}
+		seen[s] = n
+	}
+	if p.ChildN("bin", 0).Seed() == p.Child("bin").Seed() {
+		t.Error("ChildN(label, 0) must not collide with Child(label)")
+	}
+}

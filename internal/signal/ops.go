@@ -89,6 +89,17 @@ func RemoveMean(w *Waveform) *Waveform {
 	return out
 }
 
+// RemoveMeanInPlace subtracts the mean from w's own samples and returns w —
+// the scratch-reusing form of RemoveMean for hot paths that own their buffer
+// (the measurement engine de-means the coupler output it just synthesized).
+func RemoveMeanInPlace(w *Waveform) *Waveform {
+	m := Mean(w)
+	for i := range w.Samples {
+		w.Samples[i] -= m
+	}
+	return w
+}
+
 // Normalize returns w scaled to unit energy. A zero waveform is returned
 // unchanged (as a copy) to avoid dividing by zero.
 func Normalize(w *Waveform) *Waveform {

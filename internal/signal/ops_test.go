@@ -145,3 +145,18 @@ func TestCauchySchwarz(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRemoveMeanInPlaceMatchesRemoveMean(t *testing.T) {
+	w := New(1e9, 5)
+	copy(w.Samples, []float64{3, -1, 4, 1, 5})
+	want := RemoveMean(w)
+	got := RemoveMeanInPlace(w)
+	if got != w {
+		t.Error("RemoveMeanInPlace must return its argument")
+	}
+	for i := range want.Samples {
+		if got.Samples[i] != want.Samples[i] {
+			t.Errorf("sample %d: in-place %v, copy %v", i, got.Samples[i], want.Samples[i])
+		}
+	}
+}

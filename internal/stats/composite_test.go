@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveCompositeCDF is the textbook formulation the optimized type must match.
+func naiveCompositeCDF(sigma float64, centers []float64, x float64) float64 {
+	g := NewGaussian(0, sigma)
+	var p float64
+	for _, t := range centers {
+		p += g.CDF(x - t)
+	}
+	return p / float64(len(centers))
+}
+
+func vernierCenters() []float64 {
+	// 25 levels spanning ~6 mV, like the default PDM reference set, in
+	// deliberately unsorted order.
+	cs := make([]float64, 25)
+	for i := range cs {
+		cs[i] = 3e-3 - float64((i*7)%25)*0.25e-3
+	}
+	return cs
+}
+
+func TestCompositeCDFMatchesNaive(t *testing.T) {
+	const sigma = 0.4e-3
+	cs := vernierCenters()
+	c := NewCompositeCDF(sigma, cs)
+	for x := -8e-3; x <= 8e-3; x += 0.13e-3 {
+		got := c.Eval(x)
+		want := naiveCompositeCDF(sigma, cs, x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Eval(%v) = %v, naive %v", x, got, want)
+		}
+	}
+}
+
+func TestCompositeCDFMonotone(t *testing.T) {
+	c := NewCompositeCDF(0.4e-3, vernierCenters())
+	prev := -1.0
+	for x := -10e-3; x <= 10e-3; x += 0.05e-3 {
+		p := c.Eval(x)
+		if p < prev {
+			t.Fatalf("CDF decreased at %v: %v < %v", x, p, prev)
+		}
+		prev = p
+	}
+	lo, hi := c.Bracket(6)
+	if c.Eval(lo) > 1e-6 || c.Eval(hi) < 1-1e-6 {
+		t.Errorf("bracket [%v, %v] not saturated: %v .. %v", lo, hi, c.Eval(lo), c.Eval(hi))
+	}
+}
+
+func TestCompositeCDFInvertRoundTrips(t *testing.T) {
+	c := NewCompositeCDF(0.4e-3, vernierCenters())
+	for _, p := range []float64{0.02, 0.1, 0.3, 0.5, 0.7, 0.9, 0.98} {
+		x := c.Invert(p)
+		if got := c.Eval(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("Eval(Invert(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestInverseTableTracksExactInverse(t *testing.T) {
+	c := NewCompositeCDF(0.4e-3, vernierCenters())
+	tab := c.InverseTable(256)
+	for _, p := range []float64{0.02, 0.1, 0.25, 0.5, 0.75, 0.9, 0.98} {
+		exact := c.Invert(p)
+		fast := tab.Invert(p)
+		// The interpolation error budget: a few microvolts against a
+		// 0.4 mV noise floor.
+		if math.Abs(fast-exact) > 5e-6 {
+			t.Errorf("table Invert(%v) = %v, exact %v (err %v)", p, fast, exact, fast-exact)
+		}
+	}
+}
+
+func TestInverseTableClampsOutOfRange(t *testing.T) {
+	c := NewCompositeCDF(0.4e-3, []float64{0})
+	tab := c.InverseTable(64)
+	lo, hi := c.Bracket(6)
+	if got := tab.Invert(-1); got != lo {
+		t.Errorf("Invert(-1) = %v, want bracket lo %v", got, lo)
+	}
+	if got := tab.Invert(2); got != hi {
+		t.Errorf("Invert(2) = %v, want bracket hi %v", got, hi)
+	}
+}
+
+func TestCompositeCDFPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"sigma":   func() { NewCompositeCDF(0, []float64{0}) },
+		"centers": func() { NewCompositeCDF(1, nil) },
+		"table":   func() { NewCompositeCDF(1, []float64{0}).InverseTable(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
