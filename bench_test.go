@@ -170,7 +170,9 @@ func BenchmarkMonitorRound(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if alerts := l.MonitorOnce(); len(alerts) != 0 {
+		if alerts, err := l.MonitorOnce(); err != nil {
+			b.Fatal(err)
+		} else if len(alerts) != 0 {
 			b.Fatal("unexpected alert on clean link")
 		}
 	}
@@ -196,7 +198,9 @@ func BenchmarkMonitorAll(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if rounds := sys.MonitorAll(); len(rounds) != 6 {
+				if rounds, err := sys.MonitorAll(); err != nil {
+					b.Fatal(err)
+				} else if len(rounds) != 6 {
 					b.Fatal("missing links")
 				}
 			}

@@ -36,7 +36,11 @@ func main() {
 	if err := factory.Calibrate(); err != nil {
 		fail(err)
 	}
-	fmt.Printf("calibrated; clean monitoring rounds: %d alerts\n", len(factory.MonitorN(2)))
+	cleanAlerts, err := factory.MonitorN(2)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("calibrated; clean monitoring rounds: %d alerts\n", len(cleanAlerts))
 
 	cpuPath := filepath.Join(*dir, "bus0-cpu.eprom.json")
 	modPath := filepath.Join(*dir, "bus0-module.eprom.json")
@@ -66,14 +70,21 @@ func main() {
 	if err := field.RestoreCalibration(cpuROM, modROM); err != nil {
 		fail(err)
 	}
-	alerts := field.MonitorN(3)
+	alerts, err := field.MonitorN(3)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("restored; 3 monitoring rounds raised %d alerts; gates cpu=%v module=%v\n",
 		len(alerts), field.CPU.Gate.Authorized(), field.Module.Gate.Authorized())
 
 	fmt.Println("\n== sanity: restored engine still rejects a foreign bus ==")
 	attacker := txline.New("foreign", txline.DefaultConfig(), rng.New(*seed+1))
 	field.Module.SetObservedLine(attacker)
-	for _, a := range field.MonitorOnce() {
+	foreign, err := field.MonitorOnce()
+	if err != nil {
+		fail(err)
+	}
+	for _, a := range foreign {
 		fmt.Println("ALERT", a)
 	}
 }

@@ -31,6 +31,7 @@
 package divot
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -68,20 +69,34 @@ type System struct {
 	cfg    Config
 	stream *rng.Stream
 	links  map[string]*Link
+	multis map[string]*MultiLink
 }
 
 // NewSystem creates a system rooted at the given seed.
 func NewSystem(seed uint64, cfg Config) *System {
-	return &System{cfg: cfg, stream: rng.New(seed), links: make(map[string]*Link)}
+	return &System{
+		cfg:    cfg,
+		stream: rng.New(seed),
+		links:  make(map[string]*Link),
+		multis: make(map[string]*MultiLink),
+	}
 }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// taken reports whether an id names any bus in the system — single links and
+// multi-wire buses share one namespace.
+func (s *System) taken(id string) bool {
+	_, single := s.links[id]
+	_, multi := s.multis[id]
+	return single || multi
+}
+
 // NewLink manufactures a fresh protected bus. Each id yields an independent
 // intrinsic IIP; reusing an id is an error.
 func (s *System) NewLink(id string) (*Link, error) {
-	if _, dup := s.links[id]; dup {
+	if s.taken(id) {
 		return nil, fmt.Errorf("divot: link %q already exists", id)
 	}
 	inner, err := core.NewLink(id, s.cfg.Engine, s.cfg.Line, s.stream.Child("link-"+id))
@@ -103,17 +118,31 @@ func (s *System) MustNewLink(id string) *Link {
 }
 
 // NewMultiLink manufactures a protected bus of n wires whose fused gates
-// require every wire to authenticate (§IV-C's multi-wire direction).
+// require every wire to authenticate (§IV-C's multi-wire direction). The bus
+// registers under the same id namespace as single links and participates in
+// MonitorAll and HealthAll.
 func (s *System) NewMultiLink(id string, n int) (*MultiLink, error) {
-	if _, dup := s.links[id]; dup {
+	if s.taken(id) {
 		return nil, fmt.Errorf("divot: link %q already exists", id)
 	}
 	m, err := core.NewMultiLink(id, s.cfg.Engine, s.cfg.Line, n, s.stream.Child("multilink-"+id))
 	if err != nil {
 		return nil, err
 	}
-	s.links[id] = nil // reserve the id
+	s.multis[id] = m
 	return m, nil
+}
+
+// Link returns the single link registered under id, if any.
+func (s *System) Link(id string) (*Link, bool) {
+	l, ok := s.links[id]
+	return l, ok
+}
+
+// MultiLink returns the multi-wire bus registered under id, if any.
+func (s *System) MultiLink(id string) (*MultiLink, bool) {
+	m, ok := s.multis[id]
+	return m, ok
 }
 
 // Stream derives a labelled random stream from the system seed, for
@@ -121,38 +150,89 @@ func (s *System) NewMultiLink(id string, n int) (*MultiLink, error) {
 // traffic).
 func (s *System) Stream(label string) *rng.Stream { return s.stream.Child(label) }
 
-// LinkAlerts pairs a link's id with the alerts one monitoring round raised
-// on it (empty when the link stayed clean).
+// LinkAlerts pairs a bus id with the alerts one monitoring round raised on
+// it (empty when the bus stayed clean). A bus the round could not monitor is
+// returned with Skipped set and the Reason stated instead of being silently
+// dropped.
 type LinkAlerts struct {
 	ID     string
 	Alerts []core.Alert
+	// Skipped reports that no monitoring round ran on this bus; Reason says
+	// why (e.g. "not calibrated").
+	Skipped bool
+	Reason  string
 }
 
-// MonitorAll runs one monitoring round on every calibrated single link of
-// the system, fanning links across the engine's Parallelism workers
-// (Config.Engine.Parallelism; 0 = one worker per CPU). Links own disjoint
+// MonitorAll runs one monitoring round on every bus of the system — single
+// links fan out across the engine's Parallelism workers
+// (Config.Engine.Parallelism; 0 = one worker per CPU), multi-wire buses run
+// their fused round with the same internal fan-out. Buses own disjoint
 // instruments and random streams, so the outcome is bit-identical to
-// monitoring each link in id order — the knob trades wall-clock only.
-// Results come back sorted by link id. Multi-wire buses created with
-// NewMultiLink are monitored through their own MonitorOnce and are not
-// included here.
-func (s *System) MonitorAll() []LinkAlerts {
-	ids := make([]string, 0, len(s.links))
-	for id, l := range s.links {
-		if l != nil { // nil entries reserve multi-link ids
-			ids = append(ids, id)
+// monitoring each in id order — the knob trades wall-clock only. Results
+// come back sorted by bus id; uncalibrated buses are reported as Skipped.
+// Protocol errors (lost enrollment) are joined into the returned error, with
+// the healthy buses' rounds unaffected.
+func (s *System) MonitorAll() ([]LinkAlerts, error) {
+	singleIDs := make([]string, 0, len(s.links))
+	for id := range s.links {
+		if s.links[id].Calibrated() {
+			singleIDs = append(singleIDs, id)
 		}
 	}
-	sort.Strings(ids)
-	links := make([]*core.Link, len(ids))
-	for i, id := range ids {
+	sort.Strings(singleIDs)
+	links := make([]*core.Link, len(singleIDs))
+	for i, id := range singleIDs {
 		links[i] = s.links[id].Link
 	}
-	alerts := core.MonitorAll(links, s.cfg.Engine.Parallelism)
+	alerts, err := core.MonitorAll(links, s.cfg.Engine.Parallelism)
+	errs := []error{err}
+
+	byID := make(map[string]LinkAlerts, len(s.links)+len(s.multis))
+	for i, id := range singleIDs {
+		byID[id] = LinkAlerts{ID: id, Alerts: alerts[i]}
+	}
+	for id, l := range s.links {
+		if !l.Calibrated() {
+			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: "not calibrated"}
+		}
+	}
+	for id, m := range s.multis {
+		if !m.Calibrated() {
+			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: "not calibrated"}
+			continue
+		}
+		a, err := m.MonitorOnce()
+		errs = append(errs, err)
+		byID[id] = LinkAlerts{ID: id, Alerts: a}
+	}
+
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	out := make([]LinkAlerts, len(ids))
 	for i, id := range ids {
-		out[i] = LinkAlerts{ID: id, Alerts: alerts[i]}
+		out[i] = byID[id]
 	}
+	return out, errors.Join(errs...)
+}
+
+// HealthAll snapshots every calibrated bus's condition, sorted by id. A
+// multi-wire bus contributes one entry per wire under its "id/wN" wire ids.
+func (s *System) HealthAll() []core.LinkHealth {
+	var out []core.LinkHealth
+	for _, l := range s.links {
+		if l.Calibrated() {
+			out = append(out, l.Health())
+		}
+	}
+	for _, m := range s.multis {
+		if m.Calibrated() {
+			out = append(out, m.Health()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -166,12 +246,16 @@ type Link struct {
 
 // Authenticate runs a single measurement round and reports whether the
 // CPU-side view of the bus is clean, without touching gates or alert state —
-// a read-only spot check. A swapped same-model module may keep the bus-wide
-// similarity high while showing a localized error peak at the load
-// (Fig. 9b/c), so both an authentication mismatch and a tamper signature
-// count as rejection.
+// a read-only spot check (core.Link.SpotCheck). A swapped same-model module
+// may keep the bus-wide similarity high while showing a localized error peak
+// at the load (Fig. 9b/c), so both an authentication mismatch and a tamper
+// signature count as rejection. An uncalibrated or enrollment-less link is
+// simply not accepted.
 func (l *Link) Authenticate() AuthResult {
-	alerts := l.snapshotMonitor()
+	alerts, err := l.SpotCheck()
+	if err != nil {
+		return AuthResult{Accepted: false}
+	}
 	res := AuthResult{Accepted: true, Score: 1}
 	for _, a := range alerts {
 		if a.Side != core.SideCPU {
@@ -199,17 +283,4 @@ type AuthResult struct {
 	// Tampered indicates a localized IIP change at TamperPosition meters.
 	Tampered       bool
 	TamperPosition float64
-}
-
-// snapshotMonitor runs MonitorOnce and rolls back gate/alert side effects,
-// leaving only the measurement consumed.
-func (l *Link) snapshotMonitor() []core.Alert {
-	cpuGate := l.CPU.Gate.Authorized()
-	modGate := l.Module.Gate.Authorized()
-	before := len(l.Alerts)
-	alerts := l.MonitorOnce()
-	l.Alerts = l.Alerts[:before]
-	l.CPU.Gate.Set(cpuGate)
-	l.Module.Gate.Set(modGate)
-	return alerts
 }

@@ -18,7 +18,9 @@ func TestSystemLinkLifecycle(t *testing.T) {
 	if err := l.Calibrate(); err != nil {
 		t.Fatal(err)
 	}
-	if alerts := l.MonitorOnce(); len(alerts) != 0 {
+	if alerts, err := l.MonitorOnce(); err != nil {
+		t.Fatal(err)
+	} else if len(alerts) != 0 {
 		t.Errorf("clean link alerted: %v", alerts)
 	}
 }

@@ -74,7 +74,11 @@ func ExampleSystem_MonitorAll() {
 			panic(err)
 		}
 	}
-	for _, la := range sys.MonitorAll() {
+	rounds, err := sys.MonitorAll()
+	if err != nil {
+		panic(err)
+	}
+	for _, la := range rounds {
 		fmt.Printf("%s: %d alerts\n", la.ID, len(la.Alerts))
 	}
 	// Output:
@@ -94,10 +98,17 @@ func ExampleSystem_NewMultiLink() {
 	if err := bus.Calibrate(); err != nil {
 		panic(err)
 	}
-	fmt.Println("clean alerts:", len(bus.MonitorOnce()))
+	clean, err := bus.MonitorOnce()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clean alerts:", len(clean))
 
 	divot.NewWireTap(0.1).Apply(bus.Wires[1].Line)
-	alerts := bus.MonitorOnce()
+	alerts, err := bus.MonitorOnce()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("alerts after tapping wire 1:", len(alerts) > 0)
 	// Output:
 	// clean alerts: 0

@@ -1,0 +1,77 @@
+// Faultdrill: the fault-tolerant monitoring protocol, end to end. One
+// protected bus ages through the faults a real instrument accumulates — a
+// one-shot EMI burst, dead ETS bins, a drifting PLL timebase — and the
+// hardened protocol (confirm-on-suspect, dead-bin masking, drift-guarded
+// re-enrollment) rides through all of it without a single false alarm. Then
+// an interposer is spliced in on top of the accumulated faults: the alarm
+// fires anyway, the refresh guards refuse to launder the attack into the
+// enrollment, and the reactor escalates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"divot"
+)
+
+func main() {
+	sys := divot.NewSystem(7, divot.DefaultConfig())
+	bus := sys.MustNewLink("dimm0")
+	reactor, err := divot.NewReactor(divot.DefaultReactionPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The CPU-side instrument carries this drill's fault load. Schedules
+	// count measurement sequence numbers; monitoring starts right after
+	// calibration, and each phase arms permanently from its onset.
+	onset := uint64(sys.Config().Engine.CalibrationMeasurements() + 1)
+	plane := divot.NewFaultPlane(sys.Stream("faults"),
+		divot.NewEMIGlitch(0.05, divot.FaultOnce(onset)),        // phase 1: transient
+		divot.NewDeadBinField(0.08, divot.FaultFrom(onset+8)),   // phase 2: aging bins
+		divot.NewPhaseDrift(0.3e-12, divot.FaultFrom(onset+40)), // phase 3: PLL aging
+	)
+	bus.CPU.Instrument().SetInjector(plane)
+
+	if err := bus.Calibrate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bus calibrated; running the drill...")
+
+	logged := 0
+	drill := func(phase string, rounds int) {
+		for i := 0; i < rounds; i++ {
+			alerts, err := bus.MonitorOnce()
+			if err != nil {
+				log.Fatal(err)
+			}
+			reactor.ObserveHealth(alerts, bus.Health())
+			for ; logged < len(reactor.Log); logged++ {
+				e := reactor.Log[logged]
+				fmt.Printf("  round %2d: %s -> %s (%s)\n", e.Round, e.Action, e.State, e.Cause)
+			}
+		}
+		h := bus.Health()
+		fmt.Printf("%-34s reactor %-8s health %-8s masked %4.1f%%  refreshes %d  score %.3f\n",
+			phase+":", reactor.State(), h.State(), 100*h.CPU.MaskedFraction,
+			h.CPU.Reenrollments, h.CPU.LastScore)
+	}
+
+	fmt.Println("\n-- phase 1: a one-shot 50 mV EMI burst hits the comparator --")
+	drill("transient absorbed", 3)
+
+	fmt.Println("\n-- phase 2: 8% of ETS bins die (aging sampler) --")
+	drill("degraded, still authenticating", 12)
+
+	fmt.Println("\n-- phase 3: the PLL timebase drifts 0.3 ps per measurement --")
+	drill("drift re-enrolled away", 40)
+
+	fmt.Println("\n-- phase 4: an interposer is spliced in at 125 mm --")
+	beforeAttack := len(bus.Alerts)
+	divot.NewInterposer(0.125).Apply(bus.Line)
+	drill("attack detected through it all", 6)
+
+	fmt.Printf("\nalerts before the attack landed: %d; raised by the attack: %d\n",
+		beforeAttack, len(bus.Alerts)-beforeAttack)
+}

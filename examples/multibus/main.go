@@ -38,7 +38,9 @@ func main() {
 	fmt.Printf("calibrated; fused gates cpu=%v module=%v\n",
 		bus.CPUGate.Authorized(), bus.ModuleGate.Authorized())
 
-	if alerts := bus.MonitorOnce(); len(alerts) == 0 {
+	if alerts, err := bus.MonitorOnce(); err != nil {
+		log.Fatal(err)
+	} else if len(alerts) == 0 {
 		fmt.Println("monitoring round: all 4 wires clean")
 	}
 
@@ -46,7 +48,11 @@ func main() {
 	fmt.Println("\n(wire 2 rerouted through the attacker's interposer)")
 	swap := divot.NewColdBootSwap(sys.Config().Line, sys.Stream("interposer"))
 	bus.Wires[2].CPU.SetObservedLine(swap.BusSeenByModule())
-	for _, a := range bus.MonitorOnce() {
+	alerts, err := bus.MonitorOnce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range alerts {
 		fmt.Println("ALERT", a)
 	}
 	fmt.Printf("fused gates: cpu=%v module=%v — one bad wire locks the bus\n",
@@ -58,8 +64,12 @@ func main() {
 	bus.Wires[2].CPU.SetObservedLine(bus.Wires[2].Line) // restore wire 2
 	probe := divot.NewMagneticProbe(0.14)
 	probe.Apply(bus.Wires[1].Line)
-	for _, a := range bus.MonitorOnce() {
-		fmt.Println("ALERT", a)
+	if alerts, err := bus.MonitorOnce(); err != nil {
+		log.Fatal(err)
+	} else {
+		for _, a := range alerts {
+			fmt.Println("ALERT", a)
+		}
 	}
 	fmt.Printf("fused gates: cpu=%v module=%v — probing alarms without halting\n",
 		bus.CPUGate.Authorized(), bus.ModuleGate.Authorized())

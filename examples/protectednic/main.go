@@ -42,7 +42,11 @@ func main() {
 	fmt.Println("\n== magnetic probe held over the cable at 160 mm ==")
 	probe := divot.NewMagneticProbe(0.16)
 	probe.Apply(cable.Line)
-	for _, a := range cable.MonitorOnce() {
+	alerts, err := cable.MonitorOnce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range alerts {
 		fmt.Println("ALERT", a)
 	}
 	send("probed (alarmed, flowing):", "frames still pass")
@@ -52,8 +56,12 @@ func main() {
 	fmt.Println("\n== interposer spliced into the cable at 120 mm ==")
 	mitm := divot.NewInterposer(0.12)
 	mitm.Apply(cable.Line)
-	for _, a := range cable.MonitorOnce() {
-		fmt.Println("ALERT", a)
+	if alerts, err := cable.MonitorOnce(); err != nil {
+		log.Fatal(err)
+	} else {
+		for _, a := range alerts {
+			fmt.Println("ALERT", a)
+		}
 	}
 	send("interposed:", "this must not leave the NIC")
 	fmt.Printf("port stats: sent=%d dropped=%d\n",

@@ -32,7 +32,9 @@ func main() {
 	fmt.Printf("genuine bus: accepted=%v score=%.4f\n", res.Accepted, res.Score)
 
 	// Monitoring rounds drive the gates and collect alerts.
-	if alerts := bus.MonitorN(3); len(alerts) == 0 {
+	if alerts, err := bus.MonitorN(3); err != nil {
+		log.Fatal(err)
+	} else if len(alerts) == 0 {
 		fmt.Println("3 monitoring rounds: clean")
 	}
 

@@ -21,7 +21,10 @@ func main() {
 	fmt.Println("bus calibrated; scanning for tampering...")
 
 	scan := func(label string) []divot.Alert {
-		alerts := bus.MonitorOnce()
+		alerts, err := bus.MonitorOnce()
+		if err != nil {
+			log.Fatal(err)
+		}
 		if len(alerts) == 0 {
 			fmt.Printf("%-34s clean\n", label)
 		}

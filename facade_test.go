@@ -22,7 +22,9 @@ func TestMultiLinkFacade(t *testing.T) {
 	if err := bus.Calibrate(); err != nil {
 		t.Fatal(err)
 	}
-	if alerts := bus.MonitorOnce(); len(alerts) != 0 {
+	if alerts, err := bus.MonitorOnce(); err != nil {
+		t.Fatal(err)
+	} else if len(alerts) != 0 {
 		t.Errorf("clean multi-link alerted: %v", alerts)
 	}
 	if !bus.CPUGate.Authorized() || !bus.ModuleGate.Authorized() {
@@ -216,5 +218,84 @@ func TestSimTimeReexports(t *testing.T) {
 	var d SimTime = 5 * SimMicrosecond
 	if math.Abs(d.Seconds()-5e-6) > 1e-18 {
 		t.Errorf("Seconds = %v", d.Seconds())
+	}
+}
+
+func TestSystemRegistryAndSkips(t *testing.T) {
+	sys := NewSystem(50, DefaultConfig())
+	single := sys.MustNewLink("a-single")
+	if err := single.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	sys.MustNewLink("b-raw") // never calibrated
+	multi, err := sys.NewMultiLink("c-bundle", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := multi.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewMultiLink("d-idle", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The registries must hand back what was built (the old facade stored
+	// nil multi-link entries and lost them).
+	if got, ok := sys.Link("a-single"); !ok || got != single {
+		t.Error("Link getter lost a registered single link")
+	}
+	if got, ok := sys.MultiLink("c-bundle"); !ok || got != multi {
+		t.Error("MultiLink getter lost a registered multi-link")
+	}
+	if _, ok := sys.Link("c-bundle"); ok {
+		t.Error("multi-link id must not resolve as a single link")
+	}
+	if _, ok := sys.MultiLink("nope"); ok {
+		t.Error("unknown id resolved as multi-link")
+	}
+
+	rounds, err := sys.MonitorAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 4 {
+		t.Fatalf("MonitorAll covered %d of 4 buses: %+v", len(rounds), rounds)
+	}
+	want := map[string]bool{ // id -> skipped
+		"a-single": false, "b-raw": true, "c-bundle": false, "d-idle": true,
+	}
+	for i, la := range rounds {
+		if i > 0 && rounds[i-1].ID >= la.ID {
+			t.Error("MonitorAll results not sorted by id")
+		}
+		skip, known := want[la.ID]
+		if !known {
+			t.Errorf("unexpected bus %q in MonitorAll", la.ID)
+			continue
+		}
+		if la.Skipped != skip {
+			t.Errorf("%s: skipped=%v want %v", la.ID, la.Skipped, skip)
+		}
+		if skip && la.Reason != "not calibrated" {
+			t.Errorf("%s: reason %q", la.ID, la.Reason)
+		}
+		if len(la.Alerts) != 0 {
+			t.Errorf("%s: clean bus alerted: %v", la.ID, la.Alerts)
+		}
+	}
+
+	// HealthAll: one entry for the calibrated single, one per wire of the
+	// calibrated bundle, nothing for uncalibrated buses.
+	hs := sys.HealthAll()
+	if len(hs) != 3 {
+		t.Fatalf("HealthAll entries: %d want 3: %+v", len(hs), hs)
+	}
+	for i, h := range hs {
+		if i > 0 && hs[i-1].ID >= h.ID {
+			t.Error("HealthAll not sorted by id")
+		}
+		if h.State() != HealthOK {
+			t.Errorf("%s: state %v", h.ID, h.State())
+		}
 	}
 }

@@ -80,6 +80,16 @@ func (c *Comparator) SampleWith(noise *rng.Stream, vsig, vref float64) bool {
 	return vsig+c.Offset+n > vref
 }
 
+// SampleDistorted is SampleWith for a comparator suffering transient
+// degradation: extraOffset volts of additional input offset and a noise sigma
+// scaled by noiseScale, neither of which the calibrated inverse map knows
+// about. The fault-injection layer routes distorted trials through here so the
+// healthy path keeps its exact draw sequence.
+func (c *Comparator) SampleDistorted(noise *rng.Stream, vsig, vref, extraOffset, noiseScale float64) bool {
+	n := noise.Gaussian(0, c.NoiseSigma*noiseScale)
+	return vsig+c.Offset+extraOffset+n > vref
+}
+
 // Modulator produces the PDM reference waveform. Level must be deterministic
 // in t so that the Vernier relationship between the modulation frequency and
 // the sampling clock holds exactly.

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"divot/internal/fingerprint"
@@ -15,6 +16,14 @@ import (
 	"divot/internal/signal"
 	"divot/internal/txline"
 )
+
+// ErrNotCalibrated is returned (wrapped, with the link id) when monitoring is
+// attempted before Calibrate has enrolled the link.
+var ErrNotCalibrated = errors.New("core: link not calibrated")
+
+// ErrEnrollmentLost is returned when an endpoint's enrollment store no longer
+// holds the link fingerprint — corrupted or erased EPROM.
+var ErrEnrollmentLost = errors.New("core: enrollment lost")
 
 // Side identifies which end of the link an endpoint sits on.
 type Side int
@@ -59,6 +68,21 @@ type Endpoint struct {
 
 	// Authenticated reflects the most recent monitoring verdict.
 	authenticated bool
+
+	// Robustness state (see robust.go). bins is the instrument's ETS bin
+	// count; satStreak counts consecutive saturated sightings per bin; mask
+	// is the persistent dead-bin mask matching renormalizes around.
+	bins          int
+	satStreak     []int
+	mask          fingerprint.BinMask
+	window        []float64 // rolling accepted-score window, oldest first
+	lastScore     float64
+	reenrollments int
+	suspectRounds int
+	lastSuspect   bool
+	failures      int // confirmed auth-failure rounds
+	sinceReenroll int // clean rounds since enrollment was (re)established
+	autoThreshold bool
 }
 
 // Config parameterizes the engine.
@@ -84,6 +108,29 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 runs everything inline. Results are
 	// bit-identical at every setting.
 	Parallelism int
+	// Robust tunes the fault-tolerant monitoring protocol: confirm-on-
+	// suspect retries, dead-bin masking, and drift-guarded re-enrollment.
+	// The zero value disables all of it (the paper's bare §III protocol);
+	// DefaultConfig enables DefaultRobustness.
+	Robust Robustness
+}
+
+// tamperFloorProbes is how many extra measurements (auto-threshold
+// calibration only) probe the clean noise floor after enrollment.
+const tamperFloorProbes = 4
+
+// CalibrationMeasurements returns how many instrument measurements one
+// endpoint consumes during Calibrate: the enrollment averages plus the
+// tamper-floor probes when the threshold is auto-calibrated. Fault schedules
+// aimed at monitoring round k of a freshly calibrated link should start at
+// measurement sequence number CalibrationMeasurements()+k (sequence numbers
+// are 1-based and count every measurement the instrument takes).
+func (c Config) CalibrationMeasurements() int {
+	n := c.EnrollMeasurements
+	if c.TamperThreshold == 0 {
+		n += tamperFloorProbes
+	}
+	return n
 }
 
 // DefaultConfig returns the engine configuration matching the prototype.
@@ -95,6 +142,7 @@ func DefaultConfig() Config {
 		AuthThreshold:      0.70,
 		TamperThreshold:    0, // auto-calibrated
 		EnrollMeasurements: 8,
+		Robust:             DefaultRobustness(),
 	}
 }
 
@@ -196,6 +244,7 @@ func NewLinkOver(id string, cfg Config, line *txline.Line, stream *rng.Stream) (
 				Velocity:      line.Config().Velocity,
 			},
 			observed: line,
+			bins:     cfg.ITDR.Bins(),
 		}, nil
 	}
 	cpu, err := mk(SideCPU, "itdr-cpu")
@@ -224,6 +273,14 @@ func (e *Endpoint) measure(env txline.Environment) fingerprint.IIP {
 // Authenticated reports the endpoint's latest monitoring verdict.
 func (e *Endpoint) Authenticated() bool { return e.authenticated }
 
+// Instrument returns the endpoint's reflectometer — the handle fault
+// injection attaches to (itdr.Reflectometer.SetInjector).
+func (e *Endpoint) Instrument() *itdr.Reflectometer { return e.refl }
+
+// Mask returns a copy of the endpoint's persistent dead-bin mask (nil when
+// no bin has been masked).
+func (e *Endpoint) Mask() fingerprint.BinMask { return e.mask.Clone() }
+
 // ObservedLine returns the line the endpoint currently measures.
 func (e *Endpoint) ObservedLine() *txline.Line { return e.observed }
 
@@ -240,6 +297,7 @@ const enrollKey = "link"
 // noise floor observed right after enrollment.
 func (l *Link) Calibrate() error {
 	for _, e := range []*Endpoint{l.CPU, l.Module} {
+		e.resetRobustState(l.cfg)
 		ws := make([]*signal.Waveform, l.cfg.EnrollMeasurements)
 		for i := range ws {
 			ws[i] = e.refl.Measure(e.observed, l.Env).IIP
@@ -253,7 +311,7 @@ func (l *Link) Calibrate() error {
 		}
 		if e.detector.PeakThreshold == 0 {
 			var floor float64
-			for i := 0; i < 4; i++ {
+			for i := 0; i < tamperFloorProbes; i++ {
 				fm := e.measure(l.Env)
 				if v, _, _ := fingerprint.PeakError(fingerprint.ErrorFunction(fm, f)); v > floor {
 					floor = v
@@ -271,49 +329,71 @@ func (l *Link) Calibrate() error {
 // Calibrated reports whether enrollment has happened.
 func (l *Link) Calibrated() bool { return l.calibrated }
 
-// MonitorOnce runs one monitoring round at both endpoints: measure,
-// authenticate against the enrolled fingerprint, check for tampering, drive
-// the gates, and record alerts. It returns the alerts raised this round.
-func (l *Link) MonitorOnce() []Alert {
+// MonitorOnce runs one hardened monitoring round at both endpoints: measure,
+// authenticate against the enrolled fingerprint (over live bins only), check
+// for tampering, confirm suspect verdicts with immediate re-measurements,
+// consider drift-guarded re-enrollment, drive the gates, and record alerts.
+// It returns the alerts raised this round, and a wrapped ErrNotCalibrated /
+// ErrEnrollmentLost instead of monitoring an unenrolled link. See robust.go
+// for the per-endpoint round.
+func (l *Link) MonitorOnce() ([]Alert, error) {
 	if !l.calibrated {
-		panic("core: monitoring before calibration")
+		return nil, fmt.Errorf("link %q: %w", l.ID, ErrNotCalibrated)
+	}
+	var raised []Alert
+	for _, e := range []*Endpoint{l.CPU, l.Module} {
+		alerts, err := l.monitorEndpoint(e)
+		raised = append(raised, alerts...)
+		if err != nil {
+			return raised, err
+		}
+	}
+	l.Alerts = append(l.Alerts, raised...)
+	return raised, nil
+}
+
+// MonitorN runs n monitoring rounds and returns all alerts raised, stopping
+// at the first protocol error.
+func (l *Link) MonitorN(n int) ([]Alert, error) {
+	var all []Alert
+	for i := 0; i < n; i++ {
+		alerts, err := l.MonitorOnce()
+		all = append(all, alerts...)
+		if err != nil {
+			return all, err
+		}
+	}
+	return all, nil
+}
+
+// SpotCheck runs one read-only measurement round at both endpoints against
+// the enrolled fingerprints: no gates move, no alerts are recorded, no
+// confirmation retries run, and no robustness state advances — only the
+// measurements are consumed. The facade's Authenticate builds on this.
+func (l *Link) SpotCheck() ([]Alert, error) {
+	if !l.calibrated {
+		return nil, fmt.Errorf("link %q: %w", l.ID, ErrNotCalibrated)
 	}
 	var raised []Alert
 	for _, e := range []*Endpoint{l.CPU, l.Module} {
 		enrolled, ok := e.store.Lookup(enrollKey)
 		if !ok {
-			panic(fmt.Sprintf("core: %s endpoint lost its enrollment", e.Side))
+			return raised, fmt.Errorf("%s endpoint of link %q: %w", e.Side, l.ID, ErrEnrollmentLost)
 		}
-		measured := e.measure(l.Env)
-		auth := e.matcher.Authenticate(measured, enrolled)
-		if !auth.Accepted {
+		meas := e.refl.Measure(e.observed, l.Env)
+		f := e.pipeline.FromWaveformMasked(meas.IIP, e.mask)
+		scoring := e.mask.Dilate(l.cfg.Robust.MaskGuard)
+		if auth := e.matcher.AuthenticateMasked(f, enrolled, scoring); !auth.Accepted {
 			raised = append(raised, Alert{Side: e.Side, Kind: AlertAuthFailure, Score: auth.Score})
 		}
-		// Tamper detection always runs: a severe attack (wire tap) can
-		// break authentication *and* deserve a localized tamper report.
-		if v := e.detector.Check(measured, enrolled); v.Tampered {
+		if v := e.detector.CheckMasked(f, enrolled, scoring); v.Tampered {
 			raised = append(raised, Alert{
 				Side: e.Side, Kind: AlertTamper,
 				PeakError: v.PeakError, Position: v.Position,
 			})
 		}
-		// React (§III): the gate follows the authentication verdict. A
-		// tamper alert alone does not close the gate — the paper escalates
-		// tampering to system-level countermeasures — but it is reported.
-		e.authenticated = auth.Accepted
-		e.Gate.Set(auth.Accepted)
 	}
-	l.Alerts = append(l.Alerts, raised...)
-	return raised
-}
-
-// MonitorN runs n monitoring rounds and returns all alerts raised.
-func (l *Link) MonitorN(n int) []Alert {
-	var all []Alert
-	for i := 0; i < n; i++ {
-		all = append(all, l.MonitorOnce()...)
-	}
-	return all
+	return raised, nil
 }
 
 // MeasurementDuration returns the wall-clock time one monitoring round takes

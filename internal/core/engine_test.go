@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"divot/internal/attack"
@@ -26,6 +27,26 @@ func calibrated(t *testing.T, seed uint64) *Link {
 	return l
 }
 
+// mustMonitor runs one round, failing the test on a protocol error.
+func mustMonitor(t *testing.T, l *Link) []Alert {
+	t.Helper()
+	alerts, err := l.MonitorOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alerts
+}
+
+// mustMonitorN runs n rounds, failing the test on a protocol error.
+func mustMonitorN(t *testing.T, l *Link, n int) []Alert {
+	t.Helper()
+	alerts, err := l.MonitorN(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alerts
+}
+
 func TestGatesClosedBeforeCalibration(t *testing.T) {
 	l := newLink(t, 1)
 	if l.CPU.Gate.Authorized() || l.Module.Gate.Authorized() {
@@ -34,12 +55,15 @@ func TestGatesClosedBeforeCalibration(t *testing.T) {
 	if l.Calibrated() {
 		t.Error("link should not report calibrated")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("monitoring before calibration should panic")
-		}
-	}()
-	l.MonitorOnce()
+	if _, err := l.MonitorOnce(); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("monitoring before calibration: err = %v, want ErrNotCalibrated", err)
+	}
+	if _, err := l.MonitorN(3); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("MonitorN before calibration: err = %v, want ErrNotCalibrated", err)
+	}
+	if _, err := l.SpotCheck(); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("SpotCheck before calibration: err = %v, want ErrNotCalibrated", err)
+	}
 }
 
 func TestCalibrationOpensGates(t *testing.T) {
@@ -54,7 +78,7 @@ func TestCalibrationOpensGates(t *testing.T) {
 
 func TestCleanMonitoringRaisesNothing(t *testing.T) {
 	l := calibrated(t, 3)
-	alerts := l.MonitorN(5)
+	alerts := mustMonitorN(t, l, 5)
 	if len(alerts) != 0 {
 		t.Errorf("clean link raised %d alerts: %v", len(alerts), alerts)
 	}
@@ -67,7 +91,7 @@ func TestModuleSwapRejectedByCPU(t *testing.T) {
 	l := calibrated(t, 4)
 	swap := attack.NewModuleSwap(txline.DefaultConfig(), rng.New(5))
 	swap.Apply(l.Line)
-	alerts := l.MonitorOnce()
+	alerts := mustMonitor(t, l)
 	var cpuAlarm bool
 	for _, a := range alerts {
 		if a.Side == SideCPU {
@@ -80,7 +104,7 @@ func TestModuleSwapRejectedByCPU(t *testing.T) {
 	// Restoring the genuine module recovers the link (§III reaction:
 	// "until the newly collected fingerprint matches ... again").
 	swap.Remove(l.Line)
-	if alerts := l.MonitorOnce(); len(alerts) != 0 {
+	if alerts := mustMonitor(t, l); len(alerts) != 0 {
 		t.Errorf("restored link still alarming: %v", alerts)
 	}
 	if !l.CPU.Gate.Authorized() {
@@ -93,7 +117,7 @@ func TestColdBootSwapRejectedByModule(t *testing.T) {
 	cb := attack.NewColdBootSwap(txline.DefaultConfig(), rng.New(7))
 	// The attacker moves the module onto their own machine's bus.
 	l.Module.SetObservedLine(cb.BusSeenByModule())
-	alerts := l.MonitorOnce()
+	alerts := mustMonitor(t, l)
 	var moduleAuthFail bool
 	for _, a := range alerts {
 		if a.Side == SideModule && a.Kind == AlertAuthFailure {
@@ -115,7 +139,7 @@ func TestWireTapRaisesTamperAlert(t *testing.T) {
 	l := calibrated(t, 8)
 	tap := attack.DefaultWireTap(0.10)
 	tap.Apply(l.Line)
-	alerts := l.MonitorOnce()
+	alerts := mustMonitor(t, l)
 	var tamper *Alert
 	for i := range alerts {
 		if alerts[i].Kind == AlertTamper {
@@ -138,7 +162,7 @@ func TestMagneticProbeDetectedAndLocalized(t *testing.T) {
 	l := calibrated(t, 9)
 	probe := attack.DefaultMagneticProbe(0.18)
 	probe.Apply(l.Line)
-	alerts := l.MonitorOnce()
+	alerts := mustMonitor(t, l)
 	var tamper *Alert
 	for i := range alerts {
 		if alerts[i].Kind == AlertTamper {
@@ -154,7 +178,7 @@ func TestMagneticProbeDetectedAndLocalized(t *testing.T) {
 	}
 	// Non-contact probe removal restores the clean state.
 	probe.Remove(l.Line)
-	if alerts := l.MonitorOnce(); len(alerts) != 0 {
+	if alerts := mustMonitor(t, l); len(alerts) != 0 {
 		t.Errorf("alerts after probe removal: %v", alerts)
 	}
 }
@@ -162,7 +186,7 @@ func TestMagneticProbeDetectedAndLocalized(t *testing.T) {
 func TestAlertAccumulation(t *testing.T) {
 	l := calibrated(t, 10)
 	attack.DefaultMagneticProbe(0.1).Apply(l.Line)
-	l.MonitorN(3)
+	mustMonitorN(t, l, 3)
 	if len(l.Alerts) < 3 {
 		t.Errorf("accumulated %d alerts over 3 tampered rounds", len(l.Alerts))
 	}
@@ -210,7 +234,7 @@ func TestLongRunNoFalseAlarms(t *testing.T) {
 		t.Skip("soak test")
 	}
 	l := calibrated(t, 77)
-	alerts := l.MonitorN(300)
+	alerts := mustMonitorN(t, l, 300)
 	if len(alerts) != 0 {
 		t.Errorf("%d false alarms over 300 clean rounds: %v", len(alerts), alerts[:min(3, len(alerts))])
 	}

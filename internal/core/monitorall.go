@@ -1,6 +1,10 @@
 package core
 
-import "divot/internal/pool"
+import (
+	"errors"
+
+	"divot/internal/pool"
+)
 
 // MonitorAll runs one monitoring round on every link concurrently, with at
 // most `parallelism` worker goroutines (0 = runtime.GOMAXPROCS(0), 1 =
@@ -10,17 +14,19 @@ import "divot/internal/pool"
 // is bit-identical to calling MonitorOnce on each link in slice order.
 //
 // The returned slice is indexed like links: element i holds the alerts link i
-// raised this round. Links must all be calibrated; like MonitorOnce, an
-// uncalibrated link panics.
+// raised this round. Per-link protocol errors (uncalibrated link, lost
+// enrollment) are joined and returned alongside the rounds that succeeded;
+// a failed link's alert slice is whatever its round raised before failing.
 //
 // The one sharing caveat: monitoring reads each endpoint's observed line but
 // never mutates it, so two links may safely observe the same physical line
 // (the cold-boot scenario). Mounting or removing attacks concurrently with
 // MonitorAll is a data race, exactly as it is with MonitorOnce.
-func MonitorAll(links []*Link, parallelism int) [][]Alert {
+func MonitorAll(links []*Link, parallelism int) ([][]Alert, error) {
 	out := make([][]Alert, len(links))
+	errs := make([]error, len(links))
 	pool.Run(len(links), pool.Workers(parallelism), func(_, i int) {
-		out[i] = links[i].MonitorOnce()
+		out[i], errs[i] = links[i].MonitorOnce()
 	})
-	return out
+	return out, errors.Join(errs...)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -26,18 +27,37 @@ func TestMonitorAllMatchesSequential(t *testing.T) {
 	seq := build()
 	want := make([][]Alert, len(seq))
 	for i, l := range seq {
-		want[i] = l.MonitorOnce()
+		var err error
+		want[i], err = l.MonitorOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	for _, par := range []int{1, 4, 0} {
-		got := MonitorAll(build(), par)
+		got, err := MonitorAll(build(), par)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("parallelism %d: MonitorAll alerts differ from sequential MonitorOnce\ngot  %+v\nwant %+v",
 				par, got, want)
 		}
 	}
 
-	if got := MonitorAll(nil, 4); len(got) != 0 {
-		t.Fatalf("MonitorAll(nil) = %+v, want empty", got)
+	if got, err := MonitorAll(nil, 4); err != nil || len(got) != 0 {
+		t.Fatalf("MonitorAll(nil) = %+v, %v, want empty", got, err)
+	}
+
+	// An uncalibrated link in the fleet reports an error but does not stop
+	// the other links' rounds.
+	mixed := build()
+	mixed = append(mixed, newLink(t, 14))
+	got, err := MonitorAll(mixed, 2)
+	if !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("uncalibrated fleet member: err = %v, want ErrNotCalibrated", err)
+	}
+	if !reflect.DeepEqual(got[:3], want) {
+		t.Error("calibrated links' rounds changed by a failing fleet member")
 	}
 }

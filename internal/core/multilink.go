@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"divot/internal/fingerprint"
@@ -83,12 +84,14 @@ func (m *MultiLink) gateFor(s Side) *memctl.StaticGate {
 }
 
 // MonitorOnce measures every wire at both endpoints, fuses the per-wire
-// similarities per side (geometric mean), drives the fused gates, and
-// reports alarms. Per-wire tamper checks run as on single links, tagged
-// with the wire index.
-func (m *MultiLink) MonitorOnce() []Alert {
+// similarities per side, drives the fused gates, and reports alarms.
+// Per-wire scoring runs over the wire's live bins (dead-bin masking as on
+// single links), tagged with the wire index. It returns a wrapped
+// ErrNotCalibrated / ErrEnrollmentLost instead of monitoring an unenrolled
+// bus; wire errors from one round are joined.
+func (m *MultiLink) MonitorOnce() ([]Alert, error) {
 	if !m.calibrated {
-		panic("core: monitoring a multi-link before calibration")
+		return nil, fmt.Errorf("multi-link %q: %w", m.ID, ErrNotCalibrated)
 	}
 	var raised []Alert
 	for _, side := range []Side{SideCPU, SideModule} {
@@ -98,19 +101,30 @@ func (m *MultiLink) MonitorOnce() []Alert {
 		// sequential loop at any worker count.
 		scores := make([]float64, len(m.Wires))
 		tampers := make([]*fingerprint.TamperVerdict, len(m.Wires))
+		errs := make([]error, len(m.Wires))
 		pool.Run(len(m.Wires), pool.Workers(m.cfg.Parallelism), func(_, w int) {
 			l := m.Wires[w]
 			e := l.endpoint(side)
 			enrolled, ok := e.store.Lookup(enrollKey)
 			if !ok {
-				panic(fmt.Sprintf("core: wire %d %s endpoint lost its enrollment", w, side))
+				errs[w] = fmt.Errorf("wire %d %s endpoint of multi-link %q: %w",
+					w, side, m.ID, ErrEnrollmentLost)
+				return
 			}
-			measured := e.measure(l.Env)
-			scores[w] = fingerprint.Similarity(measured, enrolled)
-			if v := e.detector.Check(measured, enrolled); v.Tampered {
+			meas := e.refl.Measure(e.observed, l.Env)
+			e.trackSaturation(meas.Saturated, l.cfg.Robust)
+			f := e.pipeline.FromWaveformMasked(meas.IIP, e.mask)
+			scoring := e.mask.Dilate(l.cfg.Robust.MaskGuard)
+			scores[w] = fingerprint.MaskedSimilarity(f, enrolled, scoring)
+			e.lastScore = scores[w]
+			e.authenticated = scores[w] >= m.cfg.AuthThreshold
+			if v := e.detector.CheckMasked(f, enrolled, scoring); v.Tampered {
 				tampers[w] = &v
 			}
 		})
+		if err := errors.Join(errs...); err != nil {
+			return raised, err
+		}
 		for w, v := range tampers {
 			if v != nil {
 				raised = append(raised, Alert{
@@ -139,7 +153,16 @@ func (m *MultiLink) MonitorOnce() []Alert {
 		m.gateFor(side).Set(ok)
 	}
 	m.Alerts = append(m.Alerts, raised...)
-	return raised
+	return raised, nil
+}
+
+// Health snapshots every wire's condition, one LinkHealth per wire.
+func (m *MultiLink) Health() []LinkHealth {
+	out := make([]LinkHealth, len(m.Wires))
+	for w, l := range m.Wires {
+		out[w] = l.Health()
+	}
+	return out
 }
 
 // endpoint returns the link's endpoint for a side.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"divot/internal/attack"
@@ -28,8 +29,17 @@ func TestMultiLinkLifecycle(t *testing.T) {
 	if !m.Calibrated() || !m.CPUGate.Authorized() || !m.ModuleGate.Authorized() {
 		t.Error("calibration should open the fused gates")
 	}
-	if alerts := m.MonitorOnce(); len(alerts) != 0 {
+	alerts, err := m.MonitorOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
 		t.Errorf("clean bus alerted: %v", alerts)
+	}
+	for _, h := range m.Health() {
+		if h.State() != HealthOK {
+			t.Errorf("clean wire unhealthy: %v", h)
+		}
 	}
 }
 
@@ -39,14 +49,11 @@ func TestMultiLinkRejectsInvalidWireCount(t *testing.T) {
 	}
 }
 
-func TestMultiLinkMonitorBeforeCalibrationPanics(t *testing.T) {
+func TestMultiLinkMonitorBeforeCalibrationErrors(t *testing.T) {
 	m := newMulti(t, 51, 2)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	m.MonitorOnce()
+	if _, err := m.MonitorOnce(); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("monitoring before calibration: err = %v, want ErrNotCalibrated", err)
+	}
 }
 
 func TestMultiLinkOneCompromisedWireLocksBus(t *testing.T) {
@@ -58,7 +65,10 @@ func TestMultiLinkOneCompromisedWireLocksBus(t *testing.T) {
 	// view changes wholesale.
 	cb := attack.NewColdBootSwap(txline.DefaultConfig(), rng.New(53))
 	m.Wires[2].CPU.SetObservedLine(cb.BusSeenByModule())
-	alerts := m.MonitorOnce()
+	alerts, err := m.MonitorOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var fusedFail *Alert
 	for i := range alerts {
 		if alerts[i].Kind == AlertAuthFailure && alerts[i].Side == SideCPU {
@@ -87,7 +97,10 @@ func TestMultiLinkTamperAlertCarriesWireIndex(t *testing.T) {
 	}
 	probe := attack.DefaultMagneticProbe(0.14)
 	probe.Apply(m.Wires[1].Line)
-	alerts := m.MonitorOnce()
+	alerts, err := m.MonitorOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var found bool
 	for _, a := range alerts {
 		if a.Kind == AlertTamper && a.Wire == 1 {

@@ -44,14 +44,14 @@ func TestCalibrationSurvivesPowerCycle(t *testing.T) {
 	if !second.Calibrated() {
 		t.Fatal("link not calibrated after restore")
 	}
-	if alerts := second.MonitorN(3); len(alerts) != 0 {
+	if alerts := mustMonitorN(t, second, 3); len(alerts) != 0 {
 		t.Errorf("restored link alarms on its own bus: %v", alerts)
 	}
 
 	// And it still rejects a different bus.
 	attacker := txline.New("attacker", txline.DefaultConfig(), rng.New(31337))
 	second.Module.SetObservedLine(attacker)
-	alerts := second.MonitorOnce()
+	alerts := mustMonitor(t, second)
 	var rejected bool
 	for _, a := range alerts {
 		if a.Side == SideModule && a.Kind == AlertAuthFailure {
@@ -105,7 +105,7 @@ func TestEnrollmentIntegrityMatters(t *testing.T) {
 		t.Fatal(err)
 	}
 	victim.Module.SetObservedLine(attackerLine)
-	alerts := victim.MonitorOnce()
+	alerts := mustMonitor(t, victim)
 	for _, a := range alerts {
 		if a.Side == SideModule && a.Kind == AlertAuthFailure {
 			t.Fatalf("rewritten enrollment should (regrettably) authenticate: %v", alerts)

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+
+	"divot/internal/attack"
+	"divot/internal/fault"
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+// faultedLink calibrates a fresh link and attaches fault planes (seeded off
+// the same stream universe) to the chosen endpoints' instruments.
+func faultedLink(t *testing.T, seed uint64, cfg Config, cpuFaults, modFaults []fault.Fault) *Link {
+	t.Helper()
+	st := rng.New(seed)
+	l, err := NewLink("bus0", cfg, txline.DefaultConfig(), st.Child("link"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpuFaults != nil {
+		l.CPU.Instrument().SetInjector(fault.NewPlane(st.Child("fault-cpu"), cpuFaults...))
+	}
+	if modFaults != nil {
+		l.Module.Instrument().SetInjector(fault.NewPlane(st.Child("fault-module"), modFaults...))
+	}
+	if err := l.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestConfirmAbsorbsTransientFault is the confirm-on-suspect property: a
+// one-shot instrument fault severe enough to fail a round must be absorbed
+// (suspect, no alert, gates open) under confirmation, while the unhardened
+// protocol alarms on it.
+func TestConfirmAbsorbsTransientFault(t *testing.T) {
+	cfg := DefaultConfig()
+	glitch := uint64(cfg.CalibrationMeasurements() + 1) // first monitoring measurement
+	faults := []fault.Fault{fault.StuckComparator(true, fault.Once(glitch))}
+
+	hardened := faultedLink(t, 100, cfg, faults, nil)
+	alerts := mustMonitor(t, hardened)
+	if len(alerts) != 0 {
+		t.Errorf("confirmed protocol alarmed on a one-shot fault: %v", alerts)
+	}
+	h := hardened.Health()
+	if !h.SuspectRound() || h.CPU.SuspectRounds != 1 {
+		t.Errorf("absorbed transient not reported as suspect: %+v", h.CPU)
+	}
+	if h.State() != HealthSuspect {
+		t.Errorf("link state = %v, want suspect", h.State())
+	}
+	if !hardened.CPU.Gate.Authorized() {
+		t.Error("gate must stay open through an absorbed transient")
+	}
+	// The next clean round clears the suspect flag.
+	mustMonitor(t, hardened)
+	if h := hardened.Health(); h.State() != HealthOK || h.SuspectRound() {
+		t.Errorf("suspect flag sticky after a clean round: %v", h)
+	}
+
+	// Without confirmation the same fault closes the gate.
+	bare := cfg
+	bare.Robust.ConfirmRetries = 0
+	naive := faultedLink(t, 100, bare, faults, nil)
+	alerts = mustMonitor(t, naive)
+	if len(alerts) == 0 {
+		t.Fatal("unconfirmed protocol absorbed the fault — test probes nothing")
+	}
+	if naive.CPU.Gate.Authorized() {
+		t.Error("unconfirmed protocol should have closed the gate")
+	}
+}
+
+// TestConfirmStillCatchesPersistentAttack: confirmation must not absorb a
+// failure that reproduces — a cold-boot swap onto a foreign bus alarms
+// through the retries.
+func TestConfirmStillCatchesPersistentAttack(t *testing.T) {
+	l := calibrated(t, 101)
+	foreign := txline.New("foreign", txline.DefaultConfig(), rng.New(102))
+	l.Module.SetObservedLine(foreign)
+	alerts := mustMonitor(t, l)
+	var modFail bool
+	for _, a := range alerts {
+		if a.Side == SideModule && a.Kind == AlertAuthFailure {
+			modFail = true
+		}
+	}
+	if !modFail {
+		t.Fatalf("foreign bus absorbed by confirmation: %v", alerts)
+	}
+	if l.Module.Gate.Authorized() {
+		t.Error("gate open after confirmed rejection")
+	}
+	if h := l.Health(); h.Module.State != HealthFailed {
+		t.Errorf("module endpoint health = %v, want failed", h.Module.State)
+	}
+}
+
+// TestDeadBinsDegradeGracefully is the graceful-degradation property: a
+// permanently dead 10% of ETS bins is masked after DeadBinStreak sightings,
+// genuine authentication continues at reduced resolution with degraded
+// health, and a module swap is still rejected through the mask.
+func TestDeadBinsDegradeGracefully(t *testing.T) {
+	cfg := DefaultConfig()
+	onset := uint64(cfg.CalibrationMeasurements() + 1)
+	faults := []fault.Fault{fault.DeadBinField(0.10, fault.From(onset))}
+	l := faultedLink(t, 103, cfg, faults, nil)
+
+	alerts := mustMonitorN(t, l, 6)
+	if len(alerts) != 0 {
+		t.Errorf("genuine link with 10%% dead bins alarmed: %v", alerts)
+	}
+	h := l.Health()
+	if !h.Degraded() || h.CPU.State != HealthDegraded {
+		t.Errorf("dead bins not reported as degradation: %+v", h.CPU)
+	}
+	if h.CPU.MaskedBins == 0 || h.CPU.MaskedFraction < 0.05 || h.CPU.MaskedFraction > 0.15 {
+		t.Errorf("masked fraction %.3f, want ~0.10", h.CPU.MaskedFraction)
+	}
+	if h.Module.State != HealthOK {
+		t.Errorf("healthy module endpoint reports %v", h.Module.State)
+	}
+	if !l.CPU.Gate.Authorized() {
+		t.Error("gate closed on a degraded but genuine link")
+	}
+
+	// The degraded instrument must still tell friend from foe: reroute the
+	// faulted CPU endpoint onto a foreign bus.
+	foreign := txline.New("foreign", txline.DefaultConfig(), rng.New(104))
+	l.CPU.SetObservedLine(foreign)
+	alerts = mustMonitor(t, l)
+	var rejected bool
+	for _, a := range alerts {
+		if a.Side == SideCPU && a.Kind == AlertAuthFailure {
+			rejected = true
+			if a.Score > 0.6 {
+				t.Errorf("foreign bus scored %.3f through the mask; margin collapsed", a.Score)
+			}
+		}
+	}
+	if !rejected {
+		t.Fatalf("degraded endpoint accepted a foreign bus: %v", alerts)
+	}
+}
+
+// TestMassBinLossFailsHealth: past MaxMaskedFraction the endpoint must stop
+// claiming "degraded" and report failure.
+func TestMassBinLossFailsHealth(t *testing.T) {
+	cfg := DefaultConfig()
+	onset := uint64(cfg.CalibrationMeasurements() + 1)
+	l := faultedLink(t, 105, cfg, []fault.Fault{fault.DeadBinField(0.35, fault.From(onset))}, nil)
+	if _, err := l.MonitorN(6); err != nil {
+		t.Fatal(err)
+	}
+	if h := l.Health(); h.CPU.State != HealthFailed {
+		t.Errorf("35%% dead bins report %v, want failed (fraction %.2f)", h.CPU.State, h.CPU.MaskedFraction)
+	}
+}
+
+// driftFaults is the slow-aging scenario: the ETS timebase (PLL) drifting at
+// 0.3 ps per measurement plus mild reference-noise growth. The waveform
+// slides slowly and globally — exactly what guarded re-enrollment exists to
+// absorb. (Comparator *offset* drift is deliberately not used here: the
+// derivative comparison cancels a uniform offset until clipping, which makes
+// it a cliff, not a slope.)
+func driftFaults(onset uint64) []fault.Fault {
+	return []fault.Fault{
+		fault.PhaseDrift(0.3e-12, fault.From(onset)),
+		fault.NoiseDrift(0, 0.002, fault.From(onset)),
+	}
+}
+
+// TestDriftGuardedReenrollment: slow global drift decays the score until the
+// guarded refresh triggers; with refresh the link rides through alert-free,
+// without it the same drift eventually closes the gate.
+func TestDriftGuardedReenrollment(t *testing.T) {
+	cfg := DefaultConfig()
+	onset := uint64(cfg.CalibrationMeasurements() + 1)
+	const rounds = 60
+
+	l := faultedLink(t, 106, cfg, driftFaults(onset), nil)
+	alerts := mustMonitorN(t, l, rounds)
+	if len(alerts) != 0 {
+		t.Errorf("drifting link alarmed despite re-enrollment: %v", alerts)
+	}
+	h := l.Health()
+	if h.CPU.Reenrollments == 0 {
+		t.Error("no re-enrollment over 60 drifting rounds")
+	}
+	if !l.CPU.Gate.Authorized() {
+		t.Error("gate closed on re-enrolled link")
+	}
+
+	noRefresh := cfg
+	noRefresh.Robust.Reenroll.Enabled = false
+	bare := faultedLink(t, 106, noRefresh, driftFaults(onset), nil)
+	alerts, err := bare.MonitorN(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("drift never failed the unrefreshed link — test probes nothing")
+	}
+}
+
+// TestReenrollmentRefusesAttack: the drift guards must refuse to launder an
+// interposer into the enrollment even when it arrives on top of the same
+// slow drift the refresh path tolerates.
+func TestReenrollmentRefusesAttack(t *testing.T) {
+	cfg := DefaultConfig()
+	onset := uint64(cfg.CalibrationMeasurements() + 1)
+	l := faultedLink(t, 106, cfg, driftFaults(onset), nil)
+
+	mustMonitorN(t, l, 30)
+	refreshesBefore := l.Health().CPU.Reenrollments
+
+	attack.DefaultInterposer(0.125).Apply(l.Line)
+	alerts, err := l.MonitorN(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("interposer under drift never detected")
+	}
+	if got := l.Health().CPU.Reenrollments; got != refreshesBefore {
+		t.Errorf("enrollment refreshed %d times after the attack landed", got-refreshesBefore)
+	}
+	if l.CPU.Gate.Authorized() {
+		t.Error("gate open with interposer installed")
+	}
+}
+
+// TestFaultedMonitoringDeterministic: the full hardened round — faults,
+// confirmation retries, masking, re-enrollment — is bit-identical at any
+// Parallelism.
+func TestFaultedMonitoringDeterministic(t *testing.T) {
+	run := func(par int) ([]Alert, LinkHealth) {
+		cfg := DefaultConfig()
+		cfg.Parallelism = par
+		onset := uint64(cfg.CalibrationMeasurements() + 1)
+		faults := []fault.Fault{
+			fault.DeadBinField(0.05, fault.From(onset)),
+			fault.StuckComparator(true, fault.Once(onset+4)),
+			fault.OffsetStep(0, 0.15e-3, fault.From(onset)),
+		}
+		l := faultedLink(t, 107, cfg, faults, faults[1:2])
+		alerts := mustMonitorN(t, l, 40)
+		return alerts, l.Health()
+	}
+	a1, h1 := run(1)
+	a4, h4 := run(4)
+	if len(a1) != len(a4) {
+		t.Fatalf("alert counts differ across parallelism: %d vs %d", len(a1), len(a4))
+	}
+	for i := range a1 {
+		if a1[i] != a4[i] {
+			t.Fatalf("alert %d differs: %+v vs %+v", i, a1[i], a4[i])
+		}
+	}
+	h1.ID, h4.ID = "", ""
+	if h1 != h4 {
+		t.Fatalf("health differs across parallelism:\n%+v\n%+v", h1, h4)
+	}
+}

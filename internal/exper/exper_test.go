@@ -429,3 +429,60 @@ func TestScoresParallelismInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultSweepShape pins the robustness claims: one-shot faults alarm the
+// bare protocol but never the confirmed one, drift is survived only with
+// re-enrollment, dead bins degrade without losing clone rejection, and the
+// whole faulted run is parallelism-invariant.
+func TestFaultSweepShape(t *testing.T) {
+	r := FaultSweep(42, Quick)
+	rowsSeen := 0
+	for _, row := range r.Rows {
+		scenario, proto, alerts, outcome := row[0], row[1], row[3], row[4]
+		switch {
+		case strings.Contains(scenario, "(1 meas)") && proto == "confirmed":
+			rowsSeen++
+			if alerts != "0" {
+				t.Errorf("confirmed protocol alarmed on transient %q: %s alerts", scenario, alerts)
+			}
+		case strings.Contains(scenario, "(1 meas)") && proto == "bare":
+			rowsSeen++
+			if alerts == "0" {
+				t.Errorf("bare protocol absorbed transient %q — confirm adds nothing", scenario)
+			}
+		case strings.HasPrefix(scenario, "PLL aging") && proto == "re-enroll on":
+			rowsSeen++
+			if alerts != "0" || strings.Contains(outcome, "refreshed 0x") {
+				t.Errorf("drift with refresh: alerts %s, outcome %q", alerts, outcome)
+			}
+		case strings.HasPrefix(scenario, "PLL aging") && proto == "re-enroll off":
+			rowsSeen++
+			if alerts == "0" {
+				t.Error("drift without refresh never alarmed — the guard protects nothing")
+			}
+		case strings.HasPrefix(scenario, "interposer"):
+			rowsSeen++
+			if alerts == "0" || !strings.Contains(outcome, "refreshes after attack 0") {
+				t.Errorf("interposer under drift: alerts %s, outcome %q", alerts, outcome)
+			}
+		case strings.Contains(scenario, "genuine bus"):
+			rowsSeen++
+			if alerts != "0" || !strings.Contains(outcome, "health degraded") {
+				t.Errorf("dead-bin genuine row: alerts %s, outcome %q", alerts, outcome)
+			}
+		case strings.Contains(scenario, "foreign bus"):
+			rowsSeen++
+			if !strings.Contains(outcome, "rejected true") {
+				t.Errorf("dead-bin foreign bus accepted: %q", outcome)
+			}
+		case strings.Contains(scenario, "Parallelism"):
+			rowsSeen++
+			if !strings.Contains(outcome, "bit-identical true") {
+				t.Errorf("faulted run not parallelism-invariant: %q", outcome)
+			}
+		}
+	}
+	if rowsSeen < 15 {
+		t.Errorf("only %d fault-sweep rows matched the expected shapes", rowsSeen)
+	}
+}

@@ -41,6 +41,7 @@ func All() []Entry {
 		{"jitter", JitterAblation},
 		{"sharing", SharingAblation},
 		{"crosstalk", CrosstalkAblation},
+		{"faults", FaultSweep},
 		{"pagepolicy", PagePolicyAblation},
 		{"baselines", Baselines},
 	}

@@ -1,0 +1,298 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+
+	"divot/internal/signal"
+)
+
+// BinMask marks ETS bins whose reconstructed samples carry no information —
+// dead acquisition slices, stuck counters, rail-clamped reconstructions. The
+// protocol layer maintains one per endpoint and threads it through matching
+// so a partially dead instrument degrades gracefully instead of failing: the
+// similarity (Eq. 4) and error function (Eq. 5) renormalize over the live
+// bins only. A nil or all-false mask reproduces the unmasked path exactly.
+type BinMask []bool
+
+// NewBinMask returns an all-live mask over n bins.
+func NewBinMask(n int) BinMask { return make(BinMask, n) }
+
+// Count returns the number of masked bins.
+func (m BinMask) Count() int {
+	n := 0
+	for _, b := range m {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether no bin is masked.
+func (m BinMask) Empty() bool { return m.Count() == 0 }
+
+// Fraction returns the masked share of all bins (0 for a nil mask).
+func (m BinMask) Fraction() float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	return float64(m.Count()) / float64(len(m))
+}
+
+// Clone returns an independent copy.
+func (m BinMask) Clone() BinMask {
+	if m == nil {
+		return nil
+	}
+	out := make(BinMask, len(m))
+	copy(out, m)
+	return out
+}
+
+// Dilate returns a mask that additionally covers `guard` bins on each side of
+// every masked bin. Matching excludes the guard band because smoothing leaks
+// a repaired bin's residual error into its neighbours. guard <= 0 returns the
+// mask unchanged.
+func (m BinMask) Dilate(guard int) BinMask {
+	if guard <= 0 || m.Empty() {
+		return m
+	}
+	out := make(BinMask, len(m))
+	for i, b := range m {
+		if !b {
+			continue
+		}
+		lo, hi := i-guard, i+guard
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(m) {
+			hi = len(m) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			out[j] = true
+		}
+	}
+	return out
+}
+
+// Union merges another mask (or a saturation flag slice) into a copy of m.
+// Either argument may be nil; the result is nil when nothing is masked.
+func (m BinMask) Union(other []bool) BinMask {
+	if len(other) == 0 {
+		return m
+	}
+	var out BinMask
+	if m == nil {
+		out = make(BinMask, len(other))
+	} else {
+		out = m.Clone()
+		for len(out) < len(other) {
+			out = append(out, false)
+		}
+	}
+	any := false
+	for i := range out {
+		if i < len(other) && other[i] {
+			out[i] = true
+		}
+		if out[i] {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// Repair returns a copy of w with masked bins replaced by linear
+// interpolation between the nearest live neighbours (edge runs are held at
+// the nearest live value). Repairing before smoothing keeps a dead bin's
+// rail-clamped spike from bleeding into live bins through the smoothing
+// kernel; the repaired bins themselves are excluded from matching by the
+// mask.
+func Repair(w *signal.Waveform, m BinMask) *signal.Waveform {
+	if m.Empty() {
+		return w
+	}
+	out := signal.New(w.Rate, w.Len())
+	copy(out.Samples, w.Samples)
+	n := out.Len()
+	i := 0
+	for i < n {
+		if i >= len(m) || !m[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < n && j < len(m) && m[j] {
+			j++
+		}
+		// Masked run [i, j): interpolate between live neighbours i-1 and j.
+		switch {
+		case i == 0 && j == n:
+			for k := i; k < j; k++ {
+				out.Samples[k] = 0
+			}
+		case i == 0:
+			for k := i; k < j; k++ {
+				out.Samples[k] = out.Samples[j]
+			}
+		case j == n:
+			for k := i; k < j; k++ {
+				out.Samples[k] = out.Samples[i-1]
+			}
+		default:
+			a, b := out.Samples[i-1], out.Samples[j]
+			span := float64(j - (i - 1))
+			for k := i; k < j; k++ {
+				t := float64(k-(i-1)) / span
+				out.Samples[k] = a + (b-a)*t
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// FromWaveformMasked is FromWaveform with dead-bin repair applied first. An
+// empty mask reproduces FromWaveform exactly.
+func (p Pipeline) FromWaveformMasked(w *signal.Waveform, m BinMask) IIP {
+	return p.FromWaveform(Repair(w, m))
+}
+
+// AverageMasked is Average with dead-bin repair applied to the mean waveform
+// — the re-enrollment path of a degraded instrument.
+func (p Pipeline) AverageMasked(ws []*signal.Waveform, m BinMask) (IIP, error) {
+	if m.Empty() {
+		return p.Average(ws)
+	}
+	if len(ws) == 0 {
+		return IIP{}, fmt.Errorf("fingerprint: cannot average zero measurements")
+	}
+	acc := signal.New(ws[0].Rate, ws[0].Len())
+	for _, w := range ws {
+		signal.AddInPlace(acc, w)
+	}
+	mean := signal.Scale(acc, 1/float64(len(ws)))
+	return p.FromWaveform(Repair(mean, m)), nil
+}
+
+// cmpMasked projects a raw-bin mask onto the comparison view. The derivative
+// view's sample i is computed from raw bins i and i+1, so it is invalid when
+// either is masked; the mean-removed view maps one-to-one.
+func (f IIP) cmpMasked(m BinMask) BinMask {
+	n := f.cmp.Len()
+	if n == f.Raw.Len() {
+		return m
+	}
+	out := make(BinMask, n)
+	for i := 0; i < n; i++ {
+		bad := i < len(m) && m[i]
+		if i+1 < len(m) && m[i+1] {
+			bad = true
+		}
+		out[i] = bad
+	}
+	return out
+}
+
+// MaskedSimilarity is Similarity (Eq. 4) restricted to live bins: the cosine
+// of the two comparison views over the unmasked support, renormalized there,
+// clamped to [0, 1]. An empty mask reproduces Similarity exactly.
+func MaskedSimilarity(x, y IIP, m BinMask) float64 {
+	if m.Empty() {
+		return Similarity(x, y)
+	}
+	if !x.Valid() || !y.Valid() {
+		return 0
+	}
+	cm := x.cmpMasked(m)
+	n := x.cmp.Len()
+	if y.cmp.Len() < n {
+		n = y.cmp.Len()
+	}
+	var dot, xx, yy float64
+	for i := 0; i < n; i++ {
+		if i < len(cm) && cm[i] {
+			continue
+		}
+		a, b := x.cmp.Samples[i], y.cmp.Samples[i]
+		dot += a * b
+		xx += a * a
+		yy += b * b
+	}
+	if xx == 0 || yy == 0 {
+		return 0
+	}
+	s := dot / math.Sqrt(xx*yy)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// MaskedErrorFunction is ErrorFunction (Eq. 5) with masked bins zeroed, so a
+// repaired bin's residual cannot masquerade as a tamper peak. An empty mask
+// reproduces ErrorFunction exactly.
+func MaskedErrorFunction(x, y IIP, m BinMask) *signal.Waveform {
+	e := ErrorFunction(x, y)
+	if m.Empty() {
+		return e
+	}
+	for i := range e.Samples {
+		if i < len(m) && m[i] {
+			e.Samples[i] = 0
+		}
+	}
+	return e
+}
+
+// MeanErrorMasked returns the mean error over live bins only — the degraded
+// instrument's noise floor.
+func MeanErrorMasked(e *signal.Waveform, m BinMask) float64 {
+	if m.Empty() {
+		return MeanError(e)
+	}
+	var acc float64
+	live := 0
+	for i, v := range e.Samples {
+		if i < len(m) && m[i] {
+			continue
+		}
+		acc += v
+		live++
+	}
+	if live == 0 {
+		return 0
+	}
+	return acc / float64(live)
+}
+
+// AuthenticateMasked is Matcher.Authenticate scoring over live bins only.
+func (mt Matcher) AuthenticateMasked(measured, enrolled IIP, m BinMask) AuthResult {
+	s := MaskedSimilarity(measured, enrolled, m)
+	return AuthResult{Score: s, Threshold: mt.Threshold, Accepted: s >= mt.Threshold}
+}
+
+// CheckMasked is TamperDetector.Check over live bins only: masked bins cannot
+// contribute the peak, and the contrast denominator averages live bins.
+func (d TamperDetector) CheckMasked(measured, reference IIP, m BinMask) TamperVerdict {
+	e := MaskedErrorFunction(measured, reference, m)
+	value, idx, at := PeakError(e)
+	v := TamperVerdict{
+		Tampered:  value > d.PeakThreshold,
+		PeakError: value,
+		Position:  LocalizeError(e, idx, d.Velocity),
+		At:        at,
+	}
+	if mean := MeanErrorMasked(e, m); mean > 0 {
+		v.Contrast = value / mean
+	}
+	return v
+}

@@ -52,6 +52,10 @@ type TamperVerdict struct {
 	Position float64
 	// At is the round-trip time of the peak.
 	At float64
+	// Contrast is the peak-to-mean ratio of the error function — large for
+	// localized change, near the χ² field's ratio for global noise or
+	// drift. The re-enrollment guard uses it to tell drift from attack.
+	Contrast float64
 }
 
 // String renders the verdict for logs.
@@ -67,10 +71,14 @@ func (v TamperVerdict) String() string {
 func (d TamperDetector) Check(measured, reference IIP) TamperVerdict {
 	e := ErrorFunction(measured, reference)
 	value, idx, at := PeakError(e)
-	return TamperVerdict{
+	v := TamperVerdict{
 		Tampered:  value > d.PeakThreshold,
 		PeakError: value,
 		Position:  LocalizeError(e, idx, d.Velocity),
 		At:        at,
 	}
+	if mean := MeanError(e); mean > 0 {
+		v.Contrast = value / mean
+	}
+	return v
 }

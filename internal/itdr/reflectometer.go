@@ -26,6 +26,12 @@ type Measurement struct {
 	// Duration is CyclesUsed divided by the sample clock — the wall-clock
 	// measurement time.
 	Duration float64
+	// Saturated flags, per ETS bin, a ones-count pegged at either rail
+	// (0 or TrialsPerBin). A pegged count carries no analog information —
+	// the inverse map clamps it to the edge of the reference sweep — so a
+	// bin that saturates persistently is dead or stuck, and the protocol
+	// layer uses this to mask degraded bins out of matching.
+	Saturated []bool
 }
 
 // Reflectometer is one iTDR instance attached to a line. It owns the
@@ -39,6 +45,7 @@ type Reflectometer struct {
 	probe txline.Probe
 	envRN *rng.Stream
 	seq   uint64 // measurement counter, for per-measurement sub-streams
+	inj   Injector
 
 	// binInv caches one inverse APC map per ETS phase bin across
 	// measurements. Clock-triggered probing revisits each bin with the same
@@ -123,6 +130,22 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 	bins := cfg.Bins()
 	rate := cfg.EquivalentRate()
 
+	// Consult the fault injector first: environmental glitches must land
+	// before the line response is synthesized. Incrementing seq here (rather
+	// than just before the per-measurement stream derivation below) changes
+	// nothing on the healthy path — no randomness is drawn in between.
+	r.seq++
+	var mf MeasurementFault
+	faulted := false
+	if r.inj != nil {
+		mf, faulted = r.inj.BeginMeasurement(r.seq)
+	}
+	if faulted && mf.Condition != nil {
+		ct := mf.Condition(ConditionTransform{DeltaT: cond.DeltaT, EMIAmplitude: cond.EMIAmplitude})
+		cond.DeltaT = ct.DeltaT
+		cond.EMIAmplitude = ct.EMIAmplitude
+	}
+
 	// Physical truth: the back-reflection waveform for this condition, and
 	// the incident edge that leaks through the coupler's finite directivity.
 	backward := line.Reflect(r.probe, cond.DeltaT, cond.Stretch, rate, bins)
@@ -141,7 +164,6 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 	// Fresh randomness for each measurement: the trigger pattern depends
 	// on the live traffic and the EMI aggressor drifts in phase, so
 	// neither may repeat identically between measurements.
-	r.seq++
 	mStream := r.envRN.ChildN("measurement", r.seq)
 	if len(r.binInv) != bins {
 		r.binInv = make([]*Inverter, bins)
@@ -149,6 +171,13 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 
 	out := signal.New(rate, bins)
 	binCycles := make([]int, bins)
+	saturated := make([]bool, bins)
+	// Jitter faults add in quadrature to the PLL's own phase noise.
+	jitterRMS := cfg.PhaseJitterRMS
+	if faulted && mf.ExtraJitterRMS > 0 {
+		jitterRMS = math.Sqrt(jitterRMS*jitterRMS + mf.ExtraJitterRMS*mf.ExtraJitterRMS)
+	}
+	distorted := faulted && mf.distortsTrials()
 	workers := cfg.EffectiveParallelism()
 	if workers > bins {
 		workers = bins
@@ -178,6 +207,10 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 		refs := scratch[worker]
 		tBin := float64(m) * cfg.PhaseStepSec
 		xtalk := cond.CrosstalkAt(tBin)
+		var bf BinFault
+		if faulted && mf.Bin != nil {
+			bf = mf.Bin(m)
+		}
 		ones := 0
 		cycleBase := m * binStride
 		cycle := 0
@@ -226,14 +259,41 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 			// off-bin — a timing-noise contribution that scales with the
 			// local slew rate.
 			tSample := tBin
-			if cfg.PhaseJitterRMS > 0 {
-				tSample += bs.Gaussian(0, cfg.PhaseJitterRMS)
+			if faulted {
+				tSample += mf.PhaseOffset
+			}
+			if jitterRMS > 0 {
+				tSample += bs.Gaussian(0, jitterRMS)
 			}
 			vsig := polarity*seen.At(tSample) + emi + xtalk
-			if r.comp.SampleWith(bs, vsig, ref) {
+			// Fault paths replace the comparator decision; the healthy
+			// branch is byte-for-byte the original sampling call.
+			var dec bool
+			switch {
+			case bf.Dead:
+				// A dead acquisition slice never fires; no noise is drawn,
+				// mirroring hardware where the counter simply sees no pulses.
+			case faulted && mf.Stuck == StuckLow:
+			case faulted && mf.Stuck == StuckHigh:
+				dec = true
+			case distorted:
+				dec = r.comp.SampleDistorted(bs, vsig, ref, mf.ExtraOffset, mf.noiseScale())
+			default:
+				dec = r.comp.SampleWith(bs, vsig, ref)
+			}
+			if dec {
 				ones++
 			}
 		}
+		if bf.CounterXOR != 0 {
+			ones ^= int(bf.CounterXOR)
+			if ones > cfg.TrialsPerBin {
+				// The physical counter is TrialsPerBin wide; an upset cannot
+				// read beyond full scale.
+				ones = cfg.TrialsPerBin
+			}
+		}
+		saturated[m] = ones == 0 || ones == cfg.TrialsPerBin
 		p := float64(ones) / float64(cfg.TrialsPerBin)
 		// Per-bin inverse-map cache: reuse the inverter while the bin's
 		// reference sequence repeats (always, under TriggerClock) and
@@ -261,5 +321,6 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 		Trials:     bins * cfg.TrialsPerBin,
 		CyclesUsed: cycles,
 		Duration:   float64(cycles) / cfg.SampleClockHz,
+		Saturated:  saturated,
 	}
 }

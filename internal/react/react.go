@@ -91,6 +91,15 @@ const (
 	StateHalted
 	// StateWiped: secrets destroyed; terminal until operator reset.
 	StateWiped
+	// StateSuspect: the last round's failure was absorbed as a transient by
+	// the confirmation protocol — nothing alerted, but the round does not
+	// count toward recovery either. (Appended after StateWiped to keep the
+	// original states' values stable.)
+	StateSuspect
+	// StateDegraded: the link authenticates at reduced resolution (masked
+	// dead bins). Operationally benign; reported so the platform can
+	// schedule maintenance.
+	StateDegraded
 )
 
 // String names the state.
@@ -104,8 +113,18 @@ func (s State) String() string {
 		return "halted"
 	case StateWiped:
 		return "wiped"
+	case StateSuspect:
+		return "suspect"
+	case StateDegraded:
+		return "degraded"
 	}
 	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// benign reports whether the state carries no active escalation — the states
+// a suspect or degraded observation may freely move between.
+func (s State) benign() bool {
+	return s == StateNormal || s == StateSuspect || s == StateDegraded
 }
 
 // Reactor is the escalation state machine. Feed it each monitoring round's
@@ -143,8 +162,29 @@ func NewReactor(p Policy) (*Reactor, error) {
 // State returns the current escalation level.
 func (r *Reactor) State() State { return r.state }
 
-// Observe consumes one monitoring round's alerts and returns the action.
+// Observe consumes one monitoring round's alerts and returns the action. It
+// is ObserveHealth with no health information — every alert-free round reads
+// as fully clean.
 func (r *Reactor) Observe(alerts []core.Alert) Action {
+	return r.ObserveHealth(alerts, core.LinkHealth{})
+}
+
+// ObserveHealth consumes one monitoring round's alerts together with the
+// link's health snapshot from the same round (core.Link.Health). Health
+// refines the alert-free cases:
+//
+//   - a suspect round (transient fault absorbed by confirmation) is logged
+//     and does not count toward recovery — an attacker who manages to look
+//     like a transient every RecoveryRounds-1 rounds cannot ratchet an
+//     escalation back down;
+//   - a degraded link recovers to StateDegraded, not StateNormal, so the
+//     reduced resolution stays visible at the reaction layer;
+//   - a failed instrument (HealthFailed without alerts, e.g. mass bin loss)
+//     halts traffic even though authentication never formally failed.
+//
+// Wiping remains strictly gated on consecutive confirmed authentication
+// failures: suspect and tamper-only rounds reset the failure streak.
+func (r *Reactor) ObserveHealth(alerts []core.Alert, h core.LinkHealth) Action {
 	r.Rounds++
 	if r.state == StateWiped {
 		return ActionWipe // terminal: remains wiped until Reset
@@ -162,9 +202,39 @@ func (r *Reactor) Observe(alerts []core.Alert) Action {
 
 	if !tamper && !authFail {
 		r.tamperStreak, r.authStreak = 0, 0
+		if h.State() == core.HealthFailed {
+			// The instrument can no longer authenticate the link at all.
+			r.cleanStreak = 0
+			r.state = StateHalted
+			r.record(ActionHalt, "instrument failure")
+			return ActionHalt
+		}
+		if h.SuspectRound() {
+			// Absorbed transient: log it, hold every streak at zero progress.
+			r.cleanStreak = 0
+			if r.state.benign() {
+				r.state = StateSuspect
+				r.record(ActionLog, "transient fault absorbed")
+				return ActionLog
+			}
+			return ActionNone // Alerted/Halted hold; no recovery credit
+		}
 		r.cleanStreak++
-		if r.state != StateNormal && r.cleanStreak >= r.policy.RecoveryRounds {
-			r.state = StateNormal
+		target := StateNormal
+		if h.Degraded() {
+			target = StateDegraded
+		}
+		if r.state.benign() {
+			if r.state != target && target == StateDegraded {
+				r.state = target
+				r.record(ActionLog, "degraded resolution")
+				return ActionLog
+			}
+			r.state = target
+			return ActionNone
+		}
+		if r.cleanStreak >= r.policy.RecoveryRounds {
+			r.state = target
 			r.record(ActionLog, "recovered after clean rounds")
 		}
 		return ActionNone
@@ -183,7 +253,9 @@ func (r *Reactor) Observe(alerts []core.Alert) Action {
 		return ActionHalt
 	}
 
-	// Tamper without auth failure.
+	// Tamper without auth failure. The wipe gate demands *consecutive*
+	// authentication failures, so the failure streak resets here.
+	r.authStreak = 0
 	r.tamperStreak++
 	if r.tamperStreak > r.policy.TamperToleranceRounds {
 		r.state = StateHalted

@@ -1,0 +1,252 @@
+package react
+
+import (
+	"math/rand"
+	"testing"
+
+	"divot/internal/core"
+)
+
+// round is one randomized observation fed to the reactor.
+type round struct {
+	authFail bool
+	tamper   bool
+	suspect  bool // health: transient absorbed (only meaningful alert-free)
+	degraded bool // health: reduced resolution
+	failed   bool // health: instrument failure (only meaningful alert-free)
+}
+
+func (rd round) alerts() []core.Alert {
+	var a []core.Alert
+	if rd.authFail {
+		a = append(a, core.Alert{Side: core.SideCPU, Kind: core.AlertAuthFailure, Score: 0.1})
+	}
+	if rd.tamper {
+		a = append(a, core.Alert{Side: core.SideModule, Kind: core.AlertTamper, PeakError: 1})
+	}
+	return a
+}
+
+func (rd round) health() core.LinkHealth {
+	var h core.LinkHealth
+	if rd.failed {
+		h.CPU.State = core.HealthFailed
+	}
+	if rd.suspect {
+		h.CPU.LastSuspect = true
+	}
+	if rd.degraded {
+		h.Module.DegradedResolution = true
+		h.Module.State = core.HealthDegraded
+	}
+	return h
+}
+
+// clean reports whether the round grants recovery credit: alert-free, not a
+// suspect round, and the instrument is working.
+func (rd round) clean() bool {
+	return !rd.authFail && !rd.tamper && !rd.suspect && !rd.failed
+}
+
+// checkInvariants drives one reactor through the round sequence and asserts
+// the safety properties of the escalation machine.
+func checkInvariants(t *testing.T, pol Policy, rounds []round) {
+	t.Helper()
+	r, err := NewReactor(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authFailStreak := 0 // consecutive rounds carrying an auth-failure alert
+	cleanStreak := 0
+	wiped := false
+	for i, rd := range rounds {
+		before := r.State()
+		action := r.ObserveHealth(rd.alerts(), rd.health())
+		after := r.State()
+
+		if wiped {
+			if after != StateWiped || action != ActionWipe {
+				t.Fatalf("round %d: wiped reactor revived (state %v action %v)", i, after, action)
+			}
+			continue
+		}
+
+		if rd.authFail {
+			authFailStreak++
+		} else {
+			authFailStreak = 0
+		}
+		if rd.clean() {
+			cleanStreak++
+		} else {
+			cleanStreak = 0
+		}
+
+		// Invariant 1: wiping demands more than AuthFailureToleranceRounds
+		// strictly consecutive auth-failure rounds.
+		if after == StateWiped {
+			wiped = true
+			if authFailStreak < pol.AuthFailureToleranceRounds+1 {
+				t.Fatalf("round %d: wiped after only %d consecutive auth failures (tolerance %d)\npolicy %+v",
+					i, authFailStreak, pol.AuthFailureToleranceRounds, pol)
+			}
+			continue
+		}
+
+		// Invariant 2: leaving an escalated state for a benign one requires
+		// a full window of recovery-credit rounds.
+		escalated := before == StateAlerted || before == StateHalted
+		if escalated && after.benign() && cleanStreak < pol.RecoveryRounds {
+			t.Fatalf("round %d: recovered from %v after %d clean rounds (policy wants %d)",
+				i, before, cleanStreak, pol.RecoveryRounds)
+		}
+
+		// Invariant 3: a suspect or failed-health round never grants
+		// recovery credit — an escalated state must not step down on it.
+		if escalated && !rd.clean() && after.benign() {
+			t.Fatalf("round %d: recovered from %v on a non-clean round %+v", i, before, rd)
+		}
+
+		// Invariant 4: an auth-failure round from a live state always halts
+		// or wipes — the gate decision is never deferred.
+		if rd.authFail && after != StateHalted && after != StateWiped {
+			t.Fatalf("round %d: auth failure left state %v", i, after)
+		}
+	}
+}
+
+// TestReactorProperties drives randomized round sequences over randomized
+// policies and checks the escalation invariants on every step.
+func TestReactorProperties(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pol := Policy{
+			TamperToleranceRounds:      rng.Intn(4),
+			AuthFailureToleranceRounds: rng.Intn(6),
+			RecoveryRounds:             1 + rng.Intn(4),
+		}
+		n := 50 + rng.Intn(150)
+		rounds := make([]round, n)
+		for i := range rounds {
+			rd := round{
+				authFail: rng.Float64() < 0.25,
+				tamper:   rng.Float64() < 0.2,
+				degraded: rng.Float64() < 0.3,
+			}
+			if !rd.authFail && !rd.tamper {
+				rd.suspect = rng.Float64() < 0.2
+				rd.failed = rng.Float64() < 0.1
+			}
+			rounds[i] = rd
+		}
+		checkInvariants(t, pol, rounds)
+	}
+}
+
+// TestSuspectRoundsFreezeRecovery pins the anti-ratchet property directly:
+// alternating suspect rounds with clean rounds below the recovery window
+// never recovers a halted reactor.
+func TestSuspectRoundsFreezeRecovery(t *testing.T) {
+	r, err := NewReactor(Policy{TamperToleranceRounds: 0, AuthFailureToleranceRounds: 5, RecoveryRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ObserveHealth(round{authFail: true}.alerts(), core.LinkHealth{})
+	if r.State() != StateHalted {
+		t.Fatalf("setup: state %v", r.State())
+	}
+	for i := 0; i < 10; i++ {
+		// Two clean rounds, then a suspect round: never 3 clean in a row.
+		r.ObserveHealth(nil, core.LinkHealth{})
+		r.ObserveHealth(nil, core.LinkHealth{})
+		r.ObserveHealth(nil, round{suspect: true}.health())
+		if r.State() != StateHalted {
+			t.Fatalf("cycle %d: recovered to %v without a full clean window", i, r.State())
+		}
+	}
+	// A full clean window recovers.
+	for i := 0; i < 3; i++ {
+		r.ObserveHealth(nil, core.LinkHealth{})
+	}
+	if r.State() != StateNormal {
+		t.Fatalf("state %v after full clean window", r.State())
+	}
+}
+
+// TestDegradedRecoveryTarget: a degraded link surfaces StateDegraded both in
+// steady state and as the recovery target after an escalation.
+func TestDegradedRecoveryTarget(t *testing.T) {
+	r, err := NewReactor(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := round{degraded: true}.health()
+	if a := r.ObserveHealth(nil, deg); a != ActionLog || r.State() != StateDegraded {
+		t.Fatalf("first degraded round: action %v state %v", a, r.State())
+	}
+	if a := r.ObserveHealth(nil, deg); a != ActionNone || r.State() != StateDegraded {
+		t.Fatalf("steady degraded round: action %v state %v", a, r.State())
+	}
+	// Escalate, then recover while still degraded.
+	r.ObserveHealth(round{authFail: true}.alerts(), deg)
+	for i := 0; i < DefaultPolicy().RecoveryRounds; i++ {
+		r.ObserveHealth(nil, deg)
+	}
+	if r.State() != StateDegraded {
+		t.Fatalf("recovery target %v, want degraded", r.State())
+	}
+	// Mask cleared (instrument repaired): back to normal.
+	r.ObserveHealth(nil, core.LinkHealth{})
+	if r.State() != StateNormal {
+		t.Fatalf("state %v after degradation cleared", r.State())
+	}
+}
+
+// TestInstrumentFailureHalts: HealthFailed without alerts halts traffic.
+func TestInstrumentFailureHalts(t *testing.T) {
+	r, err := NewReactor(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := r.ObserveHealth(nil, round{failed: true}.health()); a != ActionHalt || r.State() != StateHalted {
+		t.Fatalf("instrument failure: action %v state %v", a, r.State())
+	}
+	// And it never escalates to a wipe no matter how long it persists.
+	for i := 0; i < 20; i++ {
+		if a := r.ObserveHealth(nil, round{failed: true}.health()); a == ActionWipe {
+			t.Fatal("instrument failure escalated to wipe")
+		}
+	}
+}
+
+// FuzzReactor decodes arbitrary bytes into a round sequence and replays the
+// invariant checks.
+func FuzzReactor(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(2), uint8(5), uint8(3))
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01}, uint8(1), uint8(2), uint8(1))
+	f.Add([]byte{0x02, 0x04, 0x00, 0x08, 0x01, 0x03}, uint8(0), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, tamperTol, authTol, recovery uint8) {
+		pol := Policy{
+			TamperToleranceRounds:      int(tamperTol % 8),
+			AuthFailureToleranceRounds: int(authTol % 8),
+			RecoveryRounds:             1 + int(recovery%8),
+		}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		rounds := make([]round, len(data))
+		for i, b := range data {
+			rd := round{
+				authFail: b&0x01 != 0,
+				tamper:   b&0x02 != 0,
+				degraded: b&0x10 != 0,
+			}
+			if !rd.authFail && !rd.tamper {
+				rd.suspect = b&0x04 != 0
+				rd.failed = b&0x08 != 0
+			}
+			rounds[i] = rd
+		}
+		checkInvariants(t, pol, rounds)
+	})
+}

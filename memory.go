@@ -67,14 +67,24 @@ const (
 
 // Reaction state constants.
 const (
-	ReactStateNormal  = react.StateNormal
-	ReactStateAlerted = react.StateAlerted
-	ReactStateHalted  = react.StateHalted
-	ReactStateWiped   = react.StateWiped
+	ReactStateNormal   = react.StateNormal
+	ReactStateAlerted  = react.StateAlerted
+	ReactStateHalted   = react.StateHalted
+	ReactStateWiped    = react.StateWiped
+	ReactStateSuspect  = react.StateSuspect
+	ReactStateDegraded = react.StateDegraded
 )
 
 // DefaultReactionPolicy re-exports react.DefaultPolicy.
 var DefaultReactionPolicy = react.DefaultPolicy
+
+// Reactor is the escalation state machine; feed it each round's alerts and
+// health via ObserveHealth.
+type Reactor = react.Reactor
+
+// NewReactor builds a standalone reactor for custom monitoring loops (the
+// simulated systems above construct their own).
+var NewReactor = react.NewReactor
 
 // Re-exported memory types for callers of MemorySystem.
 type (
@@ -180,8 +190,11 @@ func (m *MemorySystem) startMonitor(interval sim.Time) {
 			return
 		}
 		if m.Bus.Calibrated() {
-			alerts := m.Bus.MonitorOnce()
-			m.Reactor.Observe(alerts)
+			// A protocol error (lost enrollment) skips reaction this round;
+			// the next round reports again, and health reflects the failure.
+			if alerts, err := m.Bus.MonitorOnce(); err == nil {
+				m.Reactor.ObserveHealth(alerts, m.Bus.Health())
+			}
 		}
 		m.Sched.After(interval, round)
 	}

@@ -3,6 +3,7 @@ package divot
 import (
 	"divot/internal/attack"
 	"divot/internal/core"
+	"divot/internal/fault"
 	"divot/internal/fingerprint"
 	"divot/internal/itdr"
 	"divot/internal/txline"
@@ -23,6 +24,16 @@ type (
 	Side = core.Side
 	// Endpoint is one iTDR-equipped bus interface.
 	Endpoint = core.Endpoint
+	// Robustness tunes the fault-tolerant monitoring protocol.
+	Robustness = core.Robustness
+	// ReenrollPolicy governs drift-guarded fingerprint refresh.
+	ReenrollPolicy = core.ReenrollPolicy
+	// LinkHealth is a link's instrument/protocol condition snapshot.
+	LinkHealth = core.LinkHealth
+	// EndpointHealth is one endpoint's condition snapshot.
+	EndpointHealth = core.EndpointHealth
+	// HealthState orders conditions from ok to failed.
+	HealthState = core.HealthState
 )
 
 // Engine constants.
@@ -31,6 +42,54 @@ const (
 	SideModule       = core.SideModule
 	AlertAuthFailure = core.AlertAuthFailure
 	AlertTamper      = core.AlertTamper
+
+	HealthOK       = core.HealthOK
+	HealthSuspect  = core.HealthSuspect
+	HealthDegraded = core.HealthDegraded
+	HealthFailed   = core.HealthFailed
+)
+
+// Protocol sentinels.
+var (
+	// ErrNotCalibrated is returned when monitoring precedes calibration.
+	ErrNotCalibrated = core.ErrNotCalibrated
+	// ErrEnrollmentLost is returned when an enrollment store is empty.
+	ErrEnrollmentLost = core.ErrEnrollmentLost
+)
+
+// DefaultRobustness is the hardened-protocol default configuration.
+var DefaultRobustness = core.DefaultRobustness
+
+// Fault-injection layer (instrument fault modeling; attach a plane to an
+// endpoint via Endpoint.Instrument().SetInjector).
+type (
+	// Fault is one injectable instrument fault with its schedule.
+	Fault = fault.Fault
+	// FaultKind enumerates the fault models.
+	FaultKind = fault.Kind
+	// FaultSchedule says when a fault is active.
+	FaultSchedule = fault.Schedule
+	// FaultPlane folds scheduled faults into an instrument's measurements.
+	FaultPlane = fault.Plane
+)
+
+// Fault constructors.
+var (
+	NewFaultPlane      = fault.NewPlane
+	FaultOnce          = fault.Once
+	FaultFrom          = fault.From
+	FaultDuty          = fault.Duty
+	NewStuckComparator = fault.StuckComparator
+	NewOffsetStep      = fault.OffsetStep
+	NewNoiseDrift      = fault.NoiseDrift
+	NewPhaseGlitch     = fault.PhaseGlitch
+	NewPhaseDrift      = fault.PhaseDrift
+	NewJitterBurst     = fault.JitterBurst
+	NewDeadBinField    = fault.DeadBinField
+	NewDeadBinList     = fault.DeadBinList
+	NewCounterUpset    = fault.CounterUpset
+	NewTempGlitch      = fault.TempGlitch
+	NewEMIGlitch       = fault.EMIGlitch
 )
 
 // Instrument types (§II).
@@ -67,6 +126,16 @@ type (
 	// FixedPointScorer scores Eq. 4 on an integer datapath — the form a
 	// hardware implementation synthesizes.
 	FixedPointScorer = fingerprint.FixedPointScorer
+	// BinMask marks dead ETS bins that matching renormalizes around.
+	BinMask = fingerprint.BinMask
+)
+
+// Masked matching (graceful degradation over dead ETS bins).
+var (
+	// MaskedSimilarity is Similarity restricted to live bins.
+	MaskedSimilarity = fingerprint.MaskedSimilarity
+	// MaskedErrorFunction is ErrorFunction with masked bins zeroed.
+	MaskedErrorFunction = fingerprint.MaskedErrorFunction
 )
 
 // AlignStretch estimates and undoes a common time-axis stretch (thermal or

@@ -77,7 +77,7 @@ func (st *StorageSystem) startMonitor(interval sim.Time) {
 			return
 		}
 		if st.Bus.Calibrated() {
-			st.Bus.MonitorOnce()
+			st.Bus.MonitorOnce() //nolint:errcheck // gates carry the verdict
 		}
 		st.Sched.After(interval, round)
 	}
