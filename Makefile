@@ -1,6 +1,7 @@
 GO ?= go
+PR ?= 3
 
-.PHONY: all build test race bench bench-experiments vet
+.PHONY: all build test race bench bench-experiments bench-snapshot vet
 
 all: build test
 
@@ -12,13 +13,20 @@ build:
 test: build
 	$(GO) test ./...
 
-## race: run the internal suites (core, exper, itdr, ...) under the race detector
+## race: run the internal suites (core, exper, itdr, ...) and the daemon /
+## scheduler paths under the race detector
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./internal/... ./cmd/...
 
 ## bench: run every benchmark once (experiment tables + hot-path micros)
 bench:
 	$(GO) test . -run XXX -bench . -benchtime 1x
+
+## bench-snapshot: record the hot-path micro-benchmarks as machine-readable
+## JSON (BENCH_$(PR).json) for cross-PR diffing; parsed by cmd/benchsnap
+bench-snapshot:
+	$(GO) test . -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll' -benchtime 20x -benchmem \
+		| $(GO) run ./cmd/benchsnap > BENCH_$(PR).json
 
 ## bench-experiments: the fleet campaign benchmarks used in EXPERIMENTS.md's
 ## performance table; pipe through benchstat to compare runs

@@ -178,6 +178,41 @@ func BenchmarkMonitorRound(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorRoundTelemetry measures the telemetry tax on the
+// steady-state monitoring round: the same clean link with no sink attached
+// versus a fully subscribed pipeline (metrics sink + event bus with a live
+// subscriber). The delta is the per-round cost of instrumentation; the
+// budget is <3%.
+func BenchmarkMonitorRoundTelemetry(b *testing.B) {
+	for _, mode := range []string{"nosink", "sink"} {
+		b.Run(mode, func(b *testing.B) {
+			sys := divot.NewSystem(7, divot.DefaultConfig())
+			if mode == "sink" {
+				reg := divot.NewMetricsRegistry()
+				bus := divot.NewTelemetryBus()
+				sub := bus.Subscribe(4096)
+				defer sub.Close()
+				go func() {
+					for range sub.Events() {
+					}
+				}()
+				sys.SetSink(divot.TelemetryFanout(divot.NewMetricsSink(reg), bus))
+			}
+			l := sys.MustNewLink("bus0")
+			if err := l.Calibrate(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.MonitorOnce(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMonitorAll times one fleet monitoring round (6 calibrated links)
 // at different worker counts — the headline operation of the parallel layer.
 func BenchmarkMonitorAll(b *testing.B) {

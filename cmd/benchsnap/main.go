@@ -1,0 +1,119 @@
+// Command benchsnap converts `go test -bench -benchmem` output on stdin
+// into a machine-readable JSON array on stdout, one object per benchmark
+// result line:
+//
+//	[{"name": "MonitorRound", "procs": 8, "iterations": 100,
+//	  "ns_per_op": 11897940, "bytes_per_op": 5374858, "allocs_per_op": 200}]
+//
+// Non-benchmark lines (package headers, PASS/ok, sub-test noise) are
+// ignored, so the tool can sit directly on a `go test` pipe:
+//
+//	go test . -run XXX -bench . -benchtime 1x -benchmem | benchsnap > BENCH_3.json
+//
+// Used by `make bench-snapshot` to record BENCH_<pr>.json checkpoints that
+// can be diffed across PRs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run parses benchmark lines from r and writes the JSON array to w.
+func run(r io.Reader, w, errw io.Writer) int {
+	results, err := parse(r)
+	if err != nil {
+		fmt.Fprintln(errw, "benchsnap:", err)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(errw, "benchsnap: no benchmark lines on stdin")
+		return 1
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(errw, "benchsnap:", err)
+		return 1
+	}
+	return 0
+}
+
+// parse scans `go test -bench` output and extracts every result line, in
+// input order (the order benchmarks ran).
+func parse(r io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one line of the form
+//
+//	BenchmarkName-8   100   11897940 ns/op   5374858 B/op   200 allocs/op
+//
+// and reports whether the line was a benchmark result. Trailing custom
+// metrics are ignored; B/op and allocs/op are optional (absent without
+// -benchmem).
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	res := result{Name: strings.TrimPrefix(fields[0], "Benchmark"), Procs: 1}
+	if i := strings.LastIndex(res.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Procs = p
+			res.Name = res.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	res.Iterations = iters
+
+	// The rest is value/unit pairs.
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return result{}, false
+			}
+			res.NsPerOp = f
+			seenNs = true
+		case "B/op":
+			res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return res, seenNs
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: divot
+cpu: some CPU @ 2.80GHz
+BenchmarkIIPMeasurement-8                	       1	  32876311 ns/op	  806304 B/op	      24 allocs/op
+BenchmarkSimilarity-8                    	  838552	      1391 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMonitorRoundTelemetry/nosink-8  	       1	  68229000 ns/op	 1612608 B/op	      48 allocs/op
+BenchmarkMonitorRoundTelemetry/sink-8    	       1	  69120000 ns/op	 1613400 B/op	      62 allocs/op
+BenchmarkNoMem-4 	     200	    123456 ns/op
+PASS
+ok  	divot	12.345s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(results), results)
+	}
+	first := results[0]
+	if first.Name != "IIPMeasurement" || first.Procs != 8 || first.Iterations != 1 ||
+		first.NsPerOp != 32876311 || first.BytesPerOp != 806304 || first.AllocsPerOp != 24 {
+		t.Errorf("first result mis-parsed: %+v", first)
+	}
+	if results[2].Name != "MonitorRoundTelemetry/nosink" {
+		t.Errorf("sub-benchmark name = %q", results[2].Name)
+	}
+	last := results[4]
+	if last.Name != "NoMem" || last.Procs != 4 || last.BytesPerOp != 0 {
+		t.Errorf("no-benchmem result mis-parsed: %+v", last)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	divot	1.2s",
+		"goos: linux",
+		"Benchmark", // name alone, no fields
+		"BenchmarkX-8 notanumber 12 ns/op",
+		"--- BENCH: BenchmarkX-8",
+	} {
+		if res, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as %+v", line, res)
+		}
+	}
+}
+
+func TestRunEmitsJSONArray(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var results []result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(results) != 5 {
+		t.Fatalf("round-tripped %d results, want 5", len(results))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader("PASS\nok\n"), &out, &errOut); code != 1 {
+		t.Errorf("empty input exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no benchmark lines") {
+		t.Errorf("stderr %q should explain the empty input", errOut.String())
+	}
+}

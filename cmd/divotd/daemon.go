@@ -1,0 +1,322 @@
+// Command divotd is the fleet-attestation daemon: it owns a divot.System of
+// protected buses, monitors each on its own jittered interval, escalates
+// alerts through per-bus reactors, and serves health, metrics (Prometheus
+// text format), per-bus alert history, and on-demand authentication over
+// HTTP. Telemetry flows from the engine through one fanned-out sink into the
+// metrics registry, the JSONL audit log, and the daemon's alert rings.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"divot"
+	"divot/internal/rng"
+	"divot/internal/telemetry"
+)
+
+// alertRingCap bounds each bus's in-memory alert history; older entries fall
+// off (the audit log keeps everything).
+const alertRingCap = 128
+
+// Daemon is the running fleet.
+type Daemon struct {
+	spec  Spec
+	sys   *divot.System
+	reg   *divot.MetricsRegistry
+	audit *divot.AuditLog
+	// auditFile is closed (after a final flush) at shutdown when the audit
+	// log writes to a file.
+	auditFile *os.File
+
+	links []*linkState
+	byID  map[string]*linkState
+
+	roundDur *telemetry.HistogramVec
+	overruns *telemetry.CounterVec
+
+	started time.Time
+	// listener is set once Run has bound the API socket; Addr exposes it so
+	// tests can use ":0".
+	listenerMu sync.Mutex
+	listener   net.Listener
+}
+
+// linkState is one protected bus with its scheduler bookkeeping. mu
+// serializes monitoring rounds with on-demand authentication — the engine is
+// not safe for concurrent use of one link.
+type linkState struct {
+	id       string
+	mu       sync.Mutex
+	link     *divot.Link
+	reactor  *divot.Reactor
+	interval time.Duration
+	jitter   *rng.Stream
+
+	attack      divot.Attack
+	attackAfter uint64
+	attacked    bool
+
+	rounds atomic.Uint64
+
+	alertsMu sync.Mutex
+	alerts   []alertEntry
+}
+
+// alertEntry is one bus-affecting event retained for /v1/links/{id}/alerts.
+type alertEntry struct {
+	Seq    uint64  `json:"seq"`
+	Kind   string  `json:"kind"`
+	Side   string  `json:"side,omitempty"`
+	Round  uint64  `json:"round"`
+	Score  float64 `json:"score,omitempty"`
+	From   string  `json:"from,omitempty"`
+	To     string  `json:"to,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// record appends to the bounded alert ring.
+func (ls *linkState) record(ev telemetry.Event) {
+	ls.alertsMu.Lock()
+	defer ls.alertsMu.Unlock()
+	ls.alerts = append(ls.alerts, alertEntry{
+		Seq: ev.Seq, Kind: ev.Kind.String(), Side: ev.Side, Round: ev.Round,
+		Score: ev.Score, From: ev.From, To: ev.To, Detail: ev.Detail,
+	})
+	if len(ls.alerts) > alertRingCap {
+		ls.alerts = ls.alerts[len(ls.alerts)-alertRingCap:]
+	}
+}
+
+// snapshotAlerts copies the ring, newest last.
+func (ls *linkState) snapshotAlerts() []alertEntry {
+	ls.alertsMu.Lock()
+	defer ls.alertsMu.Unlock()
+	out := make([]alertEntry, len(ls.alerts))
+	copy(out, ls.alerts)
+	return out
+}
+
+// alertSink routes attention-worthy events into the owning bus's ring.
+type alertSink struct{ d *Daemon }
+
+// Emit implements telemetry.Sink.
+func (s alertSink) Emit(ev telemetry.Event) {
+	switch ev.Kind {
+	case telemetry.EventAlert, telemetry.EventGate, telemetry.EventHealth,
+		telemetry.EventReactor, telemetry.EventMonitorError:
+	default:
+		return
+	}
+	if ls, ok := s.d.byID[ev.Link]; ok {
+		ls.record(ev)
+	}
+}
+
+// NewDaemon builds and calibrates the fleet described by spec. Every bus is
+// enrolled before the daemon starts serving, so the API never exposes an
+// uncalibrated link.
+func NewDaemon(spec Spec) (*Daemon, error) {
+	cfg := divot.DefaultConfig()
+	cfg.Engine.Parallelism = spec.Parallelism
+	sys := divot.NewSystem(spec.Seed, cfg)
+
+	d := &Daemon{
+		spec: spec,
+		sys:  sys,
+		reg:  divot.NewMetricsRegistry(),
+		byID: make(map[string]*linkState, len(spec.Buses)),
+	}
+	sinks := []divot.TelemetrySink{divot.NewMetricsSink(d.reg), alertSink{d}}
+	if spec.AuditLog != "" {
+		f, err := os.Create(spec.AuditLog)
+		if err != nil {
+			return nil, fmt.Errorf("opening audit log: %w", err)
+		}
+		d.auditFile = f
+		d.audit = divot.NewAuditLog(f).WithClock(time.Now)
+		sinks = append(sinks, d.audit)
+	}
+	sys.SetSink(divot.TelemetryFanout(sinks...))
+
+	d.roundDur = d.reg.Histogram("divot_round_duration_seconds",
+		"Wall-clock duration of one monitoring round.",
+		telemetry.DurationBuckets, "link")
+	d.overruns = d.reg.Counter("divot_scheduler_overruns_total",
+		"Rounds that took longer than the bus's monitoring interval.", "link")
+
+	for _, b := range spec.Buses {
+		link, err := sys.NewLink(b.ID)
+		if err != nil {
+			return nil, err
+		}
+		if err := link.Calibrate(); err != nil {
+			return nil, fmt.Errorf("calibrating bus %q: %w", b.ID, err)
+		}
+		reactor, err := divot.NewReactor(divot.DefaultReactionPolicy())
+		if err != nil {
+			return nil, err
+		}
+		reactor.SetSink(sys.Sink(), b.ID)
+		ls := &linkState{
+			id:       b.ID,
+			link:     link,
+			reactor:  reactor,
+			interval: time.Duration(spec.interval(b)) * time.Millisecond,
+			jitter:   sys.Stream("sched-" + b.ID),
+			attack:   buildAttack(sys, b.ID, b.Attack),
+		}
+		if b.Attack != nil {
+			ls.attackAfter = b.Attack.AfterRounds
+		}
+		d.links = append(d.links, ls)
+		d.byID[b.ID] = ls
+	}
+	return d, nil
+}
+
+// monitorOnce runs one round on a bus: mount the scripted attack when due,
+// monitor, feed the reactor, observe the duration.
+func (d *Daemon) monitorOnce(ls *linkState) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.attack != nil && !ls.attacked && ls.rounds.Load() >= ls.attackAfter {
+		ls.attack.Apply(ls.link.Line)
+		ls.attacked = true
+		d.sys.Sink().Emit(divot.TelemetryEvent{
+			Kind: divot.EventAttack, Link: ls.id,
+			Round: ls.link.Rounds(), Detail: ls.attack.Name(),
+		})
+	}
+	start := time.Now()
+	alerts, err := ls.link.MonitorOnce()
+	d.roundDur.With(ls.id).Observe(time.Since(start).Seconds())
+	if err == nil {
+		ls.reactor.ObserveHealth(alerts, ls.link.Health())
+	}
+	ls.rounds.Add(1)
+}
+
+// schedule runs the bus's monitoring loop until ctx is done. Each period is
+// the bus interval spread by ±JitterFrac (drawn from the bus's own labelled
+// stream, so the sequence is reproducible); a round that overruns its period
+// is counted and the next one starts immediately — per-bus backpressure
+// rather than an unbounded queue.
+func (d *Daemon) schedule(ctx context.Context, ls *linkState) {
+	timer := time.NewTimer(d.period(ls))
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		start := time.Now()
+		d.monitorOnce(ls)
+		period := d.period(ls)
+		if took := time.Since(start); took >= period {
+			d.overruns.With(ls.id).Inc()
+			period = 0
+		} else {
+			period -= took
+		}
+		timer.Reset(period)
+	}
+}
+
+// period draws the next jittered interval for a bus.
+func (d *Daemon) period(ls *linkState) time.Duration {
+	j := d.spec.JitterFrac
+	if j <= 0 {
+		return ls.interval
+	}
+	scale := ls.jitter.Uniform(1-j, 1+j)
+	return time.Duration(float64(ls.interval) * scale)
+}
+
+// Addr returns the bound API address once Run is listening ("" before).
+func (d *Daemon) Addr() string {
+	d.listenerMu.Lock()
+	defer d.listenerMu.Unlock()
+	if d.listener == nil {
+		return ""
+	}
+	return d.listener.Addr().String()
+}
+
+// Run serves the fleet until ctx is cancelled (SIGTERM/SIGINT in main), then
+// shuts down gracefully: the schedulers drain their in-flight rounds, the
+// HTTP server finishes open requests, and the audit log is flushed.
+func (d *Daemon) Run(ctx context.Context, logw io.Writer) error {
+	d.started = time.Now()
+	ln, err := net.Listen("tcp", d.spec.Listen)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", d.spec.Listen, err)
+	}
+	d.listenerMu.Lock()
+	d.listener = ln
+	d.listenerMu.Unlock()
+
+	var wg sync.WaitGroup
+	schedCtx, stopSched := context.WithCancel(ctx)
+	defer stopSched()
+	for _, ls := range d.links {
+		wg.Add(1)
+		go func(ls *linkState) {
+			defer wg.Done()
+			d.schedule(schedCtx, ls)
+		}(ls)
+	}
+
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(logw, "divotd: %d buses calibrated, serving on %s\n", len(d.links), ln.Addr())
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			runErr = err
+		}
+	}
+
+	// Graceful shutdown: stop scheduling, let in-flight rounds finish, then
+	// close the server and flush the audit trail.
+	stopSched()
+	wg.Wait()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && runErr == nil {
+		runErr = err
+	}
+	if d.audit != nil {
+		if d.auditFile != nil {
+			if err := d.audit.Close(d.auditFile); err != nil && runErr == nil {
+				runErr = err
+			}
+		} else if err := d.audit.Flush(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	fmt.Fprintf(logw, "divotd: shut down after %s\n", time.Since(d.started).Round(time.Millisecond))
+	return runErr
+}
+
+// sortedLinks returns the fleet in id order.
+func (d *Daemon) sortedLinks() []*linkState {
+	out := make([]*linkState, len(d.links))
+	copy(out, d.links)
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

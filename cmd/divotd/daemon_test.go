@@ -1,0 +1,251 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeSpec drops a spec file into a temp dir.
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// get fetches a URL and returns the body.
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestDaemonEndToEnd runs the acceptance scenario: a three-bus fleet
+// monitored concurrently, a scripted interposer inserted on one bus after two
+// rounds. The attacked bus must raise alerts, transition health, and close a
+// gate — visible through /v1/links, /v1/links/{id}/alerts and /metrics —
+// while the other buses keep authenticating. Cancellation (the SIGTERM path)
+// must shut the daemon down cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	spec, err := LoadSpec(writeSpec(t, `{
+		"seed": 42,
+		"listen": "127.0.0.1:0",
+		"interval_ms": 5,
+		"jitter_frac": 0.2,
+		"buses": [
+			{"id": "dimm0"},
+			{"id": "dimm1", "attack": {"kind": "interposer", "after_rounds": 2, "position": 0.1}},
+			{"id": "dimm2"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx, io.Discard) }()
+	t.Cleanup(cancel)
+
+	// Wait for the listener, then for the attack to land and be confirmed.
+	var base string
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if addr := d.Addr(); addr != "" {
+			base = "http://" + addr
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never started listening")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var views []linkView
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := json.Unmarshal(get(t, base+"/v1/links"), &views); err != nil {
+			t.Fatal(err)
+		}
+		byID := make(map[string]linkView)
+		for _, v := range views {
+			byID[v.ID] = v
+		}
+		if v := byID["dimm1"]; v.Health == "failed" && !v.CPUGate {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("interposer never detected; views: %+v", views)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The clean buses must still be authenticating with open gates.
+	// ("degraded" — benign dead-bin masking at reduced resolution — still
+	// authenticates; only "failed" means the bus stopped passing.)
+	for _, v := range views {
+		if v.ID == "dimm1" {
+			continue
+		}
+		if v.Health == "failed" || !v.CPUGate || !v.ModuleGate {
+			t.Errorf("clean bus %s failed alongside the attack: %+v", v.ID, v)
+		}
+	}
+
+	// The attacked bus's alert ring must show the alert and the health
+	// transition.
+	var alerts []alertEntry
+	if err := json.Unmarshal(get(t, base+"/v1/links/dimm1/alerts"), &alerts); err != nil {
+		t.Fatal(err)
+	}
+	var sawAlert, sawHealth, sawGate bool
+	for _, a := range alerts {
+		switch a.Kind {
+		case "alert":
+			sawAlert = true
+		case "health":
+			if a.To == "failed" {
+				sawHealth = true
+			}
+		case "gate":
+			if a.To == "closed" {
+				sawGate = true
+			}
+		}
+	}
+	if !sawAlert || !sawHealth || !sawGate {
+		t.Fatalf("alert ring missing events: alert=%v health=%v gate=%v\n%+v",
+			sawAlert, sawHealth, sawGate, alerts)
+	}
+
+	// Metrics must show the alert counter for dimm1 and round counters for
+	// every bus.
+	metrics := string(get(t, base+"/metrics"))
+	for _, want := range []string{
+		`divot_alerts_total{link="dimm1"`,
+		`divot_rounds_total{link="dimm0"`,
+		`divot_rounds_total{link="dimm2"`,
+		`divot_gate_open{link="dimm1",side="cpu"} 0`,
+		`divot_round_duration_seconds_bucket{link="dimm1"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// On-demand authentication against the attacked bus must reject.
+	resp, err := http.Post(base+"/v1/links/dimm1/authenticate", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var auth struct {
+		Accepted bool `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&auth); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if auth.Accepted {
+		t.Error("interposed bus passed on-demand authentication")
+	}
+
+	// Unknown bus → 404.
+	r404, err := http.Get(base + "/v1/links/nope/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown bus status = %d, want 404", r404.StatusCode)
+	}
+
+	// Graceful shutdown: cancel (the SIGTERM path) and wait for Run.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down within 10s")
+	}
+}
+
+// TestDaemonAuditLog checks the audit file exists, is flushed at shutdown,
+// and carries well-formed JSON lines with wall-clock stamps.
+func TestDaemonAuditLog(t *testing.T) {
+	auditPath := filepath.Join(t.TempDir(), "audit.jsonl")
+	spec, err := LoadSpec(writeSpec(t, fmt.Sprintf(`{
+		"seed": 7,
+		"listen": "127.0.0.1:0",
+		"interval_ms": 5,
+		"audit_log": %q,
+		"buses": [{"id": "bus0"}]
+	}`, auditPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx, io.Discard) }()
+
+	// Let a few rounds land, then stop.
+	for deadline := time.Now().Add(15 * time.Second); d.byID["bus0"].rounds.Load() < 3; {
+		if time.Now().After(deadline) {
+			t.Fatal("no rounds completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("audit log has %d lines, want several", len(lines))
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("audit line %d is not JSON: %v\n%s", i+1, err, line)
+		}
+		if _, ok := rec["wall"]; !ok {
+			t.Fatalf("audit line %d has no wall-clock stamp: %s", i+1, line)
+		}
+		if _, ok := rec["kind"]; !ok {
+			t.Fatalf("audit line %d has no kind: %s", i+1, line)
+		}
+	}
+}

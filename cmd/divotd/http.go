@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"divot"
+)
+
+// linkView is the /v1/links representation of one bus.
+type linkView struct {
+	ID         string  `json:"id"`
+	Rounds     uint64  `json:"rounds"`
+	Health     string  `json:"health"`
+	Reaction   string  `json:"reaction"`
+	CPUGate    bool    `json:"cpu_gate_open"`
+	ModuleGate bool    `json:"module_gate_open"`
+	CPUScore   float64 `json:"cpu_score"`
+	Alerts     int     `json:"alerts"`
+}
+
+// view snapshots a bus under its lock.
+func (d *Daemon) view(ls *linkState) linkView {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	h := ls.link.Health()
+	return linkView{
+		ID:         ls.id,
+		Rounds:     ls.link.Rounds(),
+		Health:     h.State().String(),
+		Reaction:   ls.reactor.State().String(),
+		CPUGate:    ls.link.CPU.Gate.Authorized(),
+		ModuleGate: ls.link.Module.Gate.Authorized(),
+		CPUScore:   h.CPU.LastScore,
+		Alerts:     len(ls.link.Alerts),
+	}
+}
+
+// Handler returns the daemon's HTTP API. It is exposed (rather than buried in
+// Run) so tests can drive the API through httptest without binding a socket.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /v1/links", d.handleLinks)
+	mux.HandleFunc("GET /v1/links/{id}/alerts", d.handleAlerts)
+	mux.HandleFunc("POST /v1/links/{id}/authenticate", d.handleAuthenticate)
+	return mux
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-response
+}
+
+// lookup resolves the {id} path segment, answering 404 itself on a miss.
+func (d *Daemon) lookup(w http.ResponseWriter, r *http.Request) (*linkState, bool) {
+	id := r.PathValue("id")
+	ls, ok := d.byID[id]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown bus " + id})
+	}
+	return ls, ok
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// The daemon is healthy when every scheduler can still take a bus lock —
+	// which the per-link views below already prove by snapshotting. fleet_ok
+	// means every bus still authenticates: "degraded" (benign dead-bin
+	// masking at reduced resolution) still passes; only "failed" does not.
+	fleetOK := true
+	for _, ls := range d.links {
+		if d.view(ls).Health == divot.HealthFailed.String() {
+			fleetOK = false
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"buses":    len(d.links),
+		"fleet_ok": fleetOK,
+		"uptime_s": time.Since(d.started).Seconds(),
+	})
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	d.reg.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
+}
+
+func (d *Daemon) handleLinks(w http.ResponseWriter, _ *http.Request) {
+	views := make([]linkView, 0, len(d.links))
+	for _, ls := range d.sortedLinks() {
+		views = append(views, d.view(ls))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (d *Daemon) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	ls, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, ls.snapshotAlerts())
+}
+
+func (d *Daemon) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
+	ls, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	// Serialize with the scheduler: the engine is not safe for concurrent
+	// rounds on one link.
+	ls.mu.Lock()
+	res := ls.link.Authenticate()
+	ls.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":              ls.id,
+		"accepted":        res.Accepted,
+		"score":           res.Score,
+		"tampered":        res.Tampered,
+		"tamper_position": res.TamperPosition,
+	})
+}

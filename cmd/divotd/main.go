@@ -1,0 +1,47 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process plumbing, so tests can drive flag parsing
+// and spec loading and assert on the exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("divotd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "fleet spec JSON file (required)")
+	listen := fs.String("listen", "", "override the spec's listen address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	spec, err := LoadSpec(*specPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "divotd: %v\n", err)
+		return 1
+	}
+	if *listen != "" {
+		spec.Listen = *listen
+	}
+	d, err := NewDaemon(spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "divotd: %v\n", err)
+		return 1
+	}
+	if err := d.Run(ctx, stdout); err != nil {
+		fmt.Fprintf(stderr, "divotd: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"divot"
+)
+
+// Spec is the fleet specification divotd loads at startup: which buses to
+// protect, how often to monitor each, where to listen, and (for experiments
+// and smoke tests) scripted attacks mounted after a fixed round count.
+type Spec struct {
+	// Seed roots the fleet's random universe; runs with the same spec are
+	// reproducible.
+	Seed uint64 `json:"seed"`
+	// Parallelism is the engine's worker bound (divot.Config.Engine
+	// .Parallelism): 0 = one worker per CPU, 1 = sequential.
+	Parallelism int `json:"parallelism"`
+	// Listen is the HTTP API address; default "127.0.0.1:9720".
+	Listen string `json:"listen"`
+	// IntervalMS is the default monitoring period per bus in milliseconds;
+	// default 100.
+	IntervalMS int `json:"interval_ms"`
+	// JitterFrac spreads each bus's period by ±frac (0..0.9) so a fleet's
+	// rounds do not thundering-herd; default 0.
+	JitterFrac float64 `json:"jitter_frac"`
+	// AuditLog is the JSONL audit file path; empty disables the audit log.
+	AuditLog string `json:"audit_log"`
+	// Buses are the protected links.
+	Buses []BusSpec `json:"buses"`
+}
+
+// BusSpec describes one protected bus.
+type BusSpec struct {
+	// ID names the bus; unique within the fleet.
+	ID string `json:"id"`
+	// IntervalMS overrides the fleet monitoring period for this bus.
+	IntervalMS int `json:"interval_ms"`
+	// Attack, when non-nil, scripts a physical attack against this bus.
+	Attack *AttackSpec `json:"attack"`
+}
+
+// AttackSpec scripts a physical attack mounted during the run.
+type AttackSpec struct {
+	// Kind selects the attack model: "interposer", "wiretap", "probe", or
+	// "module-swap".
+	Kind string `json:"kind"`
+	// AfterRounds mounts the attack once the bus has completed this many
+	// monitoring rounds.
+	AfterRounds uint64 `json:"after_rounds"`
+	// Position is the attack location in meters from the CPU end (ignored
+	// by module-swap).
+	Position float64 `json:"position"`
+}
+
+// attackKinds are the accepted AttackSpec.Kind values.
+var attackKinds = map[string]bool{
+	"interposer":  true,
+	"wiretap":     true,
+	"probe":       true,
+	"module-swap": true,
+}
+
+// LoadSpec reads and validates a fleet spec file.
+func LoadSpec(path string) (Spec, error) {
+	var spec Spec
+	if path == "" {
+		return spec, fmt.Errorf("no fleet spec given (use -spec <file>)")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return spec, fmt.Errorf("reading fleet spec: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("parsing fleet spec %s: %w", path, err)
+	}
+	spec.applyDefaults()
+	if err := spec.Validate(); err != nil {
+		return spec, fmt.Errorf("fleet spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// applyDefaults fills the optional top-level fields.
+func (s *Spec) applyDefaults() {
+	if s.Listen == "" {
+		s.Listen = "127.0.0.1:9720"
+	}
+	if s.IntervalMS == 0 {
+		s.IntervalMS = 100
+	}
+}
+
+// Validate rejects specs divotd cannot run.
+func (s *Spec) Validate() error {
+	if len(s.Buses) == 0 {
+		return fmt.Errorf("no buses defined — a fleet needs at least one bus entry")
+	}
+	if s.IntervalMS < 0 {
+		return fmt.Errorf("interval_ms must be positive, got %d", s.IntervalMS)
+	}
+	if s.JitterFrac < 0 || s.JitterFrac > 0.9 {
+		return fmt.Errorf("jitter_frac must be in [0, 0.9], got %g", s.JitterFrac)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("parallelism must be >= 0, got %d", s.Parallelism)
+	}
+	seen := make(map[string]bool, len(s.Buses))
+	for i, b := range s.Buses {
+		if b.ID == "" {
+			return fmt.Errorf("bus %d has no id", i)
+		}
+		if seen[b.ID] {
+			return fmt.Errorf("duplicate bus id %q", b.ID)
+		}
+		seen[b.ID] = true
+		if b.IntervalMS < 0 {
+			return fmt.Errorf("bus %q: interval_ms must be positive, got %d", b.ID, b.IntervalMS)
+		}
+		if a := b.Attack; a != nil {
+			if !attackKinds[a.Kind] {
+				return fmt.Errorf("bus %q: unknown attack kind %q (want interposer, wiretap, probe, or module-swap)", b.ID, a.Kind)
+			}
+			if a.Position < 0 {
+				return fmt.Errorf("bus %q: attack position must be >= 0, got %g", b.ID, a.Position)
+			}
+		}
+	}
+	return nil
+}
+
+// interval returns the effective monitoring period for a bus in milliseconds.
+func (s *Spec) interval(b BusSpec) int {
+	if b.IntervalMS > 0 {
+		return b.IntervalMS
+	}
+	return s.IntervalMS
+}
+
+// buildAttack constructs the scripted attack for a bus (nil when none).
+func buildAttack(sys *divot.System, id string, a *AttackSpec) divot.Attack {
+	if a == nil {
+		return nil
+	}
+	switch a.Kind {
+	case "interposer":
+		return divot.NewInterposer(a.Position)
+	case "wiretap":
+		return divot.NewWireTap(a.Position)
+	case "probe":
+		return divot.NewMagneticProbe(a.Position)
+	case "module-swap":
+		return divot.NewModuleSwap(sys.Config().Line, sys.Stream("attack-"+id))
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoadSpecRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty buses", `{"seed": 1, "buses": []}`, "at least one bus"},
+		{"no file content", `{`, "parsing fleet spec"},
+		{"duplicate ids", `{"buses": [{"id": "a"}, {"id": "a"}]}`, `duplicate bus id "a"`},
+		{"missing id", `{"buses": [{}]}`, "has no id"},
+		{"bad jitter", `{"jitter_frac": 2, "buses": [{"id": "a"}]}`, "jitter_frac"},
+		{"negative interval", `{"interval_ms": -5, "buses": [{"id": "a"}]}`, "interval_ms"},
+		{"unknown attack", `{"buses": [{"id": "a", "attack": {"kind": "laser"}}]}`, `unknown attack kind "laser"`},
+		{"unknown field", `{"busses": [{"id": "a"}]}`, "parsing fleet spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadSpec(writeSpec(t, tc.body))
+			if err == nil {
+				t.Fatalf("spec %s loaded without error", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := LoadSpec(""); err == nil || !strings.Contains(err.Error(), "-spec") {
+		t.Errorf("missing path error %v should point at -spec", err)
+	}
+	if _, err := LoadSpec("/does/not/exist.json"); err == nil {
+		t.Error("nonexistent file should error")
+	}
+}
+
+func TestLoadSpecDefaults(t *testing.T) {
+	spec, err := LoadSpec(writeSpec(t, `{"seed": 3, "buses": [{"id": "a"}, {"id": "b", "interval_ms": 7}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Listen != "127.0.0.1:9720" {
+		t.Errorf("default listen = %q", spec.Listen)
+	}
+	if spec.IntervalMS != 100 {
+		t.Errorf("default interval = %d", spec.IntervalMS)
+	}
+	if got := spec.interval(spec.Buses[0]); got != 100 {
+		t.Errorf("bus a interval = %d, want fleet default 100", got)
+	}
+	if got := spec.interval(spec.Buses[1]); got != 7 {
+		t.Errorf("bus b interval = %d, want override 7", got)
+	}
+}
+
+// TestRunExitCodes drives main's run() directly: a bad spec must exit
+// non-zero with a useful message on stderr, a bad flag must exit 2.
+func TestRunExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ctx := context.Background()
+
+	if code := run(ctx, []string{"-spec", writeSpec(t, `{"buses": []}`)}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad spec exit = %d, want 1", code)
+	}
+	if msg := stderr.String(); !strings.Contains(msg, "at least one bus") {
+		t.Errorf("bad-spec stderr %q carries no useful message", msg)
+	}
+
+	stderr.Reset()
+	if code := run(ctx, nil, &stdout, &stderr); code != 1 {
+		t.Errorf("missing -spec exit = %d, want 1", code)
+	}
+
+	stderr.Reset()
+	if code := run(ctx, []string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+
+	// The happy path: a cancelled context makes run return promptly after
+	// startup, exit 0.
+	runCtx, cancel := context.WithCancel(ctx)
+	good := writeSpec(t, `{"seed": 1, "interval_ms": 20, "buses": [{"id": "solo"}]}`)
+	out, errOut := &syncBuffer{}, &syncBuffer{}
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(runCtx, []string{"-spec", good, "-listen", "127.0.0.1:0"}, out, errOut)
+	}()
+	for deadline := time.Now().Add(15 * time.Second); !strings.Contains(out.String(), "serving on"); {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported startup (stderr: %s)", errOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if code := <-codeCh; code != 0 {
+		t.Errorf("clean run exit = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for one writer and one polling reader.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

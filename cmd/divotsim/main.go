@@ -4,39 +4,102 @@
 //
 // Usage:
 //
-//	divotsim [-scenario coldboot|moduleswap|wiretap|magprobe|clean] [-seed N] [-reqs N]
+//	divotsim [-scenario coldboot|moduleswap|wiretap|magprobe|interposer|clean] [-seed N] [-reqs N] [-json]
+//
+// With -json the narration is replaced by one machine-readable summary on
+// stdout. The summary is deterministic for a given scenario/seed/reqs — it
+// carries no wall-clock state — so it can be diffed and golden-tested.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"divot"
 	"divot/internal/sim"
 )
 
+// phaseResult is one traffic phase's outcome.
+type phaseResult struct {
+	Label        string `json:"label"`
+	OK           int    `json:"ok"`
+	Blocked      int    `json:"blocked"`
+	Stalled      int    `json:"stalled"`
+	AvgLatencyPS int64  `json:"avg_latency_ps"`
+}
+
+// reactionEntry is one reactor log line.
+type reactionEntry struct {
+	Round  int    `json:"round"`
+	Action string `json:"action"`
+	Cause  string `json:"cause"`
+}
+
+// simResult is the -json summary.
+type simResult struct {
+	Scenario       string          `json:"scenario"`
+	Seed           uint64          `json:"seed"`
+	Bins           int             `json:"bins"`
+	MeasurementUS  float64         `json:"measurement_us"`
+	Phases         []phaseResult   `json:"phases"`
+	Alerts         []string        `json:"alerts"`
+	CPUGateOpen    bool            `json:"cpu_gate_open"`
+	ModuleGateOpen bool            `json:"module_gate_open"`
+	SimulatedPS    int64           `json:"simulated_ps"`
+	ReactorState   string          `json:"reactor_state"`
+	Reactions      []reactionEntry `json:"reactions"`
+}
+
 func main() {
-	scenario := flag.String("scenario", "coldboot",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process plumbing, so tests can golden-compare the
+// output and assert on exit codes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("divotsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "coldboot",
 		"attack scenario: coldboot, moduleswap, wiretap, magprobe, interposer, or clean")
-	seed := flag.Uint64("seed", 1, "root random seed")
-	reqs := flag.Int("reqs", 64, "memory requests per traffic phase")
-	flag.Parse()
+	seed := fs.Uint64("seed", 1, "root random seed")
+	reqs := fs.Int("reqs", 64, "memory requests per traffic phase")
+	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON summary instead of narration")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "divotsim:", err)
+		return 1
+	}
+	// Narration goes to stdout unless -json claimed it for the summary.
+	narrate := stdout
+	if *jsonOut {
+		narrate = io.Discard
+	}
 
 	sys := divot.NewSystem(*seed, divot.DefaultConfig())
 	m, err := sys.NewMemorySystem("dimm0", divot.DefaultMemoryConfig())
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Println("== DIVOT protected memory system ==")
-	fmt.Printf("bus: 25 cm lane, iTDR window %d bins, measurement %.1f µs\n",
-		sys.Config().Engine.ITDR.Bins(), m.Bus.MeasurementDuration()*1e6)
+	res := simResult{
+		Scenario:      *scenario,
+		Seed:          *seed,
+		Bins:          sys.Config().Engine.ITDR.Bins(),
+		MeasurementUS: m.Bus.MeasurementDuration() * 1e6,
+	}
+	fmt.Fprintln(narrate, "== DIVOT protected memory system ==")
+	fmt.Fprintf(narrate, "bus: 25 cm lane, iTDR window %d bins, measurement %.1f µs\n",
+		res.Bins, res.MeasurementUS)
 
-	fmt.Println("\n[calibration] pairing CPU and module over the bus fingerprint...")
+	fmt.Fprintln(narrate, "\n[calibration] pairing CPU and module over the bus fingerprint...")
 	if err := m.Calibrate(); err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("gates open: cpu=%v module=%v\n",
+	fmt.Fprintf(narrate, "gates open: cpu=%v module=%v\n",
 		m.Bus.CPU.Gate.Authorized(), m.Bus.Module.Gate.Authorized())
 
 	runTraffic := func(label string) {
@@ -54,11 +117,15 @@ func main() {
 				blocked++
 			}
 		}
+		p := phaseResult{Label: label, OK: ok, Blocked: blocked,
+			AvgLatencyPS: int64(m.Controller.Stats.AvgLatency())}
 		stalled := ""
 		if err != nil {
-			stalled = fmt.Sprintf(", %d stalled", *reqs-ok-blocked)
+			p.Stalled = *reqs - ok - blocked
+			stalled = fmt.Sprintf(", %d stalled", p.Stalled)
 		}
-		fmt.Printf("[%s] %d OK, %d blocked%s; avg latency %v\n",
+		res.Phases = append(res.Phases, p)
+		fmt.Fprintf(narrate, "[%s] %d OK, %d blocked%s; avg latency %v\n",
 			label, ok, blocked, stalled, m.Controller.Stats.AvgLatency())
 	}
 
@@ -67,53 +134,67 @@ func main() {
 	alertsBefore := len(m.Bus.Alerts)
 	switch *scenario {
 	case "clean":
-		fmt.Println("\n[scenario] no attack; monitoring continues")
+		fmt.Fprintln(narrate, "\n[scenario] no attack; monitoring continues")
 	case "coldboot":
-		fmt.Println("\n[scenario] cold boot: module pulled and powered in the attacker's machine")
+		fmt.Fprintln(narrate, "\n[scenario] cold boot: module pulled and powered in the attacker's machine")
 		cb := divot.NewColdBootSwap(sys.Config().Line, sys.Stream("attacker"))
 		m.Bus.Module.SetObservedLine(cb.BusSeenByModule())
 	case "moduleswap":
-		fmt.Println("\n[scenario] module swap: impostor DIMM (same model) installed on the genuine bus")
+		fmt.Fprintln(narrate, "\n[scenario] module swap: impostor DIMM (same model) installed on the genuine bus")
 		swap := divot.NewModuleSwap(sys.Config().Line, sys.Stream("attacker"))
 		swap.Apply(m.Bus.Line)
 	case "wiretap":
-		fmt.Println("\n[scenario] wire tap soldered at 100 mm")
+		fmt.Fprintln(narrate, "\n[scenario] wire tap soldered at 100 mm")
 		divot.NewWireTap(0.10).Apply(m.Bus.Line)
 	case "magprobe":
-		fmt.Println("\n[scenario] magnetic near-field probe held at 150 mm")
+		fmt.Fprintln(narrate, "\n[scenario] magnetic near-field probe held at 150 mm")
 		divot.NewMagneticProbe(0.15).Apply(m.Bus.Line)
 	case "interposer":
-		fmt.Println("\n[scenario] impedance-matched interposer inserted at 125 mm (forwards all data)")
+		fmt.Fprintln(narrate, "\n[scenario] impedance-matched interposer inserted at 125 mm (forwards all data)")
 		divot.NewInterposer(0.125).Apply(m.Bus.Line)
 	default:
-		fail(fmt.Errorf("unknown scenario %q", *scenario))
+		return fail(fmt.Errorf("unknown scenario %q", *scenario))
 	}
 
 	// Let monitoring observe the new state.
 	m.RunFor(sim.FromSeconds(4 * m.Bus.MeasurementDuration()))
+	res.Alerts = make([]string, 0, len(m.Bus.Alerts)-alertsBefore)
 	for _, a := range m.Bus.Alerts[alertsBefore:] {
-		fmt.Printf("ALERT %s\n", a)
+		res.Alerts = append(res.Alerts, a.String())
+		fmt.Fprintf(narrate, "ALERT %s\n", a)
 	}
 	if len(m.Bus.Alerts) == alertsBefore {
-		fmt.Println("no alerts raised")
+		fmt.Fprintln(narrate, "no alerts raised")
 	}
-	fmt.Printf("gates: cpu=%v module=%v\n",
+	fmt.Fprintf(narrate, "gates: cpu=%v module=%v\n",
 		m.Bus.CPU.Gate.Authorized(), m.Bus.Module.Gate.Authorized())
 
 	runTraffic("post-attack traffic")
 	m.StopMonitor()
 
-	fmt.Printf("\nsimulated time: %v; monitor rounds ≈ %d; total alerts: %d\n",
+	res.CPUGateOpen = m.Bus.CPU.Gate.Authorized()
+	res.ModuleGateOpen = m.Bus.Module.Gate.Authorized()
+	res.SimulatedPS = int64(m.Sched.Now())
+	res.ReactorState = m.Reactor.State().String()
+	fmt.Fprintf(narrate, "\nsimulated time: %v; monitor rounds ≈ %d; total alerts: %d\n",
 		m.Sched.Now(),
 		int(m.Sched.Now().Seconds()/m.Bus.MeasurementDuration()),
 		len(m.Bus.Alerts))
-	fmt.Printf("reaction engine: state=%v\n", m.Reactor.State())
+	fmt.Fprintf(narrate, "reaction engine: state=%v\n", m.Reactor.State())
+	res.Reactions = make([]reactionEntry, 0, len(m.Reactor.Log))
 	for _, e := range m.Reactor.Log {
-		fmt.Printf("  round %d: %v (%s)\n", e.Round, e.Action, e.Cause)
+		res.Reactions = append(res.Reactions, reactionEntry{
+			Round: e.Round, Action: e.Action.String(), Cause: e.Cause,
+		})
+		fmt.Fprintf(narrate, "  round %d: %v (%s)\n", e.Round, e.Action, e.Cause)
 	}
-}
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "divotsim:", err)
-	os.Exit(1)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
 }

@@ -70,6 +70,9 @@ type System struct {
 	stream *rng.Stream
 	links  map[string]*Link
 	multis map[string]*MultiLink
+	// sink, when non-nil, receives telemetry from every bus of the system
+	// (see SetSink in telemetry.go).
+	sink TelemetrySink
 }
 
 // NewSystem creates a system rooted at the given seed.
@@ -103,6 +106,9 @@ func (s *System) NewLink(id string) (*Link, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.sink != nil {
+		inner.SetSink(s.sink)
+	}
 	l := &Link{Link: inner, sys: s}
 	s.links[id] = l
 	return l, nil
@@ -128,6 +134,9 @@ func (s *System) NewMultiLink(id string, n int) (*MultiLink, error) {
 	m, err := core.NewMultiLink(id, s.cfg.Engine, s.cfg.Line, n, s.stream.Child("multilink-"+id))
 	if err != nil {
 		return nil, err
+	}
+	if s.sink != nil {
+		m.SetSink(s.sink)
 	}
 	s.multis[id] = m
 	return m, nil
@@ -196,7 +205,15 @@ func (s *System) MonitorAll() ([]LinkAlerts, error) {
 			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: "not calibrated"}
 		}
 	}
-	for id, m := range s.multis {
+	// Multi-wire buses run in sorted id order so the telemetry stream is the
+	// same on every run, not subject to map iteration order.
+	multiIDs := make([]string, 0, len(s.multis))
+	for id := range s.multis {
+		multiIDs = append(multiIDs, id)
+	}
+	sort.Strings(multiIDs)
+	for _, id := range multiIDs {
+		m := s.multis[id]
 		if !m.Calibrated() {
 			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: "not calibrated"}
 			continue

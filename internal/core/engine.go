@@ -14,6 +14,7 @@ import (
 	"divot/internal/memctl"
 	"divot/internal/rng"
 	"divot/internal/signal"
+	"divot/internal/telemetry"
 	"divot/internal/txline"
 )
 
@@ -83,6 +84,7 @@ type Endpoint struct {
 	failures      int // confirmed auth-failure rounds
 	sinceReenroll int // clean rounds since enrollment was (re)established
 	autoThreshold bool
+	lastHealth    HealthState // last health state published to telemetry
 }
 
 // Config parameterizes the engine.
@@ -211,6 +213,11 @@ type Link struct {
 	calibrated bool
 	// Alerts accumulates every alarm raised by monitoring.
 	Alerts []Alert
+
+	// sink receives the link's telemetry events (see telemetry.go); rounds
+	// counts monitoring rounds and stamps every event of a round.
+	sink   telemetry.Sink
+	rounds uint64
 }
 
 // NewLink builds a protected link over a freshly manufactured line. The
@@ -323,6 +330,7 @@ func (l *Link) Calibrate() error {
 		e.Gate.Set(true)
 	}
 	l.calibrated = true
+	l.emit(telemetry.Event{Kind: telemetry.EventCalibrated, Link: l.ID, Round: l.rounds})
 	return nil
 }
 
@@ -338,13 +346,23 @@ func (l *Link) Calibrated() bool { return l.calibrated }
 // for the per-endpoint round.
 func (l *Link) MonitorOnce() ([]Alert, error) {
 	if !l.calibrated {
-		return nil, fmt.Errorf("link %q: %w", l.ID, ErrNotCalibrated)
+		err := fmt.Errorf("link %q: %w", l.ID, ErrNotCalibrated)
+		l.emit(telemetry.Event{
+			Kind: telemetry.EventMonitorError, Link: l.ID,
+			Round: l.rounds, Detail: err.Error(),
+		})
+		return nil, err
 	}
+	l.rounds++
 	var raised []Alert
 	for _, e := range []*Endpoint{l.CPU, l.Module} {
 		alerts, err := l.monitorEndpoint(e)
 		raised = append(raised, alerts...)
 		if err != nil {
+			l.emit(telemetry.Event{
+				Kind: telemetry.EventMonitorError, Link: l.ID, Side: e.Side.String(),
+				Round: l.rounds, Detail: err.Error(),
+			})
 			return raised, err
 		}
 	}

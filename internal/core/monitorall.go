@@ -22,10 +22,20 @@ import (
 // never mutates it, so two links may safely observe the same physical line
 // (the cold-boot scenario). Mounting or removing attacks concurrently with
 // MonitorAll is a data race, exactly as it is with MonitorOnce.
+//
+// Telemetry: when links carry sinks, each link's events are buffered in a
+// private recorder for the duration of the concurrent section and drained into
+// the original sinks in slice order afterwards, so a shared sink observes the
+// same event sequence at every worker count.
 func MonitorAll(links []*Link, parallelism int) ([][]Alert, error) {
 	out := make([][]Alert, len(links))
 	errs := make([]error, len(links))
-	pool.Run(len(links), pool.Workers(parallelism), func(_, i int) {
+	workers := pool.Workers(parallelism)
+	if workers > 1 && len(links) > 1 {
+		recs, orig := swapRecorders(links)
+		defer restoreAndDrain(links, recs, orig)
+	}
+	pool.Run(len(links), workers, func(_, i int) {
 		out[i], errs[i] = links[i].MonitorOnce()
 	})
 	return out, errors.Join(errs...)

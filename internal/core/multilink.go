@@ -8,6 +8,7 @@ import (
 	"divot/internal/memctl"
 	"divot/internal/pool"
 	"divot/internal/rng"
+	"divot/internal/telemetry"
 	"divot/internal/txline"
 )
 
@@ -30,6 +31,12 @@ type MultiLink struct {
 	Alerts []Alert
 
 	calibrated bool
+
+	// sink receives the bus-level telemetry events (fused alerts, fused gate
+	// transitions); the wires carry the same sink for their instrument-level
+	// events. rounds counts fused monitoring rounds.
+	sink   telemetry.Sink
+	rounds uint64
 }
 
 // NewMultiLink manufactures a bus of n wires.
@@ -58,9 +65,11 @@ func NewMultiLink(id string, cfg Config, lineCfg txline.Config, n int, stream *r
 // Parallelism workers with results identical to enrolling in order.
 func (m *MultiLink) Calibrate() error {
 	errs := make([]error, len(m.Wires))
+	recs, orig := m.maybeSwapRecorders()
 	pool.Run(len(m.Wires), pool.Workers(m.cfg.Parallelism), func(_, w int) {
 		errs[w] = m.Wires[w].Calibrate()
 	})
+	m.maybeDrainRecorders(recs, orig)
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -69,6 +78,7 @@ func (m *MultiLink) Calibrate() error {
 	m.calibrated = true
 	m.CPUGate.Set(true)
 	m.ModuleGate.Set(true)
+	m.emit(telemetry.Event{Kind: telemetry.EventCalibrated, Link: m.ID, Round: m.rounds})
 	return nil
 }
 
@@ -91,17 +101,25 @@ func (m *MultiLink) gateFor(s Side) *memctl.StaticGate {
 // bus; wire errors from one round are joined.
 func (m *MultiLink) MonitorOnce() ([]Alert, error) {
 	if !m.calibrated {
-		return nil, fmt.Errorf("multi-link %q: %w", m.ID, ErrNotCalibrated)
+		err := fmt.Errorf("multi-link %q: %w", m.ID, ErrNotCalibrated)
+		m.emit(telemetry.Event{
+			Kind: telemetry.EventMonitorError, Link: m.ID,
+			Round: m.rounds, Detail: err.Error(),
+		})
+		return nil, err
 	}
+	m.rounds++
 	var raised []Alert
 	for _, side := range []Side{SideCPU, SideModule} {
 		// Wires are measured concurrently — each wire touches only its own
 		// instrument and its own result slot — then scored, reported and
 		// fused in wire order, so the round is bit-identical to the
-		// sequential loop at any worker count.
+		// sequential loop at any worker count. Wire telemetry buffers in
+		// per-wire recorders across the fan-out and drains in wire order.
 		scores := make([]float64, len(m.Wires))
 		tampers := make([]*fingerprint.TamperVerdict, len(m.Wires))
 		errs := make([]error, len(m.Wires))
+		recs, orig := m.maybeSwapRecorders()
 		pool.Run(len(m.Wires), pool.Workers(m.cfg.Parallelism), func(_, w int) {
 			l := m.Wires[w]
 			e := l.endpoint(side)
@@ -122,14 +140,26 @@ func (m *MultiLink) MonitorOnce() ([]Alert, error) {
 				tampers[w] = &v
 			}
 		})
+		m.maybeDrainRecorders(recs, orig)
 		if err := errors.Join(errs...); err != nil {
+			m.emit(telemetry.Event{
+				Kind: telemetry.EventMonitorError, Link: m.ID, Side: side.String(),
+				Round: m.rounds, Detail: err.Error(),
+			})
 			return raised, err
 		}
+		tampered := false
 		for w, v := range tampers {
 			if v != nil {
-				raised = append(raised, Alert{
+				tampered = true
+				a := Alert{
 					Side: side, Kind: AlertTamper, Wire: w,
 					PeakError: v.PeakError, Position: v.Position,
+				}
+				raised = append(raised, a)
+				m.emit(telemetry.Event{
+					Kind: telemetry.EventAlert, Link: m.ID, Side: side.String(),
+					Round: m.rounds, Score: a.PeakError, To: a.Kind.String(), Detail: a.String(),
 				})
 			}
 		}
@@ -145,12 +175,28 @@ func (m *MultiLink) MonitorOnce() ([]Alert, error) {
 			}
 		}
 		ok := worst >= m.cfg.AuthThreshold
+		m.emit(telemetry.Event{
+			Kind: telemetry.EventRound, Link: m.ID, Side: side.String(),
+			Round: m.rounds, Score: worst,
+			To: roundVerdict(!ok, tampered, false),
+		})
 		if !ok {
-			raised = append(raised, Alert{
-				Side: side, Kind: AlertAuthFailure, Wire: at, Score: worst,
+			a := Alert{Side: side, Kind: AlertAuthFailure, Wire: at, Score: worst}
+			raised = append(raised, a)
+			m.emit(telemetry.Event{
+				Kind: telemetry.EventAlert, Link: m.ID, Side: side.String(),
+				Round: m.rounds, Score: worst, To: a.Kind.String(), Detail: a.String(),
 			})
 		}
-		m.gateFor(side).Set(ok)
+		gate := m.gateFor(side)
+		was := gate.Authorized()
+		gate.Set(ok)
+		if was != ok {
+			m.emit(telemetry.Event{
+				Kind: telemetry.EventGate, Link: m.ID, Side: side.String(),
+				Round: m.rounds, From: gateName(was), To: gateName(ok),
+			})
+		}
 	}
 	m.Alerts = append(m.Alerts, raised...)
 	return raised, nil

@@ -25,6 +25,7 @@ import (
 
 	"divot/internal/fingerprint"
 	"divot/internal/signal"
+	"divot/internal/telemetry"
 )
 
 // Robustness tunes the fault-tolerant monitoring protocol. The zero value
@@ -122,6 +123,7 @@ func (e *Endpoint) resetRobustState(cfg Config) {
 	e.failures = 0
 	e.sinceReenroll = 0
 	e.autoThreshold = cfg.TamperThreshold == 0
+	e.lastHealth = HealthOK
 }
 
 // trackSaturation advances the per-bin saturation streaks and promotes bins
@@ -193,8 +195,10 @@ func (l *Link) monitorEndpoint(e *Endpoint) ([]Alert, error) {
 	tamper := v.tv.Tampered && !v.lowRes
 	score := v.auth.Score
 	suspect := false
+	retries := 0
 
 	if (authFail || tamper) && rob.ConfirmRetries > 0 {
+		retries = rob.ConfirmRetries
 		failVotes, tamperVotes, votes := b2i(authFail), b2i(tamper), 1
 		scoreSum := score
 		for i := 0; i < rob.ConfirmRetries; i++ {
@@ -221,24 +225,46 @@ func (l *Link) monitorEndpoint(e *Endpoint) ([]Alert, error) {
 	}
 	e.lastSuspect = suspect
 
+	l.emit(telemetry.Event{
+		Kind: telemetry.EventRound, Link: l.ID, Side: e.Side.String(),
+		Round: l.rounds, Score: score, Retries: retries,
+		To: roundVerdict(authFail, tamper, suspect),
+	})
+	if suspect {
+		l.emit(telemetry.Event{
+			Kind: telemetry.EventSuspect, Link: l.ID, Side: e.Side.String(),
+			Round: l.rounds, Score: score, Retries: retries,
+		})
+	}
+
 	var raised []Alert
 	if authFail {
 		e.failures++
-		raised = append(raised, Alert{Side: e.Side, Kind: AlertAuthFailure, Score: score})
+		a := Alert{Side: e.Side, Kind: AlertAuthFailure, Score: score}
+		raised = append(raised, a)
+		l.emit(telemetry.Event{
+			Kind: telemetry.EventAlert, Link: l.ID, Side: e.Side.String(),
+			Round: l.rounds, Score: score, To: a.Kind.String(), Detail: a.String(),
+		})
 	}
 	// Tamper detection still reports alongside auth failure: a severe attack
 	// (wire tap) can break authentication *and* deserve a localized report.
 	if tamper {
-		raised = append(raised, Alert{
+		a := Alert{
 			Side: e.Side, Kind: AlertTamper,
 			PeakError: v.tv.PeakError, Position: v.tv.Position,
+		}
+		raised = append(raised, a)
+		l.emit(telemetry.Event{
+			Kind: telemetry.EventAlert, Link: l.ID, Side: e.Side.String(),
+			Round: l.rounds, Score: a.PeakError, To: a.Kind.String(), Detail: a.String(),
 		})
 	}
 	// React (§III): the gate follows the authentication verdict. A tamper
 	// alert alone does not close the gate — the paper escalates tampering to
 	// system-level countermeasures — but it is reported.
 	e.authenticated = !authFail
-	e.Gate.Set(!authFail)
+	l.gateSet(e, !authFail)
 	e.lastScore = score
 
 	// Only plainly accepted rounds feed the drift baseline: suspect rounds
@@ -250,7 +276,23 @@ func (l *Link) monitorEndpoint(e *Endpoint) ([]Alert, error) {
 			return raised, err
 		}
 	}
+	l.emitHealthTransition(e)
 	return raised, nil
+}
+
+// roundVerdict names the confirmed outcome of one endpoint round.
+func roundVerdict(authFail, tamper, suspect bool) string {
+	switch {
+	case authFail && tamper:
+		return "auth-failure+tamper"
+	case authFail:
+		return "auth-failure"
+	case tamper:
+		return "tamper"
+	case suspect:
+		return "suspect"
+	}
+	return "ok"
 }
 
 // pushScore appends an accepted score to the rolling window.
@@ -339,6 +381,10 @@ func (l *Link) reenroll(e *Endpoint) error {
 	e.window = e.window[:0]
 	e.sinceReenroll = 0
 	e.reenrollments++
+	l.emit(telemetry.Event{
+		Kind: telemetry.EventReenroll, Link: l.ID, Side: e.Side.String(),
+		Round: l.rounds, Score: e.lastScore,
+	})
 	return nil
 }
 

@@ -1,0 +1,147 @@
+package core
+
+// Telemetry wiring for the protocol engine. A link emits through the narrow
+// telemetry.Sink interface: one EventRound per endpoint per monitoring round
+// (with the confirmed verdict), plus alerts, gate transitions, health
+// transitions, fault suspicions, re-enrollments, calibration, and protocol
+// errors. The endpoints' instruments share the link's sink, so measurement
+// and fault-injection events carry the same link/side labels.
+//
+// Determinism: event content never includes wall-clock state, and the
+// parallel fan-out layers (MonitorAll, MultiLink rounds) buffer each link's
+// events in a private telemetry.Recorder during the concurrent section,
+// draining the recorders in slice order afterwards. Two runs of the same
+// monitoring sequence therefore publish byte-identical event sequences into
+// a shared sink at any Parallelism.
+
+import (
+	"divot/internal/pool"
+	"divot/internal/telemetry"
+)
+
+// SetSink attaches (or, with nil, detaches) a telemetry sink to the link and
+// both endpoint instruments.
+func (l *Link) SetSink(s telemetry.Sink) {
+	l.sink = s
+	l.CPU.refl.SetSink(s, l.ID, SideCPU.String())
+	l.Module.refl.SetSink(s, l.ID, SideModule.String())
+}
+
+// Sink returns the currently attached telemetry sink (nil when none).
+func (l *Link) Sink() telemetry.Sink { return l.sink }
+
+// Rounds returns how many monitoring rounds the link has run since creation.
+func (l *Link) Rounds() uint64 { return l.rounds }
+
+// emit publishes an event when a sink is attached.
+func (l *Link) emit(ev telemetry.Event) {
+	if l.sink != nil {
+		l.sink.Emit(ev)
+	}
+}
+
+// swapRecorders redirects every instrumented link in links to a private
+// recorder, returning the recorders and the displaced sinks. Links without a
+// sink are skipped (nil entries). Call restoreAndDrain after the concurrent
+// section.
+func swapRecorders(links []*Link) ([]*telemetry.Recorder, []telemetry.Sink) {
+	recs := make([]*telemetry.Recorder, len(links))
+	orig := make([]telemetry.Sink, len(links))
+	for i, l := range links {
+		if l.sink != nil {
+			orig[i] = l.sink
+			recs[i] = &telemetry.Recorder{}
+			l.SetSink(recs[i])
+		}
+	}
+	return recs, orig
+}
+
+// restoreAndDrain undoes swapRecorders: each link gets its original sink
+// back and its buffered events are forwarded in slice order.
+func restoreAndDrain(links []*Link, recs []*telemetry.Recorder, orig []telemetry.Sink) {
+	for i, l := range links {
+		if recs[i] != nil {
+			l.SetSink(orig[i])
+			recs[i].DrainTo(orig[i])
+		}
+	}
+}
+
+// SetSink attaches (or, with nil, detaches) a telemetry sink to the bus and
+// every wire. Bus-level events (fused rounds, fused alerts, fused gate
+// transitions) are labelled with the bus id; wire-level instrument events keep
+// their per-wire ids ("bus/w0", ...).
+func (m *MultiLink) SetSink(s telemetry.Sink) {
+	m.sink = s
+	for _, l := range m.Wires {
+		l.SetSink(s)
+	}
+}
+
+// Sink returns the currently attached telemetry sink (nil when none).
+func (m *MultiLink) Sink() telemetry.Sink { return m.sink }
+
+// Rounds returns how many fused monitoring rounds the bus has run.
+func (m *MultiLink) Rounds() uint64 { return m.rounds }
+
+// emit publishes a bus-level event when a sink is attached.
+func (m *MultiLink) emit(ev telemetry.Event) {
+	if m.sink != nil {
+		m.sink.Emit(ev)
+	}
+}
+
+// maybeSwapRecorders redirects the wires to private recorders when the coming
+// fan-out will actually run concurrently; it returns nils otherwise.
+func (m *MultiLink) maybeSwapRecorders() ([]*telemetry.Recorder, []telemetry.Sink) {
+	if pool.Workers(m.cfg.Parallelism) <= 1 || len(m.Wires) <= 1 {
+		return nil, nil
+	}
+	return swapRecorders(m.Wires)
+}
+
+// maybeDrainRecorders undoes maybeSwapRecorders after the fan-out barrier.
+func (m *MultiLink) maybeDrainRecorders(recs []*telemetry.Recorder, orig []telemetry.Sink) {
+	if recs != nil {
+		restoreAndDrain(m.Wires, recs, orig)
+	}
+}
+
+// gateSet drives an endpoint gate and emits a transition event when the
+// state actually changes.
+func (l *Link) gateSet(e *Endpoint, open bool) {
+	was := e.Gate.Authorized()
+	e.Gate.Set(open)
+	if was != open {
+		l.emit(telemetry.Event{
+			Kind: telemetry.EventGate,
+			Link: l.ID, Side: e.Side.String(),
+			Round: l.rounds,
+			From:  gateName(was), To: gateName(open),
+		})
+	}
+}
+
+func gateName(open bool) string {
+	if open {
+		return "open"
+	}
+	return "closed"
+}
+
+// emitHealthTransition publishes a health event when the endpoint's state
+// moved since the last time it was observed.
+func (l *Link) emitHealthTransition(e *Endpoint) {
+	state := e.health(l.cfg.Robust).State
+	if state == e.lastHealth {
+		return
+	}
+	l.emit(telemetry.Event{
+		Kind: telemetry.EventHealth,
+		Link: l.ID, Side: e.Side.String(),
+		Round: l.rounds,
+		From:  e.lastHealth.String(), To: state.String(),
+	})
+	e.lastHealth = state
+}

@@ -24,9 +24,11 @@ package fault
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"divot/internal/itdr"
 	"divot/internal/rng"
+	"divot/internal/telemetry"
 )
 
 // Kind enumerates the injectable fault mechanisms.
@@ -256,6 +258,18 @@ type Plane struct {
 	// Activations counts measurements on which at least one fault was
 	// active — a convenience for tests and experiments.
 	Activations int
+
+	// sink, when non-nil, receives one EventFault per faulted measurement,
+	// naming the active fault kinds. Wired by the owning instrument (see
+	// itdr.Reflectometer.SetInjector) or directly via WireSink.
+	sink       telemetry.Sink
+	link, side string
+}
+
+// WireSink implements telemetry.Wirable: the plane emits fault-injection
+// events to s, labelled with the given link id and side.
+func (p *Plane) WireSink(s telemetry.Sink, link, side string) {
+	p.sink, p.link, p.side = s, link, side
 }
 
 // NewPlane builds a fault plane drawing all of its randomness from labelled
@@ -301,6 +315,7 @@ func (p *Plane) deadSet(i int) func(m int) bool {
 func (p *Plane) BeginMeasurement(seq uint64) (itdr.MeasurementFault, bool) {
 	var mf itdr.MeasurementFault
 	var binFaults []int
+	var activeKinds []string
 	var tempDelta, emiAmp float64
 	jitterSq := 0.0
 	sigmaScale := 1.0
@@ -310,6 +325,9 @@ func (p *Plane) BeginMeasurement(seq uint64) (itdr.MeasurementFault, bool) {
 			continue
 		}
 		active++
+		if p.sink != nil {
+			activeKinds = append(activeKinds, f.Kind.String())
+		}
 		age := float64(seq - f.Schedule.Start)
 		switch f.Kind {
 		case CompStuckHigh:
@@ -337,6 +355,14 @@ func (p *Plane) BeginMeasurement(seq uint64) (itdr.MeasurementFault, bool) {
 		return itdr.MeasurementFault{}, false
 	}
 	p.Activations++
+	if p.sink != nil {
+		p.sink.Emit(telemetry.Event{
+			Kind: telemetry.EventFault,
+			Link: p.link, Side: p.side,
+			Round:  seq,
+			Detail: strings.Join(activeKinds, "+"),
+		})
+	}
 	if sigmaScale != 1 {
 		mf.NoiseScale = sigmaScale
 	}

@@ -1,5 +1,7 @@
 package itdr
 
+import "divot/internal/telemetry"
+
 // Fault injection hook. The reflectometer exposes one seam through which a
 // fault model (internal/fault) can distort a measurement while it is being
 // acquired — at the same physical level where the real degradation would
@@ -94,8 +96,27 @@ type Injector interface {
 
 // SetInjector attaches (or, with nil, detaches) a fault injector to the
 // instrument. One injector must not be shared between instruments that
-// measure concurrently.
-func (r *Reflectometer) SetInjector(inj Injector) { r.inj = inj }
+// measure concurrently. An injector that is telemetry.Wirable (the fault
+// plane) inherits the instrument's sink and labels, so fault-injection
+// events flow through the same per-link channel as everything else —
+// whichever order SetInjector and SetSink are called in.
+func (r *Reflectometer) SetInjector(inj Injector) {
+	r.inj = inj
+	if w, ok := inj.(telemetry.Wirable); ok {
+		w.WireSink(r.sink, r.link, r.side)
+	}
+}
+
+// SetSink attaches (or, with nil, detaches) a telemetry sink; the instrument
+// then emits one EventMeasurement per acquisition, labelled with the given
+// link id and side. An attached Wirable injector is re-pointed at the same
+// sink.
+func (r *Reflectometer) SetSink(s telemetry.Sink, link, side string) {
+	r.sink, r.link, r.side = s, link, side
+	if w, ok := r.inj.(telemetry.Wirable); ok {
+		w.WireSink(s, link, side)
+	}
+}
 
 // Seq returns the number of measurements the instrument has taken so far.
 // The next measurement carries sequence number Seq()+1 — the value fault

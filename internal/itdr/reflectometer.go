@@ -8,6 +8,7 @@ import (
 	"divot/internal/pool"
 	"divot/internal/rng"
 	"divot/internal/signal"
+	"divot/internal/telemetry"
 	"divot/internal/txline"
 )
 
@@ -46,6 +47,12 @@ type Reflectometer struct {
 	envRN *rng.Stream
 	seq   uint64 // measurement counter, for per-measurement sub-streams
 	inj   Injector
+
+	// sink, when non-nil, receives one telemetry event per completed
+	// measurement; link/side label the instrument in those events. See
+	// SetSink.
+	sink       telemetry.Sink
+	link, side string
 
 	// binInv caches one inverse APC map per ETS phase bin across
 	// measurements. Clock-triggered probing revisits each bin with the same
@@ -315,6 +322,19 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 	cycles := 0
 	for _, c := range binCycles {
 		cycles += c
+	}
+	if r.sink != nil {
+		sat := 0
+		for _, s := range saturated {
+			if s {
+				sat++
+			}
+		}
+		r.sink.Emit(telemetry.Event{
+			Kind: telemetry.EventMeasurement,
+			Link: r.link, Side: r.side,
+			Round: r.seq, SatBins: sat,
+		})
 	}
 	return Measurement{
 		IIP:        out,

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"divot/internal/core"
+	"divot/internal/telemetry"
 )
 
 // Action is what the platform is told to do.
@@ -141,6 +142,13 @@ type Reactor struct {
 	Log []LogEntry
 	// Rounds counts monitoring rounds observed.
 	Rounds int
+
+	// sink, when non-nil, receives one EventReactor per recorded action;
+	// link labels this reactor's bus in those events. See SetSink.
+	sink telemetry.Sink
+	link string
+	// prev is the state before the mutation currently being recorded.
+	prev State
 }
 
 // LogEntry is one recorded reaction.
@@ -161,6 +169,13 @@ func NewReactor(p Policy) (*Reactor, error) {
 
 // State returns the current escalation level.
 func (r *Reactor) State() State { return r.state }
+
+// SetSink attaches (or, with nil, detaches) a telemetry sink; every recorded
+// action is then emitted as an EventReactor labelled with the given link id,
+// carrying the state transition and "<action>: <cause>" detail.
+func (r *Reactor) SetSink(s telemetry.Sink, link string) {
+	r.sink, r.link = s, link
+}
 
 // Observe consumes one monitoring round's alerts and returns the action. It
 // is ObserveHealth with no health information — every alert-free round reads
@@ -186,6 +201,7 @@ func (r *Reactor) Observe(alerts []core.Alert) Action {
 // failures: suspect and tamper-only rounds reset the failure streak.
 func (r *Reactor) ObserveHealth(alerts []core.Alert, h core.LinkHealth) Action {
 	r.Rounds++
+	r.prev = r.state
 	if r.state == StateWiped {
 		return ActionWipe // terminal: remains wiped until Reset
 	}
@@ -270,6 +286,7 @@ func (r *Reactor) ObserveHealth(alerts []core.Alert, h core.LinkHealth) Action {
 // Reset returns the reactor to Normal — the operator path after physical
 // inspection (and, from Wiped, re-provisioning of secrets).
 func (r *Reactor) Reset() {
+	r.prev = r.state
 	r.state = StateNormal
 	r.tamperStreak, r.authStreak, r.cleanStreak = 0, 0, 0
 	r.record(ActionLog, "operator reset")
@@ -277,4 +294,14 @@ func (r *Reactor) Reset() {
 
 func (r *Reactor) record(a Action, cause string) {
 	r.Log = append(r.Log, LogEntry{Round: r.Rounds, Action: a, State: r.state, Cause: cause})
+	if r.sink != nil {
+		r.sink.Emit(telemetry.Event{
+			Kind:   telemetry.EventReactor,
+			Link:   r.link,
+			Round:  uint64(r.Rounds),
+			From:   r.prev.String(),
+			To:     r.state.String(),
+			Detail: a.String() + ": " + cause,
+		})
+	}
 }

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// AuditLog is a structured JSONL sink: one JSON object per event, fields in
+// fixed order, zero-valued fields omitted. The encoder is hand-rolled into a
+// reusable buffer, so a line costs one buffered write and no intermediate
+// allocations.
+//
+// Determinism: an event's rendered content is exactly its deterministic
+// fields plus a sink-local sequence number, so two identical monitoring
+// sequences produce byte-identical logs. Wall-clock timestamps are opt-in
+// via WithClock and are appended as a final "wall" field — replay tests
+// simply run without a clock.
+type AuditLog struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	buf   []byte
+	seq   uint64
+	clock func() time.Time
+}
+
+// NewAuditLog wraps w in a buffered JSONL audit sink. Call Flush (or Close)
+// before reading whatever w writes to.
+func NewAuditLog(w io.Writer) *AuditLog {
+	return &AuditLog{w: bufio.NewWriter(w), buf: make([]byte, 0, 256)}
+}
+
+// WithClock makes the log stamp each line with a wall-clock "wall" field.
+// The clock runs at write time and does not participate in the event's
+// deterministic content. Returns the log for chaining.
+func (a *AuditLog) WithClock(clock func() time.Time) *AuditLog {
+	a.mu.Lock()
+	a.clock = clock
+	a.mu.Unlock()
+	return a
+}
+
+// Emit implements Sink.
+func (a *AuditLog) Emit(ev Event) {
+	a.mu.Lock()
+	a.seq++
+	b := a.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, a.seq, 10)
+	b = append(b, `,"kind":`...)
+	b = appendJSONString(b, ev.Kind.String())
+	if ev.Link != "" {
+		b = append(b, `,"link":`...)
+		b = appendJSONString(b, ev.Link)
+	}
+	if ev.Side != "" {
+		b = append(b, `,"side":`...)
+		b = appendJSONString(b, ev.Side)
+	}
+	if ev.Round != 0 {
+		b = append(b, `,"round":`...)
+		b = strconv.AppendUint(b, ev.Round, 10)
+	}
+	if ev.Score != 0 {
+		b = append(b, `,"score":`...)
+		b = strconv.AppendFloat(b, ev.Score, 'g', -1, 64)
+	}
+	if ev.Retries != 0 {
+		b = append(b, `,"retries":`...)
+		b = strconv.AppendInt(b, int64(ev.Retries), 10)
+	}
+	if ev.SatBins != 0 {
+		b = append(b, `,"sat_bins":`...)
+		b = strconv.AppendInt(b, int64(ev.SatBins), 10)
+	}
+	if ev.From != "" {
+		b = append(b, `,"from":`...)
+		b = appendJSONString(b, ev.From)
+	}
+	if ev.To != "" {
+		b = append(b, `,"to":`...)
+		b = appendJSONString(b, ev.To)
+	}
+	if ev.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = appendJSONString(b, ev.Detail)
+	}
+	if a.clock != nil {
+		b = append(b, `,"wall":`...)
+		b = appendJSONString(b, a.clock().Format(time.RFC3339Nano))
+	}
+	b = append(b, '}', '\n')
+	a.buf = b
+	a.w.Write(b) //nolint:errcheck // surfaced by Flush/Close
+	a.mu.Unlock()
+}
+
+// Lines returns how many events have been written.
+func (a *AuditLog) Lines() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq
+}
+
+// Flush drains the write buffer to the underlying writer.
+func (a *AuditLog) Flush() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.w.Flush()
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes it.
+func (a *AuditLog) Close(underlying io.Writer) error {
+	if err := a.Flush(); err != nil {
+		return err
+	}
+	if c, ok := underlying.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// appendJSONString appends s as a JSON string literal. Control characters
+// and the two JSON metacharacters are escaped; everything else (the event
+// vocabulary is ASCII plus the occasional unit glyph) passes through, with
+// invalid UTF-8 replaced so the output is always valid JSON.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for _, r := range s {
+		switch {
+		case r == '"':
+			b = append(b, '\\', '"')
+		case r == '\\':
+			b = append(b, '\\', '\\')
+		case r == '\n':
+			b = append(b, '\\', 'n')
+		case r == '\t':
+			b = append(b, '\\', 't')
+		case r == '\r':
+			b = append(b, '\\', 'r')
+		case r < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigit(byte(r)>>4), hexDigit(byte(r)&0xf))
+		case r == utf8.RuneError:
+			b = append(b, "�"...)
+		default:
+			b = utf8.AppendRune(b, r)
+		}
+	}
+	return append(b, '"')
+}
+
+func hexDigit(n byte) byte {
+	if n < 10 {
+		return '0' + n
+	}
+	return 'a' + n - 10
+}

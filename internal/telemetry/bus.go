@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bus is an asynchronous publish/subscribe event fan-out. Emit never blocks:
+// each subscriber owns a bounded queue, and an event that finds a
+// subscriber's queue full is dropped for that subscriber and counted — the
+// measurement hot path pays an atomic increment, never a stall. Subscribers
+// that need completeness (the audit log) should therefore be wired
+// synchronously via Fanout instead of through the bus; the bus serves live
+// observers (dashboards, the daemon's alert feeds) where freshness beats
+// completeness.
+type Bus struct {
+	mu      sync.RWMutex
+	subs    []*Subscription
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscription is one subscriber's bounded event queue.
+type Subscription struct {
+	bus    *Bus
+	ch     chan Event
+	filter uint64 // bitmask over EventKind; 0 = everything
+	drops  atomic.Uint64
+	closed atomic.Bool
+}
+
+// Subscribe registers a subscriber with the given queue capacity (minimum 1).
+// With no kinds listed every event is delivered; otherwise only the listed
+// kinds are. Close the subscription to unregister.
+func (b *Bus) Subscribe(buffer int, kinds ...EventKind) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	var filter uint64
+	for _, k := range kinds {
+		filter |= 1 << uint(k)
+	}
+	s := &Subscription{bus: b, ch: make(chan Event, buffer), filter: filter}
+	b.mu.Lock()
+	b.subs = append(b.subs, s)
+	b.mu.Unlock()
+	return s
+}
+
+// Emit implements Sink: it stamps the bus sequence number and offers the
+// event to every subscriber without blocking.
+func (b *Bus) Emit(ev Event) {
+	ev.Seq = b.seq.Add(1)
+	b.mu.RLock()
+	for _, s := range b.subs {
+		if s.filter != 0 && s.filter&(1<<uint(ev.Kind)) == 0 {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.drops.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.RUnlock()
+}
+
+// Published returns how many events have been emitted on the bus.
+func (b *Bus) Published() uint64 { return b.seq.Load() }
+
+// Dropped returns the total number of events dropped across all subscribers
+// since the bus was created (closed subscribers' drops included).
+func (b *Bus) Dropped() uint64 { return b.dropped.Load() }
+
+// Events is the subscriber's receive channel. It is closed by Close.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Drops returns how many events this subscriber missed to a full queue.
+func (s *Subscription) Drops() uint64 { return s.drops.Load() }
+
+// Close unregisters the subscription and closes its channel. Safe to call
+// more than once.
+func (s *Subscription) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	b := s.bus
+	b.mu.Lock()
+	for i, sub := range b.subs {
+		if sub == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+	close(s.ch)
+}

@@ -1,0 +1,141 @@
+// Package telemetry is the observability core of the reproduction: a typed
+// event taxonomy for everything the protection protocol does (measurements,
+// monitoring rounds, health transitions, gate changes, fault suspicions,
+// reactor escalations, re-enrollments), an asynchronous event bus with
+// bounded subscriber queues and explicit drop counters, a metrics registry
+// rendered in Prometheus text format, and a structured JSONL audit log.
+//
+// The package sits below every protocol layer — it imports only the standard
+// library — so core, react, fault, and itdr can all emit through the narrow
+// Sink interface without widening their dependency graphs.
+//
+// Determinism contract: an Event's content is a pure function of the
+// simulation (seeds, schedules, round numbers) and never of the wall clock or
+// of goroutine scheduling. Wall-clock timestamps are added only at a sink
+// (AuditLog's optional clock), and the engine's fan-out layers drain
+// per-link Recorders in bus-id order, so two runs of the same monitoring
+// sequence produce bit-identical audit content at any Parallelism.
+package telemetry
+
+import "fmt"
+
+// EventKind classifies a telemetry event.
+type EventKind uint8
+
+const (
+	// EventMeasurement: an instrument completed one IIP acquisition.
+	EventMeasurement EventKind = iota
+	// EventRound: one endpoint finished a monitoring round (with verdict).
+	EventRound
+	// EventAlert: a monitoring round raised an alert.
+	EventAlert
+	// EventGate: an authentication gate changed state.
+	EventGate
+	// EventHealth: an endpoint's health state changed.
+	EventHealth
+	// EventSuspect: a round's failure was absorbed as a transient fault
+	// suspicion by the confirmation protocol.
+	EventSuspect
+	// EventReenroll: a drift-guarded fingerprint refresh completed.
+	EventReenroll
+	// EventCalibrated: a link finished calibration (enrollment).
+	EventCalibrated
+	// EventReactor: the reaction state machine recorded an action.
+	EventReactor
+	// EventFault: a fault plane injected at least one fault into a
+	// measurement.
+	EventFault
+	// EventAttack: a scripted physical attack was mounted on a bus (a
+	// simulation affordance of drills and the divotd fleet spec).
+	EventAttack
+	// EventMonitorError: a monitoring round returned a protocol error
+	// (uncalibrated link, lost enrollment).
+	EventMonitorError
+)
+
+// String names the kind, matching its audit-log rendering.
+func (k EventKind) String() string {
+	switch k {
+	case EventMeasurement:
+		return "measurement"
+	case EventRound:
+		return "round"
+	case EventAlert:
+		return "alert"
+	case EventGate:
+		return "gate"
+	case EventHealth:
+		return "health"
+	case EventSuspect:
+		return "suspect"
+	case EventReenroll:
+		return "reenroll"
+	case EventCalibrated:
+		return "calibrated"
+	case EventReactor:
+		return "reactor"
+	case EventFault:
+		return "fault"
+	case EventAttack:
+		return "attack"
+	case EventMonitorError:
+		return "monitor-error"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one telemetry record. The struct is flat and value-typed so the
+// emit path allocates nothing; which fields are meaningful depends on Kind,
+// and zero-valued fields are omitted from the audit rendering.
+type Event struct {
+	// Seq is a sink-local sequence number stamped at publication (the audit
+	// log and the event bus each keep their own counter). It is zero while
+	// the event is in flight between emitter and sink.
+	Seq uint64
+	// Kind classifies the event.
+	Kind EventKind
+	// Link is the bus id the event concerns ("" when not link-scoped).
+	Link string
+	// Side is "cpu" or "module" for endpoint-scoped events.
+	Side string
+	// Round is the link's monitoring round number for protocol events, or
+	// the instrument's measurement sequence number for measurement and
+	// fault events.
+	Round uint64
+	// Score is the similarity for round and auth-failure events.
+	Score float64
+	// Retries is how many confirmation re-measurements the round consumed.
+	Retries int
+	// SatBins counts rail-saturated ETS bins in a measurement event.
+	SatBins int
+	// From and To describe a transition (gate open/closed, health states,
+	// reactor states) or, for alerts, To carries the alert kind.
+	From, To string
+	// Detail is the kind-specific human-readable remainder: the rendered
+	// alert, the active fault kinds, the reactor cause, the error text.
+	Detail string
+}
+
+// String renders the event compactly (the audit log uses JSON instead).
+func (e Event) String() string {
+	s := fmt.Sprintf("[%s]", e.Kind)
+	if e.Link != "" {
+		s += " link=" + e.Link
+	}
+	if e.Side != "" {
+		s += " side=" + e.Side
+	}
+	if e.Round != 0 {
+		s += fmt.Sprintf(" round=%d", e.Round)
+	}
+	if e.From != "" || e.To != "" {
+		s += fmt.Sprintf(" %s->%s", e.From, e.To)
+	}
+	if e.Score != 0 {
+		s += fmt.Sprintf(" score=%.4f", e.Score)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}

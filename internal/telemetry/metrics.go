@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Families and series are created once (on first use) and
+// updated lock-free afterwards: counters and gauges are single atomics,
+// histograms a fixed array of atomics — cheap enough for the measurement hot
+// path.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []string
+	bounds []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]any // label-values key -> *Counter / *Gauge / *Histogram
+}
+
+// labelKey joins label values with an unprintable separator.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (r *Registry) family(name, help, typ string, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s/%d labels (was %s/%d)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels,
+		bounds: bounds, series: make(map[string]any)}
+	r.fams[name] = f
+	return f
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Bounds are upper bucket edges in
+// ascending order; observations beyond the last bound land in +Inf.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, cumulative at render time
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ f *family }
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, "counter", labels, nil)}
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, "gauge", labels, nil)}
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram family. Bounds
+// must be ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, "histogram", labels, bounds)}
+}
+
+func (f *family) series_(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		f.series[key] = s
+	}
+	return s
+}
+
+// With returns the counter for the given label values, creating it on first
+// use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.series_(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.series_(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	f := v.f
+	return f.series_(values, func() any {
+		return &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+	}).(*Histogram)
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} for the series; "" with no labels.
+func labelString(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, n := range names {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%q", extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in Prometheus text exposition format,
+// families and series in sorted order so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]any, len(keys))
+		values := make([][]string, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+			if k == "" {
+				values[i] = nil
+			} else {
+				values[i] = strings.Split(k, "\x1f")
+			}
+		}
+		f.mu.Unlock()
+
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for i, s := range series {
+			ls := values[i]
+			switch m := s.(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, ls), m.Value()); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, ls), formatFloat(m.Value())); err != nil {
+					return err
+				}
+			case *Histogram:
+				cum := uint64(0)
+				for bi, bound := range m.bounds {
+					cum += m.counts[bi].Load()
+					le := labelString(f.labels, ls, "le", formatFloat(bound))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+						return err
+					}
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				le := labelString(f.labels, ls, "le", "+Inf")
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, ls), formatFloat(m.Sum())); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, ls), m.Count()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

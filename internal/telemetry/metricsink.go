@@ -1,0 +1,177 @@
+package telemetry
+
+import "strings"
+
+// The standard DIVOT metric families and the sink that feeds them from the
+// event stream. Everything here is updated with single atomic operations, so
+// wiring a MetricsSink into the monitoring path costs a map lookup and an
+// atomic add per event — the registry's series maps are only locked on first
+// use of a new label combination.
+
+// SimilarityBuckets are the histogram edges for similarity scores: dense
+// near the authentication threshold and the clean baseline.
+var SimilarityBuckets = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.975, 0.99, 0.995, 1}
+
+// DurationBuckets are the histogram edges (seconds) for round wall-clock
+// latency as observed by the daemon scheduler.
+var DurationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// MetricsSink maps telemetry events onto the standard metric families of a
+// Registry. Create one per registry with NewMetricsSink and wire it next to
+// the audit log via Fanout.
+type MetricsSink struct {
+	reg *Registry
+
+	measurements *CounterVec
+	satBins      *CounterVec
+	rounds       *CounterVec
+	verdicts     *CounterVec
+	similarity   *HistogramVec
+	retries      *CounterVec
+	alerts       *CounterVec
+	gateMoves    *CounterVec
+	gateOpen     *GaugeVec
+	healthState  *GaugeVec
+	healthMoves  *CounterVec
+	suspects     *CounterVec
+	reenrolls    *CounterVec
+	calibrations *CounterVec
+	reactorState *GaugeVec
+	reactorActs  *CounterVec
+	faults       *CounterVec
+	attacks      *CounterVec
+	monErrors    *CounterVec
+}
+
+// NewMetricsSink registers the standard divot_* families on reg and returns
+// the sink that updates them.
+func NewMetricsSink(reg *Registry) *MetricsSink {
+	return &MetricsSink{
+		reg: reg,
+		measurements: reg.Counter("divot_measurements_total",
+			"IIP acquisitions completed per instrument.", "link", "side"),
+		satBins: reg.Counter("divot_saturated_bins_total",
+			"Rail-saturated ETS bins observed across measurements.", "link", "side"),
+		rounds: reg.Counter("divot_rounds_total",
+			"Monitoring rounds completed per endpoint.", "link", "side"),
+		verdicts: reg.Counter("divot_round_verdicts_total",
+			"Monitoring round verdicts per endpoint.", "link", "side", "verdict"),
+		similarity: reg.Histogram("divot_similarity_score",
+			"Distribution of per-round similarity scores.", SimilarityBuckets, "link", "side"),
+		retries: reg.Counter("divot_confirm_retries_total",
+			"Confirmation re-measurements consumed by suspect rounds.", "link", "side"),
+		alerts: reg.Counter("divot_alerts_total",
+			"Alerts raised by monitoring.", "link", "side", "kind"),
+		gateMoves: reg.Counter("divot_gate_transitions_total",
+			"Authentication gate state changes.", "link", "side", "to"),
+		gateOpen: reg.Gauge("divot_gate_open",
+			"Whether the endpoint's authentication gate is open (1) or closed (0).", "link", "side"),
+		healthState: reg.Gauge("divot_health_state",
+			"Endpoint health (0=ok 1=suspect 2=degraded 3=failed).", "link", "side"),
+		healthMoves: reg.Counter("divot_health_transitions_total",
+			"Endpoint health state transitions.", "link", "side", "to"),
+		suspects: reg.Counter("divot_suspect_rounds_total",
+			"Rounds whose failure was absorbed as a transient by confirmation.", "link", "side"),
+		reenrolls: reg.Counter("divot_reenrollments_total",
+			"Drift-guarded fingerprint refreshes.", "link", "side"),
+		calibrations: reg.Counter("divot_calibrations_total",
+			"Link calibrations (enrollments).", "link"),
+		reactorState: reg.Gauge("divot_reactor_state",
+			"Reaction state (0=normal 1=alerted 2=halted 3=wiped 4=suspect 5=degraded).", "link"),
+		reactorActs: reg.Counter("divot_reactor_actions_total",
+			"Actions recorded by the reaction state machine.", "link", "action"),
+		faults: reg.Counter("divot_faults_injected_total",
+			"Measurements that had at least one instrument fault active.", "link", "side"),
+		attacks: reg.Counter("divot_attacks_total",
+			"Scripted physical attacks mounted.", "link"),
+		monErrors: reg.Counter("divot_monitor_errors_total",
+			"Monitoring rounds that returned a protocol error.", "link"),
+	}
+}
+
+// Registry returns the registry the sink feeds.
+func (m *MetricsSink) Registry() *Registry { return m.reg }
+
+// healthLevel maps health state names to the gauge encoding.
+func healthLevel(state string) float64 {
+	switch state {
+	case "ok":
+		return 0
+	case "suspect":
+		return 1
+	case "degraded":
+		return 2
+	case "failed":
+		return 3
+	}
+	return -1
+}
+
+// reactorLevel maps reaction state names to the gauge encoding.
+func reactorLevel(state string) float64 {
+	switch state {
+	case "normal":
+		return 0
+	case "alerted":
+		return 1
+	case "halted":
+		return 2
+	case "wiped":
+		return 3
+	case "suspect":
+		return 4
+	case "degraded":
+		return 5
+	}
+	return -1
+}
+
+// Emit implements Sink.
+func (m *MetricsSink) Emit(ev Event) {
+	switch ev.Kind {
+	case EventMeasurement:
+		m.measurements.With(ev.Link, ev.Side).Inc()
+		if ev.SatBins > 0 {
+			m.satBins.With(ev.Link, ev.Side).Add(uint64(ev.SatBins))
+		}
+	case EventRound:
+		m.rounds.With(ev.Link, ev.Side).Inc()
+		m.verdicts.With(ev.Link, ev.Side, ev.To).Inc()
+		m.similarity.With(ev.Link, ev.Side).Observe(ev.Score)
+		if ev.Retries > 0 {
+			m.retries.With(ev.Link, ev.Side).Add(uint64(ev.Retries))
+		}
+	case EventAlert:
+		m.alerts.With(ev.Link, ev.Side, ev.To).Inc()
+	case EventGate:
+		m.gateMoves.With(ev.Link, ev.Side, ev.To).Inc()
+		open := 0.0
+		if ev.To == "open" {
+			open = 1
+		}
+		m.gateOpen.With(ev.Link, ev.Side).Set(open)
+	case EventHealth:
+		m.healthMoves.With(ev.Link, ev.Side, ev.To).Inc()
+		m.healthState.With(ev.Link, ev.Side).Set(healthLevel(ev.To))
+	case EventSuspect:
+		m.suspects.With(ev.Link, ev.Side).Inc()
+	case EventReenroll:
+		m.reenrolls.With(ev.Link, ev.Side).Inc()
+	case EventCalibrated:
+		m.calibrations.With(ev.Link).Inc()
+	case EventReactor:
+		m.reactorState.With(ev.Link).Set(reactorLevel(ev.To))
+		// Reactor events carry "<action>: <cause>" in Detail.
+		action := ev.Detail
+		if i := strings.IndexByte(action, ':'); i >= 0 {
+			action = action[:i]
+		}
+		m.reactorActs.With(ev.Link, action).Inc()
+	case EventFault:
+		m.faults.With(ev.Link, ev.Side).Inc()
+	case EventAttack:
+		m.attacks.With(ev.Link).Inc()
+	case EventMonitorError:
+		m.monErrors.With(ev.Link).Inc()
+	}
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import "sync"
+
+// Sink consumes telemetry events. Emit must be cheap and must never block
+// for long: it is called from the measurement hot path. Implementations in
+// this package: *Bus (async fan-out), *AuditLog (buffered JSONL), the sink
+// returned by NewMetricsSink (atomic counter updates), *Recorder (slice
+// append), and Fanout (composition).
+type Sink interface {
+	Emit(Event)
+}
+
+// Wirable is implemented by emitters that carry a sink plus link/side labels
+// and can be re-pointed after construction — fault planes implement it so an
+// instrument can forward its own wiring to an injector attached later.
+type Wirable interface {
+	WireSink(s Sink, link, side string)
+}
+
+// Fanout returns a sink that forwards every event to each non-nil sink in
+// order. With zero or one usable sink it avoids the wrapper entirely.
+func Fanout(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return fanout(live)
+}
+
+type fanout []Sink
+
+func (f fanout) Emit(ev Event) {
+	for _, s := range f {
+		s.Emit(ev)
+	}
+}
+
+// Recorder is a sink that buffers events in order. The parallel fan-out
+// layers give each link its own recorder during a concurrent round and drain
+// the recorders in bus-id order afterwards, which is what keeps audit
+// content bit-identical at any Parallelism. The mutex is uncontended in that
+// pattern (one goroutine per recorder) but makes the recorder safe for
+// ad-hoc concurrent use too.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len reports how many events are buffered.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// DrainTo forwards every buffered event to dst in order and empties the
+// recorder. A nil dst just discards the buffer.
+func (r *Recorder) DrainTo(dst Sink) {
+	r.mu.Lock()
+	evs := r.events
+	r.events = nil
+	r.mu.Unlock()
+	if dst == nil {
+		return
+	}
+	for _, ev := range evs {
+		dst.Emit(ev)
+	}
+}

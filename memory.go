@@ -28,6 +28,10 @@ type MemorySystem struct {
 
 	monitoring bool
 	stopped    bool
+	// monitorGen invalidates rounds scheduled by earlier StartMonitor calls
+	// (see StorageSystem.startMonitor).
+	monitorGen int
+	lastErr    error
 	responses  []memctl.Response
 }
 
@@ -168,6 +172,9 @@ func (s *System) NewMemorySystem(id string, mcfg MemoryConfig) (*MemorySystem, e
 	if err != nil {
 		return nil, err
 	}
+	if s.sink != nil {
+		reactor.SetSink(s.sink, id)
+	}
 	m := &MemorySystem{Sched: sched, Bus: link, Controller: ctl, Device: dev, Reactor: reactor}
 	if mcfg.MonitorInterval > 0 {
 		m.startMonitor(mcfg.MonitorInterval)
@@ -177,6 +184,16 @@ func (s *System) NewMemorySystem(id string, mcfg MemoryConfig) (*MemorySystem, e
 	return m, nil
 }
 
+// StartMonitor (re)starts the continuous monitoring loop at the given
+// interval; zero or negative uses one measurement duration (back-to-back
+// monitoring, the paper's continuous mode). A no-op while the loop runs.
+func (m *MemorySystem) StartMonitor(interval sim.Time) {
+	if interval <= 0 {
+		interval = sim.FromSeconds(m.Bus.MeasurementDuration())
+	}
+	m.startMonitor(interval)
+}
+
 // startMonitor schedules the continuous monitoring loop: each round consumes
 // one measurement duration of simulated time and then updates the gates.
 func (m *MemorySystem) startMonitor(interval sim.Time) {
@@ -184,16 +201,23 @@ func (m *MemorySystem) startMonitor(interval sim.Time) {
 		return
 	}
 	m.monitoring = true
+	m.stopped = false
+	m.monitorGen++
+	gen := m.monitorGen
 	var round func()
 	round = func() {
-		if m.stopped {
+		if m.stopped || gen != m.monitorGen {
 			return
 		}
 		if m.Bus.Calibrated() {
 			// A protocol error (lost enrollment) skips reaction this round;
-			// the next round reports again, and health reflects the failure.
+			// the next round reports again, health reflects the failure, and
+			// the error is retained for LastMonitorError (and reported via
+			// the link's telemetry sink as an EventMonitorError).
 			if alerts, err := m.Bus.MonitorOnce(); err == nil {
 				m.Reactor.ObserveHealth(alerts, m.Bus.Health())
+			} else {
+				m.lastErr = err
 			}
 		}
 		m.Sched.After(interval, round)
@@ -201,8 +225,20 @@ func (m *MemorySystem) startMonitor(interval sim.Time) {
 	m.Sched.After(interval, round)
 }
 
-// StopMonitor halts the monitoring loop (ends the simulation cleanly).
-func (m *MemorySystem) StopMonitor() { m.stopped = true }
+// StopMonitor halts the monitoring loop (ends the simulation cleanly);
+// StartMonitor may restart it. Calling it again while stopped is a no-op.
+func (m *MemorySystem) StopMonitor() {
+	m.stopped = true
+	m.monitoring = false
+	m.monitorGen++
+}
+
+// Monitoring reports whether the continuous monitoring loop is scheduled.
+func (m *MemorySystem) Monitoring() bool { return m.monitoring }
+
+// LastMonitorError returns the most recent protocol error a monitoring round
+// hit (nil while monitoring is healthy).
+func (m *MemorySystem) LastMonitorError() error { return m.lastErr }
 
 // Calibrate enrolls the bus fingerprint at both endpoints and opens the
 // gates — §III's pairing step, done at installation time.

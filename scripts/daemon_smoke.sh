@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Smoke-test the divotd daemon from the outside, the way an operator would:
+# build it, point it at a three-bus fleet spec, scrape /metrics twice to see
+# the round counters advance, then SIGTERM it and require a clean exit.
+# Used by CI's "daemon smoke" step; runnable locally as scripts/daemon_smoke.sh.
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/divotd" ./cmd/divotd
+
+cat > "$workdir/fleet.json" <<'EOF'
+{
+  "seed": 11,
+  "listen": "127.0.0.1:9721",
+  "interval_ms": 20,
+  "jitter_frac": 0.1,
+  "buses": [{"id": "dimm0"}, {"id": "dimm1"}, {"id": "dimm2"}]
+}
+EOF
+
+"$workdir/divotd" -spec "$workdir/fleet.json" > "$workdir/divotd.log" 2>&1 &
+pid=$!
+
+# Wait for the daemon to come up (calibration of three buses takes a moment).
+for _ in $(seq 1 100); do
+  if curl -sf http://127.0.0.1:9721/healthz > /dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "divotd exited during startup:" >&2
+    cat "$workdir/divotd.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -sf http://127.0.0.1:9721/healthz
+
+# Two scrapes a few rounds apart: every bus's round counter must advance.
+curl -sf http://127.0.0.1:9721/metrics > "$workdir/scrape1"
+sleep 1
+curl -sf http://127.0.0.1:9721/metrics > "$workdir/scrape2"
+
+for bus in dimm0 dimm1 dimm2; do
+  r1=$(grep "^divot_rounds_total{link=\"$bus\",side=\"cpu\"}" "$workdir/scrape1" | grep -o '[0-9]*$')
+  r2=$(grep "^divot_rounds_total{link=\"$bus\",side=\"cpu\"}" "$workdir/scrape2" | grep -o '[0-9]*$')
+  if [ -z "$r1" ] || [ -z "$r2" ] || [ "$r2" -le "$r1" ]; then
+    echo "round counter for $bus did not advance ($r1 -> $r2)" >&2
+    exit 1
+  fi
+  echo "ok: $bus rounds $r1 -> $r2"
+done
+
+# A clean fleet must report fleet_ok.
+curl -sf http://127.0.0.1:9721/healthz | grep '"fleet_ok": true'
+
+# All gates must be open on a clean fleet.
+if grep '^divot_gate_open' "$workdir/scrape2" | grep -qv ' 1$'; then
+  echo "a gate is closed on a clean fleet:" >&2
+  grep '^divot_gate_open' "$workdir/scrape2" >&2
+  exit 1
+fi
+
+# Graceful shutdown on SIGTERM.
+kill -TERM "$pid"
+for _ in $(seq 1 50); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "divotd did not exit after SIGTERM" >&2
+  kill -9 "$pid"
+  exit 1
+fi
+wait "$pid" || { echo "divotd exited non-zero after SIGTERM" >&2; exit 1; }
+grep 'shut down' "$workdir/divotd.log"
+echo "smoke test passed"

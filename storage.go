@@ -21,6 +21,11 @@ type StorageSystem struct {
 
 	monitoring bool
 	stopped    bool
+	// monitorGen invalidates rounds scheduled by earlier StartMonitor calls:
+	// a pending round whose generation no longer matches is a no-op, so
+	// stop/start cycles never leave two loops running.
+	monitorGen int
+	lastErr    error
 	comps      []storage.Completion
 }
 
@@ -65,27 +70,58 @@ func (s *System) NewStorageSystem(id string, capacityBlocks int64, cfg storage.H
 	return st, nil
 }
 
+// StartMonitor (re)starts the continuous monitoring loop at the given
+// interval; zero or negative uses one measurement duration (back-to-back
+// monitoring). Calling it while the loop runs is a no-op.
+func (st *StorageSystem) StartMonitor(interval sim.Time) {
+	if interval <= 0 {
+		interval = sim.FromSeconds(st.Bus.MeasurementDuration())
+	}
+	st.startMonitor(interval)
+}
+
 // startMonitor schedules the continuous monitoring loop.
 func (st *StorageSystem) startMonitor(interval sim.Time) {
 	if st.monitoring {
 		return
 	}
 	st.monitoring = true
+	st.stopped = false
+	st.monitorGen++
+	gen := st.monitorGen
 	var round func()
 	round = func() {
-		if st.stopped {
+		if st.stopped || gen != st.monitorGen {
 			return
 		}
 		if st.Bus.Calibrated() {
-			st.Bus.MonitorOnce() //nolint:errcheck // gates carry the verdict
+			// The gates carry the verdict; a protocol error is retained for
+			// LastMonitorError and reported through the link's telemetry sink
+			// (EventMonitorError) rather than dropped.
+			if _, err := st.Bus.MonitorOnce(); err != nil {
+				st.lastErr = err
+			}
 		}
 		st.Sched.After(interval, round)
 	}
 	st.Sched.After(interval, round)
 }
 
-// StopMonitor halts the monitoring loop.
-func (st *StorageSystem) StopMonitor() { st.stopped = true }
+// StopMonitor halts the monitoring loop; StartMonitor may restart it. Calling
+// it again while stopped is a no-op.
+func (st *StorageSystem) StopMonitor() {
+	st.stopped = true
+	st.monitoring = false
+	st.monitorGen++
+}
+
+// Monitoring reports whether the continuous monitoring loop is scheduled.
+func (st *StorageSystem) Monitoring() bool { return st.monitoring }
+
+// LastMonitorError returns the most recent protocol error a monitoring round
+// hit (nil while monitoring is healthy). Errors do not stop the loop — the
+// next round reports again and the gates stay closed meanwhile.
+func (st *StorageSystem) LastMonitorError() error { return st.lastErr }
 
 // Calibrate pairs host and drive over the link fingerprint.
 func (st *StorageSystem) Calibrate() error { return st.Bus.Calibrate() }

@@ -1,0 +1,81 @@
+package divot
+
+import "divot/internal/telemetry"
+
+// Telemetry re-exports. The implementation lives in internal/telemetry; these
+// aliases are the supported public names. Attach a sink with System.SetSink
+// and every bus of the system — existing and future — reports measurement,
+// round, alert, gate, health, fault and re-enrollment events through it.
+// Event content is a pure function of the simulation: no wall-clock state, so
+// event sequences are bit-identical across runs and Parallelism settings
+// (wall-clock timestamps exist only as an opt-in at the AuditLog sink).
+type (
+	// TelemetryEvent is one structured protocol event.
+	TelemetryEvent = telemetry.Event
+	// TelemetryEventKind classifies events.
+	TelemetryEventKind = telemetry.EventKind
+	// TelemetrySink consumes events; implementations must not block.
+	TelemetrySink = telemetry.Sink
+	// TelemetryBus fans events out to subscribers over bounded queues,
+	// dropping (and counting) rather than blocking the measurement path.
+	TelemetryBus = telemetry.Bus
+	// TelemetrySubscription is one subscriber's bounded event queue.
+	TelemetrySubscription = telemetry.Subscription
+	// TelemetryRecorder buffers events in memory (test and replay helper).
+	TelemetryRecorder = telemetry.Recorder
+	// MetricsRegistry holds counters, gauges and histograms and renders
+	// them in Prometheus text exposition format.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSink folds events into divot_* metric families.
+	MetricsSink = telemetry.MetricsSink
+	// AuditLog appends events as deterministic JSON lines.
+	AuditLog = telemetry.AuditLog
+)
+
+// Telemetry event kinds.
+const (
+	EventMeasurement  = telemetry.EventMeasurement
+	EventRound        = telemetry.EventRound
+	EventAlert        = telemetry.EventAlert
+	EventGate         = telemetry.EventGate
+	EventHealth       = telemetry.EventHealth
+	EventSuspect      = telemetry.EventSuspect
+	EventReenroll     = telemetry.EventReenroll
+	EventCalibrated   = telemetry.EventCalibrated
+	EventReactor      = telemetry.EventReactor
+	EventFault        = telemetry.EventFault
+	EventAttack       = telemetry.EventAttack
+	EventMonitorError = telemetry.EventMonitorError
+)
+
+// Telemetry constructors.
+var (
+	// NewTelemetryBus builds a non-blocking publish/subscribe event bus.
+	NewTelemetryBus = telemetry.NewBus
+	// NewMetricsRegistry builds an empty metrics registry.
+	NewMetricsRegistry = telemetry.NewRegistry
+	// NewMetricsSink registers the divot_* families on a registry and
+	// returns the sink that updates them.
+	NewMetricsSink = telemetry.NewMetricsSink
+	// NewAuditLog builds a JSONL audit log over a writer.
+	NewAuditLog = telemetry.NewAuditLog
+	// TelemetryFanout combines sinks; nils are skipped.
+	TelemetryFanout = telemetry.Fanout
+)
+
+// SetSink attaches (or, with nil, detaches) a telemetry sink to the system:
+// every registered bus — and every bus created afterwards — emits its
+// protocol events through it. Reactors owned by memory systems built after
+// the call are wired too.
+func (s *System) SetSink(sink TelemetrySink) {
+	s.sink = sink
+	for _, l := range s.links {
+		l.Link.SetSink(sink)
+	}
+	for _, m := range s.multis {
+		m.SetSink(sink)
+	}
+}
+
+// Sink returns the system's telemetry sink (nil when none attached).
+func (s *System) Sink() TelemetrySink { return s.sink }
