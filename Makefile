@@ -1,5 +1,5 @@
 GO ?= go
-PR ?= 3
+PR ?= 4
 
 .PHONY: all build test race bench bench-experiments bench-snapshot vet
 
@@ -13,10 +13,10 @@ build:
 test: build
 	$(GO) test ./...
 
-## race: run the internal suites (core, exper, itdr, ...) and the daemon /
-## scheduler paths under the race detector
+## race: run the internal suites (core, exper, itdr, ...), the daemon /
+## scheduler paths, and the client SDK under the race detector
 race:
-	$(GO) test -race ./internal/... ./cmd/...
+	$(GO) test -race ./internal/... ./cmd/... ./client/...
 
 ## bench: run every benchmark once (experiment tables + hot-path micros)
 bench:
@@ -25,7 +25,7 @@ bench:
 ## bench-snapshot: record the hot-path micro-benchmarks as machine-readable
 ## JSON (BENCH_$(PR).json) for cross-PR diffing; parsed by cmd/benchsnap
 bench-snapshot:
-	$(GO) test . -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll' -benchtime 20x -benchmem \
+	$(GO) test . -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll|ClientRoundTrip' -benchtime 20x -benchmem \
 		| $(GO) run ./cmd/benchsnap > BENCH_$(PR).json
 
 ## bench-experiments: the fleet campaign benchmarks used in EXPERIMENTS.md's

@@ -1,0 +1,203 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// WatchOptions configures a Watch.
+type WatchOptions struct {
+	// After resumes the feed past events the caller has already seen: only
+	// events with Seq > After are delivered. 0 replays the server's whole
+	// retention ring.
+	After uint64
+	// Buffer is the delivery channel's capacity (default 16). A full buffer
+	// back-pressures the reader goroutine, not the server — the server drops
+	// events for slow subscribers, and the Watch re-syncs by resuming.
+	Buffer int
+}
+
+// Watch is a live subscription to one bus's event feed. Events arrive on
+// Events() in sequence order, deduplicated; the channel closes when the
+// subscription ends, after which Err reports why.
+//
+// The Watch owns reconnection: a dropped stream is redialed under the
+// client's retry policy, resuming from the last seen sequence number, so a
+// consumer observes each event at most once across disconnects. The feed is
+// still lossy by design under sustained overload (the daemon bounds its
+// per-subscriber queues); what the Watch guarantees is no duplicates and no
+// loss across its own reconnects.
+type Watch struct {
+	ch     chan Event
+	cancel context.CancelFunc
+	last   atomic.Uint64
+
+	mu  sync.Mutex
+	err error
+}
+
+// Events is the delivery channel. Closed when the watch ends.
+func (w *Watch) Events() <-chan Event { return w.ch }
+
+// LastSeq returns the sequence number of the newest delivered event (the
+// resume point for a future Watch).
+func (w *Watch) LastSeq() uint64 { return w.last.Load() }
+
+// Close tears the watch down. Events() closes shortly after; safe to call
+// more than once and concurrently with receives.
+func (w *Watch) Close() { w.cancel() }
+
+// Err reports why the watch ended: nil until Events() closes, then the
+// caller's context error for cancellation, an *APIError for a server
+// refusal, or the transport fault that exhausted the retry policy.
+func (w *Watch) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *Watch) setErr(err error) {
+	w.mu.Lock()
+	w.err = err
+	w.mu.Unlock()
+}
+
+// Watch opens a live event subscription for one bus. The first connection is
+// established synchronously — an unknown bus or unreachable daemon reports
+// here, not on the channel — and the feed then runs until ctx is done, Close
+// is called, or reconnection fails terminally.
+func (c *Client) Watch(ctx context.Context, id string, opts WatchOptions) (*Watch, error) {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 16
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	resp, err := c.connectStream(wctx, id, opts.After)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	w := &Watch{ch: make(chan Event, opts.Buffer), cancel: cancel}
+	w.last.Store(opts.After)
+	go w.run(wctx, c, id, resp)
+	return w, nil
+}
+
+// connectStream dials the event feed once per attempt, retrying transport
+// faults and 5xx answers under the client's policy. On success the response
+// body is the open stream (no per-attempt timeout — streams live until
+// closed).
+func (c *Client) connectStream(ctx context.Context, id string, after uint64) (*http.Response, error) {
+	path := c.base + "/v1/links/" + url.PathEscape(id) + "/events"
+	if after > 0 {
+		path += "?after=" + strconv.FormatUint(after, 10)
+	}
+	var lastErr error
+	var spent int64
+	for attempt := 0; ; attempt++ {
+		resp, err := c.dialStream(ctx, path)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !c.shouldRetry(ctx, err) || attempt+1 >= c.retry.MaxAttempts {
+			return nil, lastErr
+		}
+		d := c.backoff(attempt)
+		if c.retry.Budget > 0 && spent+int64(d) > int64(c.retry.Budget) {
+			return nil, lastErr
+		}
+		spent += int64(d)
+		if err := c.sleep(ctx, d); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+func (c *Client) dialStream(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building stream request: %w", err)
+	}
+	req.Header.Set("User-Agent", c.ua)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: opening stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		raw := make([]byte, 4096)
+		n, _ := resp.Body.Read(raw)
+		return nil, decodeResponse(resp.StatusCode, raw[:n], nil)
+	}
+	return resp, nil
+}
+
+// run consumes stream connections until the context ends or a reconnect
+// fails terminally. Each reconnect resumes from the last delivered sequence
+// number.
+func (w *Watch) run(ctx context.Context, c *Client, id string, resp *http.Response) {
+	defer close(w.ch)
+	for {
+		w.consume(ctx, resp)
+		if ctx.Err() != nil {
+			w.setErr(ctx.Err())
+			return
+		}
+		// The stream dropped mid-flight (daemon restart, network fault):
+		// resume past everything already delivered.
+		next, err := c.connectStream(ctx, id, w.last.Load())
+		if err != nil {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+			}
+			w.setErr(err)
+			return
+		}
+		resp = next
+	}
+}
+
+// consume parses one stream connection's SSE frames until it ends. Frames
+// are "id:/event:/data:" blocks separated by blank lines; comment lines
+// (": hb" heartbeats, ": shutdown") keep the connection warm and are
+// skipped. Events at or below the resume point are dropped — the replay
+// window and the live queue may overlap.
+func (w *Watch) consume(ctx context.Context, resp *http.Response) {
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data == "" {
+				continue // end of a comment-only block
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err == nil && ev.Seq > w.last.Load() {
+				select {
+				case w.ch <- ev:
+					w.last.Store(ev.Seq)
+				case <-ctx.Done():
+					return
+				}
+			}
+			data = ""
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		default:
+			// "id:" and "event:" lines duplicate fields already inside the
+			// data payload; comments (":") are keep-alives.
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"divot/internal/attest"
+)
+
+// streamScript serves scripted SSE connections: connection i sends frames[i]
+// (with heartbeats interleaved) and then either disconnects or holds the
+// stream open until the client goes away. It records each connection's
+// ?after value so tests can assert the resume protocol.
+type streamScript struct {
+	mu     sync.Mutex
+	afters []uint64
+	conns  int
+	// script returns the events to send on connection n (0-based) and
+	// whether to hold the stream open afterwards.
+	script func(conn int) (events []Event, hold bool)
+	srv    *httptest.Server
+}
+
+func newStreamScript(t *testing.T, script func(conn int) ([]Event, bool)) *streamScript {
+	t.Helper()
+	ss := &streamScript{script: script}
+	ss.srv = httptest.NewServer(http.HandlerFunc(ss.serve))
+	t.Cleanup(ss.srv.Close)
+	return ss
+}
+
+func (ss *streamScript) serve(w http.ResponseWriter, r *http.Request) {
+	after := uint64(0)
+	if raw := r.URL.Query().Get("after"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			attest.WriteError(w, attest.CodeBadRequest, "bad after=%q", raw)
+			return
+		}
+		after = n
+	}
+	ss.mu.Lock()
+	conn := ss.conns
+	ss.conns++
+	ss.afters = append(ss.afters, after)
+	ss.mu.Unlock()
+	events, hold := ss.script(conn)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	fl := w.(http.Flusher)
+	fmt.Fprintf(w, ": hb\n\n") // leading heartbeat, must be skipped
+	fl.Flush()
+	for _, ev := range events {
+		raw := fmt.Sprintf(`{"seq":%d,"kind":%q,"link":%q}`, ev.Seq, ev.Kind, ev.Link)
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n: hb\n\n", ev.Seq, ev.Kind, raw)
+		fl.Flush()
+	}
+	if hold {
+		<-r.Context().Done()
+	}
+	// Returning severs the connection: a mid-stream disconnect from the
+	// client's point of view.
+}
+
+func (ss *streamScript) seenAfters() []uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return append([]uint64(nil), ss.afters...)
+}
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+}
+
+func collectN(t *testing.T, w *Watch, n int) []Event {
+	t.Helper()
+	out := make([]Event, 0, n)
+	deadline := time.After(10 * time.Second)
+	for len(out) < n {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				t.Fatalf("stream closed after %d events, want %d (err: %v)", len(out), n, w.Err())
+			}
+			out = append(out, ev)
+		case <-deadline:
+			t.Fatalf("timed out after %d events, want %d", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestWatchResumesAcrossDisconnects is the streaming acceptance test: the
+// server drops the connection twice mid-stream; the watch must redial with
+// ?after set to the last delivered sequence number and the consumer must see
+// every event exactly once, in order, heartbeats invisible.
+func TestWatchResumesAcrossDisconnects(t *testing.T) {
+	ss := newStreamScript(t, func(conn int) ([]Event, bool) {
+		switch conn {
+		case 0:
+			return []Event{{Seq: 1, Kind: "round", Link: "dimm0"}, {Seq: 2, Kind: "alert", Link: "dimm0"}, {Seq: 3, Kind: "gate", Link: "dimm0"}}, false
+		case 1:
+			// Overlap: the server's replay window may resend seq 3; the
+			// watch must deduplicate it.
+			return []Event{{Seq: 3, Kind: "gate", Link: "dimm0"}, {Seq: 4, Kind: "health", Link: "dimm0"}}, false
+		default:
+			return []Event{{Seq: 5, Kind: "round", Link: "dimm0"}}, true
+		}
+	})
+	c, err := New(ss.srv.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := c.Watch(ctx, "dimm0", WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectN(t, w, 5)
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d, want %d (dupes or gaps)", i, ev.Seq, i+1)
+		}
+	}
+	if w.LastSeq() != 5 {
+		t.Errorf("LastSeq = %d, want 5", w.LastSeq())
+	}
+	// Connect 0 starts fresh, connect 1 resumes past the first drop (seq 3
+	// delivered), connect 2 past the second (seq 4 delivered).
+	afters := ss.seenAfters()
+	want := []uint64{0, 3, 4}
+	if len(afters) != 3 || afters[0] != want[0] || afters[1] != want[1] || afters[2] != want[2] {
+		t.Errorf("server saw after=%v, want %v (resume from last seen seq)", afters, want)
+	}
+	// Cancellation closes the channel and reports the context error.
+	cancel()
+	for range w.Events() {
+	}
+	if !errors.Is(w.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", w.Err())
+	}
+}
+
+// TestWatchAfterOptionSkipsReplay: WatchOptions.After travels to the server
+// on the first connection and pre-seeds the dedupe floor.
+func TestWatchAfterOptionSkipsReplay(t *testing.T) {
+	ss := newStreamScript(t, func(conn int) ([]Event, bool) {
+		return []Event{{Seq: 7, Kind: "round", Link: "d"}, {Seq: 8, Kind: "alert", Link: "d"}}, true
+	})
+	c, err := New(ss.srv.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := c.Watch(ctx, "d", WatchOptions{After: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectN(t, w, 1)
+	if got[0].Seq != 8 {
+		t.Errorf("first delivered seq = %d, want 8 (7 is below the After floor)", got[0].Seq)
+	}
+	if afters := ss.seenAfters(); len(afters) != 1 || afters[0] != 7 {
+		t.Errorf("server saw after=%v, want [7]", afters)
+	}
+}
+
+// TestWatchUnknownLinkFailsFast: a 4xx on connect is the caller's mistake —
+// Watch returns the structured error synchronously, no retries.
+func TestWatchUnknownLinkFailsFast(t *testing.T) {
+	conns := 0
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		mu.Unlock()
+		attest.WriteError(w, attest.CodeUnknownLink, "unknown bus %q", "ghost")
+	}))
+	t.Cleanup(srv.Close)
+	c, err := New(srv.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Watch(context.Background(), "ghost", WatchOptions{})
+	var aerr *APIError
+	if !errors.As(err, &aerr) || aerr.Code != CodeUnknownLink {
+		t.Fatalf("Watch err = %v, want *APIError with %s", err, CodeUnknownLink)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if conns != 1 {
+		t.Errorf("server saw %d connects, want 1 (4xx is terminal)", conns)
+	}
+}
+
+// TestWatchConnectRetriesThrough5xx: a daemon mid-restart answers 503; the
+// initial connect retries through it under the policy.
+func TestWatchConnectRetriesThrough5xx(t *testing.T) {
+	conns := 0
+	var mu sync.Mutex
+	ss := newStreamScript(t, func(conn int) ([]Event, bool) {
+		return []Event{{Seq: 1, Kind: "round", Link: "d"}}, true
+	})
+	inner := ss.srv.Config.Handler
+	ss.srv.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n := conns
+		conns++
+		mu.Unlock()
+		if n < 2 {
+			attest.WriteError(w, attest.CodeUnavailable, "restarting")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	c, err := New(ss.srv.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := c.Watch(ctx, "d", WatchOptions{})
+	if err != nil {
+		t.Fatalf("Watch through 503 burst: %v", err)
+	}
+	if got := collectN(t, w, 1); got[0].Seq != 1 {
+		t.Errorf("delivered seq = %d, want 1", got[0].Seq)
+	}
+}
+
+// TestWatchGivesUpWhenReconnectExhausts: after a disconnect, a server that
+// stays down ends the watch with the transport error once the retry policy
+// is exhausted — the channel closes instead of spinning forever.
+func TestWatchGivesUpWhenReconnectExhausts(t *testing.T) {
+	down := false
+	var mu sync.Mutex
+	ss := newStreamScript(t, func(conn int) ([]Event, bool) {
+		return []Event{{Seq: 1, Kind: "round", Link: "d"}}, false
+	})
+	inner := ss.srv.Config.Handler
+	ss.srv.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		d := down
+		down = true // first connection streams, everything after is down
+		mu.Unlock()
+		if d {
+			attest.WriteError(w, attest.CodeUnavailable, "gone")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	c, err := New(ss.srv.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), "d", WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectN(t, w, 1); got[0].Seq != 1 {
+		t.Errorf("delivered seq = %d, want 1", got[0].Seq)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-w.Events():
+			if !ok {
+				var aerr *APIError
+				if !errors.As(w.Err(), &aerr) || aerr.Code != CodeUnavailable {
+					t.Fatalf("Err() = %v, want *APIError %s", w.Err(), CodeUnavailable)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("watch never gave up on a dead server")
+		}
+	}
+}
+
+// TestWatchCloseEndsFeed: Close tears the stream down without an external
+// context.
+func TestWatchCloseEndsFeed(t *testing.T) {
+	ss := newStreamScript(t, func(conn int) ([]Event, bool) {
+		return []Event{{Seq: 1, Kind: "round", Link: "d"}}, true
+	})
+	c, err := New(ss.srv.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), "d", WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectN(t, w, 1)
+	w.Close()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-w.Events():
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("Events() never closed after Close")
+		}
+	}
+}

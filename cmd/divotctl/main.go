@@ -1,0 +1,244 @@
+// Command divotctl is the operator's console for a divotd fleet, built
+// entirely on the public SDK (divot/client) — it exercises exactly the code
+// path an external integrator gets, nothing privileged.
+//
+//	divotctl [flags] health              fleet liveness; exit 1 unless fleet_ok
+//	divotctl [flags] links               per-bus monitoring snapshots
+//	divotctl [flags] alerts <bus>        one bus's retained event history
+//	divotctl [flags] attest [bus ...]    batch attestation (whole fleet bare);
+//	                                     exit 1 unless every bus is accepted
+//	divotctl [flags] watch <bus>         live event feed, resumes across drops
+//
+// Flags: -addr (or $DIVOTD_ADDR), -json, -timeout, -retries, and for watch
+// -after / -max. Exit codes: 0 success/accepted, 1 rejected or fleet not ok,
+// 2 usage, 3 transport or daemon failure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"divot/client"
+)
+
+const defaultAddr = "http://127.0.0.1:9720"
+
+// Exit codes. Scripts branch on these; keep them stable.
+const (
+	exitOK        = 0 // command succeeded; attested buses all accepted
+	exitRejected  = 1 // the daemon answered, and the answer is bad news
+	exitUsage     = 2 // the invocation itself was wrong
+	exitTransport = 3 // could not get an answer out of the daemon
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process globals, so tests drive it directly.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("divotctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", envOr("DIVOTD_ADDR", defaultAddr), "daemon base URL (or $DIVOTD_ADDR)")
+	jsonOut := fs.Bool("json", false, "emit raw JSON instead of text")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-attempt timeout")
+	retries := fs.Int("retries", 4, "max attempts per idempotent call")
+	after := fs.Uint64("after", 0, "watch: resume past this sequence number")
+	maxEvents := fs.Int("max", 0, "watch: exit 0 after this many events (0 = forever)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: divotctl [flags] {health|links|alerts <bus>|attest [bus ...]|watch <bus>}")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return exitUsage
+	}
+	policy := client.DefaultRetryPolicy()
+	policy.MaxAttempts = *retries
+	c, err := client.New(*addr,
+		client.WithTimeout(*timeout),
+		client.WithRetryPolicy(policy),
+		client.WithUserAgent("divotctl/1"))
+	if err != nil {
+		fmt.Fprintln(stderr, "divotctl:", err)
+		return exitUsage
+	}
+	switch cmd, rest := rest[0], rest[1:]; cmd {
+	case "health":
+		return cmdHealth(ctx, c, *jsonOut, stdout, stderr)
+	case "links":
+		return cmdLinks(ctx, c, *jsonOut, stdout, stderr)
+	case "alerts":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: divotctl alerts <bus>")
+			return exitUsage
+		}
+		return cmdAlerts(ctx, c, rest[0], *jsonOut, stdout, stderr)
+	case "attest":
+		return cmdAttest(ctx, c, rest, *jsonOut, stdout, stderr)
+	case "watch":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: divotctl watch <bus>")
+			return exitUsage
+		}
+		return cmdWatch(ctx, c, rest[0], *after, *maxEvents, *jsonOut, stdout, stderr)
+	default:
+		fs.Usage()
+		return exitUsage
+	}
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}
+
+// transportFail reports a failed call and picks the exit code: any error
+// getting an answer is exitTransport — rejections are verdicts, not errors,
+// and never come through here.
+func transportFail(stderr io.Writer, what string, err error) int {
+	fmt.Fprintf(stderr, "divotctl: %s: %v\n", what, err)
+	return exitTransport
+}
+
+// emitJSON renders v as indented JSON — the machine-readable twin of every
+// command's text output, and the form the golden tests pin.
+func emitJSON(stdout io.Writer, v any) {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // stdout gone means the pipe closed
+}
+
+func cmdHealth(ctx context.Context, c *client.Client, jsonOut bool, stdout, stderr io.Writer) int {
+	hv, err := c.Health(ctx)
+	if err != nil {
+		return transportFail(stderr, "health", err)
+	}
+	if jsonOut {
+		emitJSON(stdout, hv)
+	} else {
+		fmt.Fprintf(stdout, "status=%s fleet_ok=%v buses=%d uptime=%.0fs\n",
+			hv.Status, hv.FleetOK, hv.Buses, hv.UptimeS)
+	}
+	if !hv.FleetOK {
+		return exitRejected
+	}
+	return exitOK
+}
+
+func cmdLinks(ctx context.Context, c *client.Client, jsonOut bool, stdout, stderr io.Writer) int {
+	links, err := c.Links(ctx)
+	if err != nil {
+		return transportFail(stderr, "links", err)
+	}
+	if jsonOut {
+		emitJSON(stdout, links)
+		return exitOK
+	}
+	for _, l := range links {
+		fmt.Fprintf(stdout, "%-12s health=%-9s rounds=%-6d alerts=%-4d cpu_gate=%v module_gate=%v\n",
+			l.ID, l.Health, l.Rounds, l.Alerts, l.CPUGate, l.ModuleGate)
+	}
+	return exitOK
+}
+
+func cmdAlerts(ctx context.Context, c *client.Client, id string, jsonOut bool, stdout, stderr io.Writer) int {
+	events, err := c.Alerts(ctx, id)
+	if err != nil {
+		return transportFail(stderr, "alerts "+id, err)
+	}
+	if jsonOut {
+		emitJSON(stdout, events)
+		return exitOK
+	}
+	for _, ev := range events {
+		fmt.Fprintln(stdout, eventLine(ev))
+	}
+	return exitOK
+}
+
+func cmdAttest(ctx context.Context, c *client.Client, ids []string, jsonOut bool, stdout, stderr io.Writer) int {
+	res, err := c.Attest(ctx, ids...)
+	if err != nil {
+		return transportFail(stderr, "attest", err)
+	}
+	if jsonOut {
+		emitJSON(stdout, res)
+	} else {
+		for _, rep := range res.Results {
+			verdict := "ACCEPTED"
+			if !rep.Accepted {
+				verdict = "REJECTED"
+			}
+			fmt.Fprintf(stdout, "%-12s %-8s score=%.4f health=%s", rep.ID, verdict, rep.Score, rep.Health)
+			if rep.Tampered {
+				fmt.Fprintf(stdout, " tamper_at=%.3f", rep.TamperPosition)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	if !res.AllAccepted {
+		return exitRejected
+	}
+	return exitOK
+}
+
+func cmdWatch(ctx context.Context, c *client.Client, id string, after uint64, maxEvents int, jsonOut bool, stdout, stderr io.Writer) int {
+	w, err := c.Watch(ctx, id, client.WatchOptions{After: after})
+	if err != nil {
+		return transportFail(stderr, "watch "+id, err)
+	}
+	defer w.Close()
+	seen := 0
+	for ev := range w.Events() {
+		if jsonOut {
+			emitJSON(stdout, ev)
+		} else {
+			fmt.Fprintln(stdout, eventLine(ev))
+		}
+		seen++
+		if maxEvents > 0 && seen >= maxEvents {
+			return exitOK
+		}
+	}
+	// The feed ended on its own: a cancelled context (ctrl-C) is a normal
+	// exit, anything else means the daemon became unreachable.
+	if err := w.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		return transportFail(stderr, "watch "+id, err)
+	}
+	return exitOK
+}
+
+// eventLine renders one event for humans; the JSON twin is the Event DTO.
+func eventLine(ev client.Event) string {
+	out := fmt.Sprintf("[%d] %-7s %s", ev.Seq, ev.Kind, ev.Link)
+	if ev.Side != "" {
+		out += " side=" + ev.Side
+	}
+	if ev.Round > 0 {
+		out += fmt.Sprintf(" round=%d", ev.Round)
+	}
+	if ev.From != "" || ev.To != "" {
+		out += fmt.Sprintf(" %s->%s", ev.From, ev.To)
+	}
+	if ev.Detail != "" {
+		out += " " + ev.Detail
+	}
+	return out
+}

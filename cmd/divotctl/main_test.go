@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"divot/internal/attest"
+)
+
+// stubDaemon serves a fixed fleet: clean0 accepted, victim interposed and
+// rejected. Fixed numbers keep the --json output byte-stable for the golden
+// comparison.
+func stubDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	attestResp := attest.AttestResponse{
+		Results: []attest.AuthReport{
+			{ID: "clean0", Accepted: true, Score: 0.9987, Health: "ok"},
+			{ID: "victim", Accepted: false, Score: 0.41, Tampered: true, TamperPosition: 0.35, Health: "failed"},
+		},
+		AllAccepted: false,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/attest", func(w http.ResponseWriter, r *http.Request) {
+		attest.WriteData(w, http.StatusOK, attestResp)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		attest.WriteData(w, http.StatusOK, attest.HealthView{Status: "ok", Buses: 2, FleetOK: false, UptimeS: 12})
+	})
+	mux.HandleFunc("GET /v1/links", func(w http.ResponseWriter, r *http.Request) {
+		attest.WriteData(w, http.StatusOK, attest.LinksResponse{Links: []attest.LinkSummary{
+			{ID: "clean0", Rounds: 40, Health: "ok", Reaction: "alert_and_block", CPUGate: true, ModuleGate: true, CPUScore: 0.9987},
+			{ID: "victim", Rounds: 40, Health: "failed", Reaction: "alert_and_block", Alerts: 12, CPUScore: 0.41},
+		}})
+	})
+	mux.HandleFunc("GET /v1/links/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != "victim" {
+			attest.WriteError(w, attest.CodeUnknownLink, "unknown bus")
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(": hb\n\n" + //nolint:errcheck
+			"id: 5\nevent: alert\ndata: {\"seq\":5,\"kind\":\"alert\",\"link\":\"victim\",\"side\":\"cpu\",\"round\":3,\"score\":0.41}\n\n" +
+			"id: 6\nevent: gate\ndata: {\"seq\":6,\"kind\":\"gate\",\"link\":\"victim\",\"side\":\"cpu\",\"round\":3,\"from\":\"open\",\"to\":\"closed\"}\n\n"))
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func runCtl(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestAttestJSONGolden pins the machine-readable attest output byte-for-byte
+// — the contract scripts parse — and the rejected-fleet exit code.
+func TestAttestJSONGolden(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, errOut := runCtl(t, "-addr", srv.URL, "-json", "attest")
+	if code != exitRejected {
+		t.Errorf("exit = %d, want %d (victim rejected); stderr: %s", code, exitRejected, errOut)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "attest_json.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Errorf("--json attest output drifted from golden.\ngot:\n%s\nwant:\n%s", out, golden)
+	}
+}
+
+func TestAttestTextVerdicts(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, _ := runCtl(t, "-addr", srv.URL, "attest", "clean0", "victim")
+	if code != exitRejected {
+		t.Errorf("exit = %d, want %d", code, exitRejected)
+	}
+	if !strings.Contains(out, "clean0") || !strings.Contains(out, "ACCEPTED") {
+		t.Errorf("text output missing accepted verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "victim") || !strings.Contains(out, "REJECTED") ||
+		!strings.Contains(out, "tamper_at=0.350") {
+		t.Errorf("text output missing rejected verdict with tamper position:\n%s", out)
+	}
+}
+
+func TestHealthExitCodes(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, _ := runCtl(t, "-addr", srv.URL, "health")
+	if code != exitRejected {
+		t.Errorf("fleet_ok=false health exit = %d, want %d", code, exitRejected)
+	}
+	if !strings.Contains(out, "fleet_ok=false") {
+		t.Errorf("health output: %s", out)
+	}
+}
+
+func TestLinksText(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, _ := runCtl(t, "-addr", srv.URL, "links")
+	if code != exitOK {
+		t.Errorf("links exit = %d", code)
+	}
+	if !strings.Contains(out, "victim") || !strings.Contains(out, "health=failed") {
+		t.Errorf("links output: %s", out)
+	}
+}
+
+// TestWatchMaxEvents streams two events from the stub and stops at -max 2
+// with exit 0 — the smoke script's interposer capture path.
+func TestWatchMaxEvents(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, errOut := runCtl(t, "-addr", srv.URL, "-max", "2", "watch", "victim")
+	if code != exitOK {
+		t.Fatalf("watch exit = %d, stderr: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("watch printed %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "[5] alert") || !strings.Contains(lines[1], "open->closed") {
+		t.Errorf("watch lines:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	srv := stubDaemon(t)
+	for _, args := range [][]string{
+		{},
+		{"-addr", srv.URL, "frobnicate"},
+		{"-addr", srv.URL, "alerts"},
+		{"-addr", srv.URL, "watch"},
+		{"-addr", "ftp://nope", "health"},
+	} {
+		if code, _, _ := runCtl(t, args...); code != exitUsage {
+			t.Errorf("args %v exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+// TestTransportErrorExitCode: an unreachable daemon is exit 3, distinct from
+// a rejection.
+func TestTransportErrorExitCode(t *testing.T) {
+	code, _, errOut := runCtl(t, "-addr", "http://127.0.0.1:1", "-retries", "1", "-timeout", "1s", "health")
+	if code != exitTransport {
+		t.Errorf("unreachable daemon exit = %d, want %d; stderr: %s", code, exitTransport, errOut)
+	}
+	if errOut == "" {
+		t.Error("transport failure printed nothing to stderr")
+	}
+}
+
+func TestUnknownBusIsTransportFailure(t *testing.T) {
+	srv := stubDaemon(t)
+	code, _, errOut := runCtl(t, "-addr", srv.URL, "watch", "ghost")
+	if code != exitTransport {
+		t.Errorf("unknown bus exit = %d, want %d", code, exitTransport)
+	}
+	if !strings.Contains(errOut, attest.CodeUnknownLink) {
+		t.Errorf("stderr does not surface the error code: %s", errOut)
+	}
+}

@@ -20,13 +20,24 @@ import (
 	"time"
 
 	"divot"
+	"divot/internal/attest"
 	"divot/internal/rng"
 	"divot/internal/telemetry"
 )
 
 // alertRingCap bounds each bus's in-memory alert history; older entries fall
-// off (the audit log keeps everything).
+// off (the audit log keeps everything). It is also the stream resume window:
+// a subscriber reconnecting with ?after= older than the ring tail continues
+// from the oldest retained event.
 const alertRingCap = 128
+
+// streamQueueCap bounds each event-stream subscriber's queue; a subscriber
+// that cannot keep up loses events (counted on the bus) rather than stalling
+// the fleet.
+const streamQueueCap = 256
+
+// defaultHeartbeat is the idle keep-alive period of the event stream.
+const defaultHeartbeat = 5 * time.Second
 
 // Daemon is the running fleet.
 type Daemon struct {
@@ -43,6 +54,13 @@ type Daemon struct {
 
 	roundDur *telemetry.HistogramVec
 	overruns *telemetry.CounterVec
+
+	// heartbeat paces the event stream's idle keep-alives (tests shorten it).
+	heartbeat time.Duration
+	// stop is closed when the daemon begins shutting down; open event
+	// streams terminate on it so graceful shutdown is not held hostage by
+	// long-lived subscribers.
+	stop chan struct{}
 
 	started time.Time
 	// listener is set once Run has bound the API socket; Addr exposes it so
@@ -68,52 +86,47 @@ type linkState struct {
 
 	rounds atomic.Uint64
 
+	// events fans the bus's feed out to stream subscribers over bounded
+	// queues; its sequence counter is the per-link seq the resume protocol
+	// keys on. alerts is the retained history (the resume window), stored
+	// in wire form with the same sequence numbers. alertsMu covers both, so
+	// ring content and published seqs advance in lockstep.
+	events   *telemetry.Bus
 	alertsMu sync.Mutex
-	alerts   []alertEntry
+	alerts   []attest.Event
 }
 
-// alertEntry is one bus-affecting event retained for /v1/links/{id}/alerts.
-type alertEntry struct {
-	Seq    uint64  `json:"seq"`
-	Kind   string  `json:"kind"`
-	Side   string  `json:"side,omitempty"`
-	Round  uint64  `json:"round"`
-	Score  float64 `json:"score,omitempty"`
-	From   string  `json:"from,omitempty"`
-	To     string  `json:"to,omitempty"`
-	Detail string  `json:"detail,omitempty"`
-}
-
-// record appends to the bounded alert ring.
+// record stamps the per-link sequence number, offers the event to stream
+// subscribers, and appends it to the bounded retention ring.
 func (ls *linkState) record(ev telemetry.Event) {
 	ls.alertsMu.Lock()
 	defer ls.alertsMu.Unlock()
-	ls.alerts = append(ls.alerts, alertEntry{
-		Seq: ev.Seq, Kind: ev.Kind.String(), Side: ev.Side, Round: ev.Round,
-		Score: ev.Score, From: ev.From, To: ev.To, Detail: ev.Detail,
-	})
+	wire := attest.EventFromTelemetry(ev)
+	wire.Seq = ls.events.Publish(ev)
+	ls.alerts = append(ls.alerts, wire)
 	if len(ls.alerts) > alertRingCap {
 		ls.alerts = ls.alerts[len(ls.alerts)-alertRingCap:]
 	}
 }
 
 // snapshotAlerts copies the ring, newest last.
-func (ls *linkState) snapshotAlerts() []alertEntry {
+func (ls *linkState) snapshotAlerts() []attest.Event {
 	ls.alertsMu.Lock()
 	defer ls.alertsMu.Unlock()
-	out := make([]alertEntry, len(ls.alerts))
+	out := make([]attest.Event, len(ls.alerts))
 	copy(out, ls.alerts)
 	return out
 }
 
-// alertSink routes attention-worthy events into the owning bus's ring.
+// alertSink routes attention-worthy events into the owning bus's ring and
+// stream feed.
 type alertSink struct{ d *Daemon }
 
 // Emit implements telemetry.Sink.
 func (s alertSink) Emit(ev telemetry.Event) {
 	switch ev.Kind {
 	case telemetry.EventAlert, telemetry.EventGate, telemetry.EventHealth,
-		telemetry.EventReactor, telemetry.EventMonitorError:
+		telemetry.EventReactor, telemetry.EventMonitorError, telemetry.EventAttack:
 	default:
 		return
 	}
@@ -131,10 +144,12 @@ func NewDaemon(spec Spec) (*Daemon, error) {
 	sys := divot.NewSystem(spec.Seed, cfg)
 
 	d := &Daemon{
-		spec: spec,
-		sys:  sys,
-		reg:  divot.NewMetricsRegistry(),
-		byID: make(map[string]*linkState, len(spec.Buses)),
+		spec:      spec,
+		sys:       sys,
+		reg:       divot.NewMetricsRegistry(),
+		byID:      make(map[string]*linkState, len(spec.Buses)),
+		heartbeat: defaultHeartbeat,
+		stop:      make(chan struct{}),
 	}
 	sinks := []divot.TelemetrySink{divot.NewMetricsSink(d.reg), alertSink{d}}
 	if spec.AuditLog != "" {
@@ -174,6 +189,7 @@ func NewDaemon(spec Spec) (*Daemon, error) {
 			interval: time.Duration(spec.interval(b)) * time.Millisecond,
 			jitter:   sys.Stream("sched-" + b.ID),
 			attack:   buildAttack(sys, b.ID, b.Attack),
+			events:   divot.NewTelemetryBus(),
 		}
 		if b.Attack != nil {
 			ls.attackAfter = b.Attack.AfterRounds
@@ -291,10 +307,12 @@ func (d *Daemon) Run(ctx context.Context, logw io.Writer) error {
 		}
 	}
 
-	// Graceful shutdown: stop scheduling, let in-flight rounds finish, then
-	// close the server and flush the audit trail.
+	// Graceful shutdown: stop scheduling, let in-flight rounds finish, tell
+	// open event streams to finish (or Shutdown would wait on them forever),
+	// then close the server and flush the audit trail.
 	stopSched()
 	wg.Wait()
+	close(d.stop)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && runErr == nil {

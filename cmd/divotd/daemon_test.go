@@ -11,7 +11,17 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"divot/internal/attest"
 )
+
+// getData fetches a URL and unwraps the v1 envelope into out.
+func getData(t *testing.T, url string, out any) {
+	t.Helper()
+	if err := attest.ParseBody(get(t, url), out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
 
 // writeSpec drops a spec file into a temp dir.
 func writeSpec(t *testing.T, body string) string {
@@ -84,13 +94,13 @@ func TestDaemonEndToEnd(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	var views []linkView
+	var views []attest.LinkSummary
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if err := json.Unmarshal(get(t, base+"/v1/links"), &views); err != nil {
-			t.Fatal(err)
-		}
-		byID := make(map[string]linkView)
+		var lr attest.LinksResponse
+		getData(t, base+"/v1/links", &lr)
+		views = lr.Links
+		byID := make(map[string]attest.LinkSummary)
 		for _, v := range views {
 			byID[v.ID] = v
 		}
@@ -117,10 +127,9 @@ func TestDaemonEndToEnd(t *testing.T) {
 
 	// The attacked bus's alert ring must show the alert and the health
 	// transition.
-	var alerts []alertEntry
-	if err := json.Unmarshal(get(t, base+"/v1/links/dimm1/alerts"), &alerts); err != nil {
-		t.Fatal(err)
-	}
+	var er attest.EventsResponse
+	getData(t, base+"/v1/links/dimm1/alerts", &er)
+	alerts := er.Events
 	var sawAlert, sawHealth, sawGate bool
 	for _, a := range alerts {
 		switch a.Kind {
@@ -141,19 +150,33 @@ func TestDaemonEndToEnd(t *testing.T) {
 			sawAlert, sawHealth, sawGate, alerts)
 	}
 
-	// Metrics must show the alert counter for dimm1 and round counters for
-	// every bus.
-	metrics := string(get(t, base+"/metrics"))
-	for _, want := range []string{
+	// Metrics must show the alert counter for dimm1, round counters for
+	// every bus, and the closed gate. Polled: the gauges converge a round or
+	// two after the view does, so a single scrape can race a transient.
+	wantMetrics := []string{
 		`divot_alerts_total{link="dimm1"`,
 		`divot_rounds_total{link="dimm0"`,
 		`divot_rounds_total{link="dimm2"`,
 		`divot_gate_open{link="dimm1",side="cpu"} 0`,
 		`divot_round_duration_seconds_bucket{link="dimm1"`,
-	} {
-		if !strings.Contains(metrics, want) {
-			t.Errorf("metrics missing %q", want)
+	}
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		metrics := string(get(t, base+"/metrics"))
+		missing := ""
+		for _, want := range wantMetrics {
+			if !strings.Contains(metrics, want) {
+				missing = want
+				break
+			}
 		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("metrics never showed %q", missing)
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 
 	// On-demand authentication against the attacked bus must reject.
@@ -161,25 +184,32 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var auth struct {
-		Accepted bool `json:"accepted"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&auth); err != nil {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	var auth attest.AuthReport
+	if err := attest.ParseBody(body, &auth); err != nil {
+		t.Fatal(err)
+	}
 	if auth.Accepted {
 		t.Error("interposed bus passed on-demand authentication")
 	}
 
-	// Unknown bus → 404.
+	// Unknown bus → 404 with the documented error code in the envelope.
 	r404, err := http.Get(base + "/v1/links/nope/alerts")
 	if err != nil {
 		t.Fatal(err)
 	}
+	body404, _ := io.ReadAll(r404.Body)
 	r404.Body.Close()
 	if r404.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown bus status = %d, want 404", r404.StatusCode)
+	}
+	if perr := attest.ParseBody(body404, nil); perr == nil ||
+		!strings.Contains(perr.Error(), attest.CodeUnknownLink) {
+		t.Errorf("unknown bus error = %v, want %s envelope", perr, attest.CodeUnknownLink)
 	}
 
 	// Graceful shutdown: cancel (the SIGTERM path) and wait for Run.

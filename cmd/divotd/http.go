@@ -1,31 +1,19 @@
 package main
 
 import (
-	"encoding/json"
 	"net/http"
 	"time"
 
 	"divot"
+	"divot/internal/attest"
 )
 
-// linkView is the /v1/links representation of one bus.
-type linkView struct {
-	ID         string  `json:"id"`
-	Rounds     uint64  `json:"rounds"`
-	Health     string  `json:"health"`
-	Reaction   string  `json:"reaction"`
-	CPUGate    bool    `json:"cpu_gate_open"`
-	ModuleGate bool    `json:"module_gate_open"`
-	CPUScore   float64 `json:"cpu_score"`
-	Alerts     int     `json:"alerts"`
-}
-
 // view snapshots a bus under its lock.
-func (d *Daemon) view(ls *linkState) linkView {
+func (d *Daemon) view(ls *linkState) attest.LinkSummary {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	h := ls.link.Health()
-	return linkView{
+	return attest.LinkSummary{
 		ID:         ls.id,
 		Rounds:     ls.link.Rounds(),
 		Health:     h.State().String(),
@@ -39,23 +27,19 @@ func (d *Daemon) view(ls *linkState) linkView {
 
 // Handler returns the daemon's HTTP API. It is exposed (rather than buried in
 // Run) so tests can drive the API through httptest without binding a socket.
+// Every JSON response travels in the attest v1 envelope; the wire schema
+// lives in internal/attest, shared with the divot/client SDK.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /v1/health", d.handleFleetHealth)
 	mux.HandleFunc("GET /v1/links", d.handleLinks)
 	mux.HandleFunc("GET /v1/links/{id}/alerts", d.handleAlerts)
+	mux.HandleFunc("GET /v1/links/{id}/events", d.handleEvents)
 	mux.HandleFunc("POST /v1/links/{id}/authenticate", d.handleAuthenticate)
+	mux.HandleFunc("POST /v1/attest", d.handleAttest)
 	return mux
-}
-
-// writeJSON renders one response body.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone mid-response
 }
 
 // lookup resolves the {id} path segment, answering 404 itself on a miss.
@@ -63,7 +47,7 @@ func (d *Daemon) lookup(w http.ResponseWriter, r *http.Request) (*linkState, boo
 	id := r.PathValue("id")
 	ls, ok := d.byID[id]
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown bus " + id})
+		attest.WriteError(w, attest.CodeUnknownLink, "unknown bus %q", id)
 	}
 	return ls, ok
 }
@@ -79,11 +63,11 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			fleetOK = false
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"buses":    len(d.links),
-		"fleet_ok": fleetOK,
-		"uptime_s": time.Since(d.started).Seconds(),
+	attest.WriteData(w, http.StatusOK, attest.HealthView{
+		Status:  "ok",
+		Buses:   len(d.links),
+		FleetOK: fleetOK,
+		UptimeS: time.Since(d.started).Seconds(),
 	})
 }
 
@@ -92,12 +76,27 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	d.reg.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
 }
 
+// handleFleetHealth serves the full per-endpoint condition of every
+// calibrated bus. System.HealthAll guarantees a non-nil slice, so an
+// all-uncalibrated fleet encodes "links": [] (regression-tested — it used to
+// render null).
+func (d *Daemon) handleFleetHealth(w http.ResponseWriter, _ *http.Request) {
+	for _, ls := range d.links {
+		ls.mu.Lock() // snapshot between rounds, not mid-round
+	}
+	views := attest.LinkHealthViews(d.sys.HealthAll())
+	for _, ls := range d.links {
+		ls.mu.Unlock()
+	}
+	attest.WriteData(w, http.StatusOK, attest.FleetHealthResponse{Links: views})
+}
+
 func (d *Daemon) handleLinks(w http.ResponseWriter, _ *http.Request) {
-	views := make([]linkView, 0, len(d.links))
+	views := make([]attest.LinkSummary, 0, len(d.links))
 	for _, ls := range d.sortedLinks() {
 		views = append(views, d.view(ls))
 	}
-	writeJSON(w, http.StatusOK, views)
+	attest.WriteData(w, http.StatusOK, attest.LinksResponse{Links: views})
 }
 
 func (d *Daemon) handleAlerts(w http.ResponseWriter, r *http.Request) {
@@ -105,7 +104,8 @@ func (d *Daemon) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, ls.snapshotAlerts())
+	events := ls.snapshotAlerts()
+	attest.WriteData(w, http.StatusOK, attest.EventsResponse{Link: ls.id, Events: events})
 }
 
 func (d *Daemon) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
@@ -113,16 +113,22 @@ func (d *Daemon) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	// Serialize with the scheduler: the engine is not safe for concurrent
-	// rounds on one link.
+	attest.WriteData(w, http.StatusOK, d.attestOne(ls))
+}
+
+// attestOne runs one read-only spot check on a bus, serialized with the
+// scheduler (the engine is not safe for concurrent rounds on one link).
+func (d *Daemon) attestOne(ls *linkState) attest.AuthReport {
 	ls.mu.Lock()
 	res := ls.link.Authenticate()
+	health := ls.link.Health().State().String()
 	ls.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"id":              ls.id,
-		"accepted":        res.Accepted,
-		"score":           res.Score,
-		"tampered":        res.Tampered,
-		"tamper_position": res.TamperPosition,
-	})
+	return attest.AuthReport{
+		ID:             ls.id,
+		Accepted:       res.Accepted,
+		Score:          res.Score,
+		Tampered:       res.Tampered,
+		TamperPosition: res.TamperPosition,
+		Health:         health,
+	}
 }

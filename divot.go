@@ -31,6 +31,7 @@
 package divot
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -115,6 +116,12 @@ func (s *System) NewLink(id string) (*Link, error) {
 }
 
 // MustNewLink is NewLink for static setups; it panics on error.
+//
+// Prefer NewLink with an explicit error return in anything beyond a fixed
+// test fixture: the only failure modes (duplicate id, invalid configuration)
+// are exactly the ones long-running services want to surface as errors
+// rather than crashes. MustNewLink is soft-deprecated — it stays for
+// compact examples but gains no new call sites in this repository.
 func (s *System) MustNewLink(id string) *Link {
 	l, err := s.NewLink(id)
 	if err != nil {
@@ -159,6 +166,24 @@ func (s *System) MultiLink(id string) (*MultiLink, bool) {
 // traffic).
 func (s *System) Stream(label string) *rng.Stream { return s.stream.Child(label) }
 
+// SkipReason says why MonitorAll ran no round on a bus. It is a string-typed
+// enum so the JSON form stays the familiar human-readable string while Go
+// code can switch on the constants below.
+type SkipReason string
+
+const (
+	// SkipNone: the bus was not skipped.
+	SkipNone SkipReason = ""
+	// SkipNotCalibrated: the bus has no enrollment to monitor against.
+	SkipNotCalibrated SkipReason = "not calibrated"
+	// SkipCancelled: the MonitorAllCtx context was done before this bus's
+	// round started.
+	SkipCancelled SkipReason = "cancelled"
+)
+
+// String returns the reason's wire form.
+func (r SkipReason) String() string { return string(r) }
+
 // LinkAlerts pairs a bus id with the alerts one monitoring round raised on
 // it (empty when the bus stayed clean). A bus the round could not monitor is
 // returned with Skipped set and the Reason stated instead of being silently
@@ -167,9 +192,9 @@ type LinkAlerts struct {
 	ID     string
 	Alerts []core.Alert
 	// Skipped reports that no monitoring round ran on this bus; Reason says
-	// why (e.g. "not calibrated").
+	// why.
 	Skipped bool
-	Reason  string
+	Reason  SkipReason
 }
 
 // MonitorAll runs one monitoring round on every bus of the system — single
@@ -182,6 +207,15 @@ type LinkAlerts struct {
 // Protocol errors (lost enrollment) are joined into the returned error, with
 // the healthy buses' rounds unaffected.
 func (s *System) MonitorAll() ([]LinkAlerts, error) {
+	return s.MonitorAllCtx(context.Background())
+}
+
+// MonitorAllCtx is MonitorAll with cooperative cancellation: once ctx is
+// done, buses whose round has not started are reported as Skipped with
+// SkipCancelled (in-flight rounds complete — an interrupted round would
+// desynchronize an endpoint's robustness state), and ctx's error is joined
+// into the returned error.
+func (s *System) MonitorAllCtx(ctx context.Context) ([]LinkAlerts, error) {
 	singleIDs := make([]string, 0, len(s.links))
 	for id := range s.links {
 		if s.links[id].Calibrated() {
@@ -193,16 +227,20 @@ func (s *System) MonitorAll() ([]LinkAlerts, error) {
 	for i, id := range singleIDs {
 		links[i] = s.links[id].Link
 	}
-	alerts, err := core.MonitorAll(links, s.cfg.Engine.Parallelism)
+	alerts, ran, err := core.MonitorAllCtx(ctx, links, s.cfg.Engine.Parallelism)
 	errs := []error{err}
 
 	byID := make(map[string]LinkAlerts, len(s.links)+len(s.multis))
 	for i, id := range singleIDs {
+		if !ran[i] {
+			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: SkipCancelled}
+			continue
+		}
 		byID[id] = LinkAlerts{ID: id, Alerts: alerts[i]}
 	}
 	for id, l := range s.links {
 		if !l.Calibrated() {
-			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: "not calibrated"}
+			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: SkipNotCalibrated}
 		}
 	}
 	// Multi-wire buses run in sorted id order so the telemetry stream is the
@@ -215,7 +253,11 @@ func (s *System) MonitorAll() ([]LinkAlerts, error) {
 	for _, id := range multiIDs {
 		m := s.multis[id]
 		if !m.Calibrated() {
-			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: "not calibrated"}
+			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: SkipNotCalibrated}
+			continue
+		}
+		if ctx.Err() != nil {
+			byID[id] = LinkAlerts{ID: id, Skipped: true, Reason: SkipCancelled}
 			continue
 		}
 		a, err := m.MonitorOnce()
@@ -237,8 +279,10 @@ func (s *System) MonitorAll() ([]LinkAlerts, error) {
 
 // HealthAll snapshots every calibrated bus's condition, sorted by id. A
 // multi-wire bus contributes one entry per wire under its "id/wN" wire ids.
+// The result is never nil — a fleet with nothing calibrated yields an empty
+// slice, so JSON consumers see [] rather than null.
 func (s *System) HealthAll() []core.LinkHealth {
-	var out []core.LinkHealth
+	out := make([]core.LinkHealth, 0, len(s.links)+len(s.multis))
 	for _, l := range s.links {
 		if l.Calibrated() {
 			out = append(out, l.Health())

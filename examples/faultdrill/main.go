@@ -17,7 +17,10 @@ import (
 
 func main() {
 	sys := divot.NewSystem(7, divot.DefaultConfig())
-	bus := sys.MustNewLink("dimm0")
+	bus, err := sys.NewLink("dimm0")
+	if err != nil {
+		log.Fatal(err)
+	}
 	reactor, err := divot.NewReactor(divot.DefaultReactionPolicy())
 	if err != nil {
 		log.Fatal(err)

@@ -31,7 +31,11 @@ func main() {
 
 	fmt.Println("== fleet of three protected buses ==")
 	for _, id := range []string{"dimm0", "dimm1", "dimm2"} {
-		if err := sys.MustNewLink(id).Calibrate(); err != nil {
+		l, err := sys.NewLink(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := l.Calibrate(); err != nil {
 			log.Fatal(err)
 		}
 	}

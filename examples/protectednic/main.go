@@ -15,7 +15,10 @@ import (
 
 func main() {
 	sys := divot.NewSystem(55, divot.DefaultConfig())
-	cable := sys.MustNewLink("nic-cable")
+	cable, err := sys.NewLink("nic-cable")
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := cable.Calibrate(); err != nil {
 		log.Fatal(err)
 	}

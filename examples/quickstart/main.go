@@ -17,7 +17,10 @@ func main() {
 
 	// Manufacture a protected bus. Its impedance inhomogeneity pattern
 	// (IIP) is drawn at construction — the physical unclonable function.
-	bus := sys.MustNewLink("memory-bus")
+	bus, err := sys.NewLink("memory-bus")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Calibration (§III): both endpoints measure the bus several times,
 	// average, and store the fingerprint. The authentication gates open.

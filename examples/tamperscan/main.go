@@ -14,7 +14,10 @@ import (
 
 func main() {
 	sys := divot.NewSystem(11, divot.DefaultConfig())
-	bus := sys.MustNewLink("io-bus")
+	bus, err := sys.NewLink("io-bus")
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := bus.Calibrate(); err != nil {
 		log.Fatal(err)
 	}

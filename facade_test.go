@@ -1,6 +1,9 @@
 package divot
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"math"
 	"testing"
 
@@ -297,5 +300,104 @@ func TestSystemRegistryAndSkips(t *testing.T) {
 		if h.State() != HealthOK {
 			t.Errorf("%s: state %v", h.ID, h.State())
 		}
+	}
+}
+
+// TestHealthAllEmptyFleetEncodesEmptyJSONList pins the regression where a
+// fleet with nothing calibrated returned a nil slice that JSON-encoded as
+// null instead of [].
+func TestHealthAllEmptyFleetEncodesEmptyJSONList(t *testing.T) {
+	sys := NewSystem(3, DefaultConfig())
+	if _, err := sys.NewLink("raw"); err != nil { // registered, never calibrated
+		t.Fatal(err)
+	}
+	hs := sys.HealthAll()
+	if hs == nil {
+		t.Fatal("HealthAll returned a nil slice for an uncalibrated fleet")
+	}
+	if len(hs) != 0 {
+		t.Fatalf("HealthAll = %+v, want empty", hs)
+	}
+	raw, err := json.Marshal(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "[]" {
+		t.Errorf("HealthAll JSON = %s, want []", raw)
+	}
+}
+
+// TestMonitorAllCtxCancellation checks the context-aware facade round: a
+// cancelled context skips every pending bus with SkipCancelled and joins
+// context.Canceled into the error, while a live context behaves exactly like
+// MonitorAll.
+func TestMonitorAllCtxCancellation(t *testing.T) {
+	sys := NewSystem(51, DefaultConfig())
+	for _, id := range []string{"m0", "m1"} {
+		l, err := sys.NewLink(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any round starts
+	rounds, err := sys.MonitorAllCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled joined in", err)
+	}
+	if len(rounds) != 2 {
+		t.Fatalf("rounds = %+v", rounds)
+	}
+	for _, la := range rounds {
+		if !la.Skipped || la.Reason != SkipCancelled {
+			t.Errorf("%s: skipped=%v reason=%q, want cancelled skip", la.ID, la.Skipped, la.Reason)
+		}
+	}
+	if rounds[0].Reason.String() != "cancelled" {
+		t.Errorf("SkipCancelled wire form = %q", rounds[0].Reason.String())
+	}
+
+	// A live context runs every bus, like MonitorAll.
+	rounds, err = sys.MonitorAllCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, la := range rounds {
+		if la.Skipped {
+			t.Errorf("%s unexpectedly skipped: %q", la.ID, la.Reason)
+		}
+	}
+}
+
+// TestMonitorNCtxStopsBetweenRounds checks the context-aware multi-round
+// monitor: cancellation between rounds returns the context error without
+// running further rounds.
+func TestMonitorNCtxStopsBetweenRounds(t *testing.T) {
+	sys := NewSystem(52, DefaultConfig())
+	l, err := sys.NewLink("bus0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := l.Rounds()
+	if _, err := l.MonitorNCtx(ctx, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if l.Rounds() != before {
+		t.Errorf("cancelled MonitorNCtx still ran %d rounds", l.Rounds()-before)
+	}
+	if _, err := l.MonitorNCtx(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if l.Rounds() != before+2 {
+		t.Errorf("rounds = %d, want %d", l.Rounds(), before+2)
 	}
 }

@@ -1,0 +1,187 @@
+// Package attest is the wire schema of the remote attestation API — the one
+// definition of the v1 JSON protocol spoken between the divotd daemon and
+// remote verifiers (the divot/client SDK, divotctl, curl).
+//
+// Every JSON response is wrapped in a versioned envelope:
+//
+//	{"v": 1, "data": {...}}                              success
+//	{"v": 1, "error": {"code": "...", "message": "..."}} failure
+//
+// Error codes map 1:1 to HTTP status codes (StatusFor); clients should
+// branch on the code, not the transport status. The DTO structs below are
+// the payloads under "data". They are deliberately flat, value-typed, and
+// made only of basic types so daemon and client cannot drift apart — the
+// daemon converts engine types into them at the boundary (EventFromTelemetry,
+// LinkHealthViews) and the client re-exports them by alias.
+//
+// Streaming: GET /v1/links/{id}/events is server-sent events. Each frame is
+//
+//	id: <seq>
+//	event: <kind>
+//	data: <Event JSON>
+//
+// with ": hb" comment lines as heartbeats. Sequence numbers are per-link,
+// start at 1, and are strictly monotonic for the daemon's lifetime; a client
+// resumes after a disconnect with ?after=<last seen seq>. Events older than
+// the daemon's per-link retention ring cannot be replayed — a resume after a
+// long gap continues from the oldest retained event.
+package attest
+
+import (
+	"divot/internal/core"
+	"divot/internal/telemetry"
+)
+
+// Version is the wire protocol version carried in every envelope.
+const Version = 1
+
+// HealthView is the fleet liveness summary served at GET /healthz.
+type HealthView struct {
+	// Status is "ok" while the daemon serves.
+	Status string `json:"status"`
+	// Buses is the fleet size.
+	Buses int `json:"buses"`
+	// FleetOK is true while every bus still authenticates ("degraded" —
+	// benign dead-bin masking — still passes; only "failed" does not).
+	FleetOK bool `json:"fleet_ok"`
+	// UptimeS is seconds since the daemon started serving.
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// LinkSummary is the GET /v1/links representation of one bus.
+type LinkSummary struct {
+	ID         string  `json:"id"`
+	Rounds     uint64  `json:"rounds"`
+	Health     string  `json:"health"`
+	Reaction   string  `json:"reaction"`
+	CPUGate    bool    `json:"cpu_gate_open"`
+	ModuleGate bool    `json:"module_gate_open"`
+	CPUScore   float64 `json:"cpu_score"`
+	Alerts     int     `json:"alerts"`
+}
+
+// LinksResponse is the GET /v1/links payload.
+type LinksResponse struct {
+	Links []LinkSummary `json:"links"`
+}
+
+// Event is one bus-affecting protocol event, as retained in the daemon's
+// per-link history and streamed over GET /v1/links/{id}/events.
+type Event struct {
+	// Seq is the per-link sequence number (1-based, strictly monotonic);
+	// the stream resume protocol keys on it.
+	Seq    uint64  `json:"seq"`
+	Kind   string  `json:"kind"`
+	Link   string  `json:"link,omitempty"`
+	Side   string  `json:"side,omitempty"`
+	Round  uint64  `json:"round"`
+	Score  float64 `json:"score,omitempty"`
+	From   string  `json:"from,omitempty"`
+	To     string  `json:"to,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// EventsResponse is the GET /v1/links/{id}/alerts payload: the retained
+// event history of one bus, oldest first.
+type EventsResponse struct {
+	Link   string  `json:"link"`
+	Events []Event `json:"events"`
+}
+
+// EventFromTelemetry converts an engine telemetry event into its wire form.
+// The caller owns the Seq field (the engine stamps sink-local sequence
+// numbers that are not the per-link feed sequence).
+func EventFromTelemetry(ev telemetry.Event) Event {
+	return Event{
+		Seq: ev.Seq, Kind: ev.Kind.String(), Link: ev.Link, Side: ev.Side,
+		Round: ev.Round, Score: ev.Score, From: ev.From, To: ev.To,
+		Detail: ev.Detail,
+	}
+}
+
+// AttestRequest is the POST /v1/attest body. An empty Links list (or an
+// empty body) attests every bus of the fleet.
+type AttestRequest struct {
+	Links []string `json:"links,omitempty"`
+}
+
+// AuthReport is one bus's attestation verdict: the outcome of a read-only
+// spot-check measurement against the enrolled fingerprint, plus the bus's
+// monitored health at that moment.
+type AuthReport struct {
+	ID string `json:"id"`
+	// Accepted is true only when the measurement matched the enrollment
+	// with no tamper signature.
+	Accepted bool `json:"accepted"`
+	// Score is the CPU-side similarity (1 when no auth mismatch occurred).
+	Score float64 `json:"score"`
+	// Tampered flags a localized IIP change at TamperPosition meters.
+	Tampered       bool    `json:"tampered"`
+	TamperPosition float64 `json:"tamper_position"`
+	// Health is the bus's monitored condition (ok/suspect/degraded/failed).
+	Health string `json:"health"`
+}
+
+// AttestResponse is the POST /v1/attest payload, results in request order
+// (fleet order when the request named no buses).
+type AttestResponse struct {
+	Results []AuthReport `json:"results"`
+	// AllAccepted is true when every attested bus passed.
+	AllAccepted bool `json:"all_accepted"`
+}
+
+// EndpointHealthView is one endpoint's condition in GET /v1/health.
+type EndpointHealthView struct {
+	State          string  `json:"state"`
+	MaskedBins     int     `json:"masked_bins"`
+	MaskedFraction float64 `json:"masked_fraction,omitempty"`
+	SuspectRounds  int     `json:"suspect_rounds,omitempty"`
+	Failures       int     `json:"failures,omitempty"`
+	Reenrollments  int     `json:"reenrollments,omitempty"`
+	LastScore      float64 `json:"last_score"`
+}
+
+// LinkHealthView is one bus's condition in GET /v1/health.
+type LinkHealthView struct {
+	ID     string             `json:"id"`
+	State  string             `json:"state"`
+	CPU    EndpointHealthView `json:"cpu"`
+	Module EndpointHealthView `json:"module"`
+}
+
+// FleetHealthResponse is the GET /v1/health payload.
+type FleetHealthResponse struct {
+	Links []LinkHealthView `json:"links"`
+}
+
+// LinkHealthViews converts engine health snapshots into their wire form. A
+// nil input stays nil — which JSON-encodes as null, so callers feeding a
+// response must hand in a non-nil (possibly empty) slice; System.HealthAll
+// guarantees that.
+func LinkHealthViews(in []core.LinkHealth) []LinkHealthView {
+	if in == nil {
+		return nil
+	}
+	out := make([]LinkHealthView, len(in))
+	for i, h := range in {
+		out[i] = LinkHealthView{
+			ID:     h.ID,
+			State:  h.State().String(),
+			CPU:    endpointHealthView(h.CPU),
+			Module: endpointHealthView(h.Module),
+		}
+	}
+	return out
+}
+
+func endpointHealthView(h core.EndpointHealth) EndpointHealthView {
+	return EndpointHealthView{
+		State:          h.State.String(),
+		MaskedBins:     h.MaskedBins,
+		MaskedFraction: h.MaskedFraction,
+		SuspectRounds:  h.SuspectRounds,
+		Failures:       h.Failures,
+		Reenrollments:  h.Reenrollments,
+		LastScore:      h.LastScore,
+	}
+}

@@ -1,0 +1,115 @@
+package attest
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"divot/internal/core"
+	"divot/internal/telemetry"
+)
+
+func TestWriteDataRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteData(rec, http.StatusOK, AttestResponse{
+		Results:     []AuthReport{{ID: "dimm0", Accepted: true, Score: 0.99}},
+		AllAccepted: true,
+	})
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var out AttestResponse
+	if err := ParseBody(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllAccepted || len(out.Results) != 1 || out.Results[0].ID != "dimm0" {
+		t.Errorf("round-trip mangled payload: %+v", out)
+	}
+	if !strings.Contains(rec.Body.String(), `"v": 1`) {
+		t.Errorf("no version in envelope: %s", rec.Body.String())
+	}
+}
+
+func TestWriteErrorCarriesCodeAndStatus(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, CodeUnknownLink, "no bus %q", "ghost")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", rec.Code)
+	}
+	err := ParseBody(rec.Body.Bytes(), nil)
+	var werr *Error
+	if !errors.As(err, &werr) {
+		t.Fatalf("ParseBody error = %v (%T), want *Error", err, err)
+	}
+	if werr.Code != CodeUnknownLink || !strings.Contains(werr.Message, `"ghost"`) {
+		t.Errorf("error = %+v", werr)
+	}
+}
+
+func TestStatusForCoversEveryCode(t *testing.T) {
+	want := map[string]int{
+		CodeBadRequest:    400,
+		CodeUnknownLink:   404,
+		CodeNotCalibrated: 409,
+		CodeUnavailable:   503,
+		CodeInternal:      500,
+		"something-new":   500,
+	}
+	for code, status := range want {
+		if got := StatusFor(code); got != status {
+			t.Errorf("StatusFor(%s) = %d, want %d", code, got, status)
+		}
+	}
+}
+
+func TestParseBodyRejectsFutureVersion(t *testing.T) {
+	body := []byte(`{"v": 99, "data": {}}`)
+	if err := ParseBody(body, nil); err == nil || !strings.Contains(err.Error(), "v99") {
+		t.Errorf("future version accepted: %v", err)
+	}
+}
+
+func TestEventFromTelemetry(t *testing.T) {
+	ev := EventFromTelemetry(telemetry.Event{
+		Seq: 7, Kind: telemetry.EventAlert, Link: "dimm1", Side: "cpu",
+		Round: 12, Score: 0.42, To: "auth-failure", Detail: "score 0.42",
+	})
+	if ev.Seq != 7 || ev.Kind != "alert" || ev.Link != "dimm1" ||
+		ev.Side != "cpu" || ev.Round != 12 || ev.Score != 0.42 {
+		t.Errorf("conversion mangled event: %+v", ev)
+	}
+}
+
+// TestLinkHealthViewsNilStaysNil pins the null-vs-[] contract: the converter
+// does not paper over a nil health slice, so the facade's guarantee of a
+// non-nil HealthAll result is what keeps /v1/health encoding "[]".
+func TestLinkHealthViewsNilStaysNil(t *testing.T) {
+	if got := LinkHealthViews(nil); got != nil {
+		t.Errorf("LinkHealthViews(nil) = %#v, want nil", got)
+	}
+	raw, err := json.Marshal(FleetHealthResponse{Links: LinkHealthViews([]core.LinkHealth{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"links":[]`) {
+		t.Errorf(`empty fleet encoded %s, want "links":[]`, raw)
+	}
+}
+
+func TestLinkHealthViewsConverts(t *testing.T) {
+	views := LinkHealthViews([]core.LinkHealth{{
+		ID:     "dimm0",
+		CPU:    core.EndpointHealth{Side: core.SideCPU, State: core.HealthDegraded, MaskedBins: 3, LastScore: 0.9},
+		Module: core.EndpointHealth{Side: core.SideModule, State: core.HealthOK, LastScore: 0.95},
+	}})
+	if len(views) != 1 {
+		t.Fatalf("len = %d", len(views))
+	}
+	v := views[0]
+	if v.State != "degraded" || v.CPU.State != "degraded" || v.CPU.MaskedBins != 3 || v.Module.State != "ok" {
+		t.Errorf("view = %+v", v)
+	}
+}

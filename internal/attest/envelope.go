@@ -1,0 +1,111 @@
+package attest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Error codes. Every error response carries exactly one; StatusFor maps each
+// to its HTTP status. Clients branch on the code — the status is transport
+// decoration.
+const (
+	// CodeBadRequest (400): the request was malformed (unparseable body,
+	// bad query parameter).
+	CodeBadRequest = "bad_request"
+	// CodeUnknownLink (404): the named bus is not part of the fleet.
+	CodeUnknownLink = "unknown_link"
+	// CodeNotCalibrated (409): the bus exists but has no enrollment to
+	// attest against.
+	CodeNotCalibrated = "not_calibrated"
+	// CodeUnavailable (503): the daemon is shutting down; retry elsewhere.
+	CodeUnavailable = "unavailable"
+	// CodeInternal (500): the daemon failed; the message is diagnostic only.
+	CodeInternal = "internal"
+)
+
+// StatusFor returns the HTTP status an error code travels under. Unknown
+// codes (a newer server talking to an older client's vocabulary) map to 500.
+func StatusFor(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnknownLink:
+		return http.StatusNotFound
+	case CodeNotCalibrated:
+		return http.StatusConflict
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// Error is the wire error payload. It implements error so clients can
+// surface it directly.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Envelope is the versioned wrapper around every JSON response. Exactly one
+// of Data and Error is set.
+type Envelope struct {
+	V     int             `json:"v"`
+	Data  json.RawMessage `json:"data,omitempty"`
+	Error *Error          `json:"error,omitempty"`
+}
+
+// WriteData renders a success envelope. Encoding failures of v itself are a
+// programming error and reported as a 500 error envelope.
+func WriteData(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		WriteError(w, CodeInternal, "encoding response: %v", err)
+		return
+	}
+	writeEnvelope(w, status, Envelope{V: Version, Data: raw})
+}
+
+// WriteError renders an error envelope under the code's documented status.
+func WriteError(w http.ResponseWriter, code, format string, args ...any) {
+	writeEnvelope(w, StatusFor(code), Envelope{
+		V:     Version,
+		Error: &Error{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, env Envelope) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(env) //nolint:errcheck // client gone mid-response
+}
+
+// ParseBody unwraps an envelope: an error envelope comes back as *Error, a
+// success envelope is unmarshalled into out (out may be nil to discard).
+// Future protocol versions are rejected rather than misread.
+func ParseBody(body []byte, out any) error {
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("attest: response is not an envelope: %w", err)
+	}
+	if env.V > Version {
+		return fmt.Errorf("attest: server speaks protocol v%d, this client v%d", env.V, Version)
+	}
+	if env.Error != nil {
+		return env.Error
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(env.Data, out); err != nil {
+		return fmt.Errorf("attest: decoding response data: %w", err)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -373,8 +374,20 @@ func (l *Link) MonitorOnce() ([]Alert, error) {
 // MonitorN runs n monitoring rounds and returns all alerts raised, stopping
 // at the first protocol error.
 func (l *Link) MonitorN(n int) ([]Alert, error) {
+	return l.MonitorNCtx(context.Background(), n)
+}
+
+// MonitorNCtx is MonitorN with cooperative cancellation: the context is
+// checked between rounds, so an in-flight round always completes (a round is
+// a bounded, microsecond-scale measurement — tearing one down midway would
+// desynchronize the two endpoints' robustness state). On cancellation the
+// alerts raised so far are returned together with the context's error.
+func (l *Link) MonitorNCtx(ctx context.Context, n int) ([]Alert, error) {
 	var all []Alert
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return all, err
+		}
 		alerts, err := l.MonitorOnce()
 		all = append(all, alerts...)
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"divot/internal/pool"
@@ -28,7 +29,20 @@ import (
 // the original sinks in slice order afterwards, so a shared sink observes the
 // same event sequence at every worker count.
 func MonitorAll(links []*Link, parallelism int) ([][]Alert, error) {
+	out, _, err := MonitorAllCtx(context.Background(), links, parallelism)
+	return out, err
+}
+
+// MonitorAllCtx is MonitorAll with cooperative cancellation: once ctx is
+// done no further link starts its round, while rounds already in flight run
+// to completion (tearing a round down midway would desynchronize an
+// endpoint's robustness state). The returned ran slice reports which links
+// actually monitored; ctx's error, when set, is joined into the returned
+// error. Determinism is unaffected for the links that ran — cancellation
+// only trims the tail of the work list.
+func MonitorAllCtx(ctx context.Context, links []*Link, parallelism int) ([][]Alert, []bool, error) {
 	out := make([][]Alert, len(links))
+	ran := make([]bool, len(links))
 	errs := make([]error, len(links))
 	workers := pool.Workers(parallelism)
 	if workers > 1 && len(links) > 1 {
@@ -36,7 +50,11 @@ func MonitorAll(links []*Link, parallelism int) ([][]Alert, error) {
 		defer restoreAndDrain(links, recs, orig)
 	}
 	pool.Run(len(links), workers, func(_, i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		ran[i] = true
 		out[i], errs[i] = links[i].MonitorOnce()
 	})
-	return out, errors.Join(errs...)
+	return out, ran, errors.Join(append(errs, ctx.Err())...)
 }

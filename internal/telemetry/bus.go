@@ -52,8 +52,14 @@ func (b *Bus) Subscribe(buffer int, kinds ...EventKind) *Subscription {
 
 // Emit implements Sink: it stamps the bus sequence number and offers the
 // event to every subscriber without blocking.
-func (b *Bus) Emit(ev Event) {
-	ev.Seq = b.seq.Add(1)
+func (b *Bus) Emit(ev Event) { b.Publish(ev) }
+
+// Publish is Emit for callers that need the stamped sequence number back —
+// the daemon's alert feeds key their resume protocol on it. Sequence numbers
+// start at 1 and are strictly monotonic for the life of the bus.
+func (b *Bus) Publish(ev Event) uint64 {
+	seq := b.seq.Add(1)
+	ev.Seq = seq
 	b.mu.RLock()
 	for _, s := range b.subs {
 		if s.filter != 0 && s.filter&(1<<uint(ev.Kind)) == 0 {
@@ -67,6 +73,7 @@ func (b *Bus) Emit(ev Event) {
 		}
 	}
 	b.mu.RUnlock()
+	return seq
 }
 
 // Published returns how many events have been emitted on the bus.

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke-test the divotd daemon from the outside, the way an operator would:
 # build it, point it at a three-bus fleet spec, scrape /metrics twice to see
-# the round counters advance, then SIGTERM it and require a clean exit.
+# the round counters advance, drive the remote attestation API through
+# divotctl (clean fleet first, then a fleet with a scripted interposer that
+# must be caught over the wire), then SIGTERM it and require a clean exit.
 # Used by CI's "daemon smoke" step; runnable locally as scripts/daemon_smoke.sh.
 set -euo pipefail
 
@@ -9,6 +11,7 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/divotd" ./cmd/divotd
+go build -o "$workdir/divotctl" ./cmd/divotctl
 
 cat > "$workdir/fleet.json" <<'EOF'
 {
@@ -62,6 +65,14 @@ if grep '^divot_gate_open' "$workdir/scrape2" | grep -qv ' 1$'; then
   exit 1
 fi
 
+# The SDK path: divotctl against the clean fleet must accept everything.
+ctl="$workdir/divotctl -addr http://127.0.0.1:9721"
+$ctl health
+$ctl links
+$ctl attest
+$ctl -json attest | grep '"all_accepted": true'
+echo "ok: divotctl attests the clean fleet"
+
 # Graceful shutdown on SIGTERM.
 kill -TERM "$pid"
 for _ in $(seq 1 50); do
@@ -75,4 +86,68 @@ if kill -0 "$pid" 2>/dev/null; then
 fi
 wait "$pid" || { echo "divotd exited non-zero after SIGTERM" >&2; exit 1; }
 grep 'shut down' "$workdir/divotd.log"
+
+# Phase 2: a fleet with a scripted interposer on one bus. The attack must be
+# visible remotely: the event feed carries it and attest rejects the victim.
+cat > "$workdir/attacked.json" <<'EOF'
+{
+  "seed": 11,
+  "listen": "127.0.0.1:9722",
+  "interval_ms": 20,
+  "jitter_frac": 0.1,
+  "buses": [
+    {"id": "clean0"},
+    {"id": "victim", "attack": {"kind": "interposer", "after_rounds": 2, "position": 0.1}}
+  ]
+}
+EOF
+"$workdir/divotd" -spec "$workdir/attacked.json" > "$workdir/divotd2.log" 2>&1 &
+pid2=$!
+trap 'kill -9 "$pid2" 2>/dev/null; rm -rf "$workdir"' EXIT
+for _ in $(seq 1 100); do
+  curl -sf http://127.0.0.1:9722/healthz > /dev/null 2>&1 && break
+  if ! kill -0 "$pid2" 2>/dev/null; then
+    echo "second divotd exited during startup:" >&2
+    cat "$workdir/divotd2.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+ctl2="$workdir/divotctl -addr http://127.0.0.1:9722"
+# The live feed must deliver the attack's events through the SDK's watcher.
+timeout 60 $ctl2 -max 1 watch victim > "$workdir/watch.out"
+test -s "$workdir/watch.out"
+echo "ok: divotctl watch captured: $(head -1 "$workdir/watch.out")"
+
+# Wait until the attack is confirmed, then require the remote rejection: exit
+# code 1 and accepted=false in the JSON verdict.
+for _ in $(seq 1 100); do
+  if $ctl2 -json attest victim > "$workdir/attest.out" 2>/dev/null; then
+    sleep 0.2   # still accepted — the interposer is not confirmed yet
+  else
+    rc=$?
+    if [ "$rc" -ne 1 ]; then
+      echo "divotctl attest exited $rc, want 1 for a rejected bus" >&2
+      exit 1
+    fi
+    grep '"accepted": false' "$workdir/attest.out"
+    grep '"all_accepted": false' "$workdir/attest.out"
+    echo "ok: interposer rejected through the remote client"
+    break
+  fi
+done
+if ! grep -q '"accepted": false' "$workdir/attest.out"; then
+  echo "interposer was never rejected remotely:" >&2
+  cat "$workdir/attest.out" >&2
+  exit 1
+fi
+
+kill -TERM "$pid2"
+for _ in $(seq 1 50); do
+  kill -0 "$pid2" 2>/dev/null || break
+  sleep 0.2
+done
+kill -0 "$pid2" 2>/dev/null && { echo "second divotd did not exit" >&2; kill -9 "$pid2"; exit 1; }
+wait "$pid2" || { echo "second divotd exited non-zero after SIGTERM" >&2; exit 1; }
 echo "smoke test passed"
