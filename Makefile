@@ -1,7 +1,13 @@
 GO ?= go
-PR ?= 4
+PR ?= 5
 
-.PHONY: all build test race bench bench-experiments bench-snapshot vet
+# MONITOR_ALLOC_BUDGET is the allocs/op ceiling for the steady-state
+# monitoring round benchmark (BenchmarkMonitorRound runs at the default
+# parallelism, so worker-pool goroutine spawns dominate; the tighter ≤2
+# sequential budget is enforced by TestMonitorOnceAllocationBudget).
+MONITOR_ALLOC_BUDGET ?= 64
+
+.PHONY: all build test race bench bench-guard bench-experiments bench-snapshot vet
 
 all: build test
 
@@ -18,14 +24,21 @@ test: build
 race:
 	$(GO) test -race ./internal/... ./cmd/... ./client/...
 
-## bench: run every benchmark once (experiment tables + hot-path micros)
+## bench: run every benchmark once (experiment tables + hot-path micros);
+## -short keeps the 1000-bus fleet sweep out of the smoke pass
 bench:
-	$(GO) test . -run XXX -bench . -benchtime 1x
+	$(GO) test -short . ./cmd/divotd -run XXX -bench . -benchtime 1x -benchmem
+
+## bench-guard: fail if the monitoring hot path leaks allocation back in —
+## benchsnap -max-allocs compares BenchmarkMonitorRound against the budget
+bench-guard:
+	$(GO) test . -run XXX -bench 'MonitorRound$$' -benchtime 20x -benchmem \
+		| $(GO) run ./cmd/benchsnap -max-allocs 'MonitorRound=$(MONITOR_ALLOC_BUDGET)' > /dev/null
 
 ## bench-snapshot: record the hot-path micro-benchmarks as machine-readable
 ## JSON (BENCH_$(PR).json) for cross-PR diffing; parsed by cmd/benchsnap
 bench-snapshot:
-	$(GO) test . -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll|ClientRoundTrip' -benchtime 20x -benchmem \
+	$(GO) test -short . ./cmd/divotd -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll|ClientRoundTrip|FleetScheduler|Attest$$|FleetHealth' -benchtime 20x -benchmem \
 		| $(GO) run ./cmd/benchsnap > BENCH_$(PR).json
 
 ## bench-experiments: the fleet campaign benchmarks used in EXPERIMENTS.md's

@@ -10,6 +10,15 @@
 //
 //	go test . -run XXX -bench . -benchtime 1x -benchmem | benchsnap > BENCH_3.json
 //
+// Every result must carry B/op and allocs/op — benchsnap refuses input
+// produced without -benchmem, so a snapshot can never silently drop the
+// allocation columns the perf history is diffed on.
+//
+// Repeatable -max-allocs name=N flags turn benchsnap into an allocation
+// guard: if the named benchmark's allocs/op exceeds N the exit code is 1.
+// `make bench-guard` uses this to fail the build when the monitoring hot
+// path regresses.
+//
 // Used by `make bench-snapshot` to record BENCH_<pr>.json checkpoints that
 // can be diffed across PRs.
 package main
@@ -17,9 +26,11 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -30,16 +41,52 @@ type result struct {
 	Procs       int     `json:"procs"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// hasMem records whether the line actually carried B/op and allocs/op
+	// (false means the run forgot -benchmem and zeros would be lies).
+	hasMem bool
+}
+
+// allocBudgets maps benchmark name → maximum allowed allocs/op.
+type allocBudgets map[string]int64
+
+// String implements flag.Value.
+func (b allocBudgets) String() string {
+	parts := make([]string, 0, len(b))
+	for name, n := range b {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, n))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value, parsing one name=N pair.
+func (b allocBudgets) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=N, got %q", s)
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil || n < 0 {
+		return fmt.Errorf("budget for %q must be a non-negative integer, got %q", name, val)
+	}
+	b[name] = n
+	return nil
 }
 
 func main() {
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+	budgets := allocBudgets{}
+	flag.Var(budgets, "max-allocs",
+		"fail when benchmark `name=N` exceeds N allocs/op (repeatable)")
+	flag.Parse()
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, budgets))
 }
 
-// run parses benchmark lines from r and writes the JSON array to w.
-func run(r io.Reader, w, errw io.Writer) int {
+// run parses benchmark lines from r, writes the JSON array to w, and
+// enforces the allocation budgets.
+func run(r io.Reader, w, errw io.Writer, budgets allocBudgets) int {
 	results, err := parse(r)
 	if err != nil {
 		fmt.Fprintln(errw, "benchsnap:", err)
@@ -49,13 +96,53 @@ func run(r io.Reader, w, errw io.Writer) int {
 		fmt.Fprintln(errw, "benchsnap: no benchmark lines on stdin")
 		return 1
 	}
+	for _, res := range results {
+		if !res.hasMem {
+			fmt.Fprintf(errw,
+				"benchsnap: %s has no B/op / allocs/op — run go test with -benchmem\n", res.Name)
+			return 1
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(errw, "benchsnap:", err)
 		return 1
 	}
-	return 0
+	return checkBudgets(results, budgets, errw)
+}
+
+// checkBudgets compares every budgeted benchmark against its ceiling. A
+// budget naming a benchmark that did not run is itself an error — a guard
+// that silently guards nothing would rot.
+func checkBudgets(results []result, budgets allocBudgets, errw io.Writer) int {
+	if len(budgets) == 0 {
+		return 0
+	}
+	byName := make(map[string]result, len(results))
+	for _, res := range results {
+		byName[res.Name] = res
+	}
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	code := 0
+	for _, name := range names {
+		res, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(errw, "benchsnap: budgeted benchmark %s not in input\n", name)
+			code = 1
+			continue
+		}
+		if res.AllocsPerOp > budgets[name] {
+			fmt.Fprintf(errw, "benchsnap: %s allocates %d/op, budget %d/op\n",
+				name, res.AllocsPerOp, budgets[name])
+			code = 1
+		}
+	}
+	return code
 }
 
 // parse scans `go test -bench` output and extracts every result line, in
@@ -77,8 +164,8 @@ func parse(r io.Reader) ([]result, error) {
 //	BenchmarkName-8   100   11897940 ns/op   5374858 B/op   200 allocs/op
 //
 // and reports whether the line was a benchmark result. Trailing custom
-// metrics are ignored; B/op and allocs/op are optional (absent without
-// -benchmem).
+// metrics are ignored; a line without both B/op and allocs/op is parsed but
+// flagged, so run can reject snapshots taken without -benchmem.
 func parseLine(line string) (result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -98,7 +185,7 @@ func parseLine(line string) (result, bool) {
 	res.Iterations = iters
 
 	// The rest is value/unit pairs.
-	seenNs := false
+	seenNs, seenB, seenAllocs := false, false, false
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, unit := fields[i], fields[i+1]
 		switch unit {
@@ -111,9 +198,12 @@ func parseLine(line string) (result, bool) {
 			seenNs = true
 		case "B/op":
 			res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			seenB = true
 		case "allocs/op":
 			res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			seenAllocs = true
 		}
 	}
+	res.hasMem = seenB && seenAllocs
 	return res, seenNs
 }

@@ -15,7 +15,6 @@ BenchmarkIIPMeasurement-8                	       1	  32876311 ns/op	  806304 B/o
 BenchmarkSimilarity-8                    	  838552	      1391 ns/op	       0 B/op	       0 allocs/op
 BenchmarkMonitorRoundTelemetry/nosink-8  	       1	  68229000 ns/op	 1612608 B/op	      48 allocs/op
 BenchmarkMonitorRoundTelemetry/sink-8    	       1	  69120000 ns/op	 1613400 B/op	      62 allocs/op
-BenchmarkNoMem-4 	     200	    123456 ns/op
 PASS
 ok  	divot	12.345s
 `
@@ -25,8 +24,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 5 {
-		t.Fatalf("parsed %d results, want 5: %+v", len(results), results)
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
 	}
 	first := results[0]
 	if first.Name != "IIPMeasurement" || first.Procs != 8 || first.Iterations != 1 ||
@@ -36,9 +35,9 @@ func TestParse(t *testing.T) {
 	if results[2].Name != "MonitorRoundTelemetry/nosink" {
 		t.Errorf("sub-benchmark name = %q", results[2].Name)
 	}
-	last := results[4]
-	if last.Name != "NoMem" || last.Procs != 4 || last.BytesPerOp != 0 {
-		t.Errorf("no-benchmem result mis-parsed: %+v", last)
+	// A zero-allocation result still carries the columns explicitly.
+	if sim := results[1]; !sim.hasMem || sim.BytesPerOp != 0 || sim.AllocsPerOp != 0 {
+		t.Errorf("zero-alloc result mis-parsed: %+v", sim)
 	}
 }
 
@@ -59,24 +58,82 @@ func TestParseIgnoresNoise(t *testing.T) {
 
 func TestRunEmitsJSONArray(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+	if code := run(strings.NewReader(sampleOutput), &out, &errOut, nil); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
 	var results []result
 	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
 		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
 	}
-	if len(results) != 5 {
-		t.Fatalf("round-tripped %d results, want 5", len(results))
+	if len(results) != 4 {
+		t.Fatalf("round-tripped %d results, want 4", len(results))
+	}
+	// The allocation columns must always be encoded, even at zero, so
+	// snapshot diffs never lose them to omitempty.
+	if !bytes.Contains(out.Bytes(), []byte(`"bytes_per_op": 0`)) ||
+		!bytes.Contains(out.Bytes(), []byte(`"allocs_per_op": 0`)) {
+		t.Errorf("zero mem columns omitted from JSON:\n%s", out.String())
 	}
 }
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(strings.NewReader("PASS\nok\n"), &out, &errOut); code != 1 {
+	if code := run(strings.NewReader("PASS\nok\n"), &out, &errOut, nil); code != 1 {
 		t.Errorf("empty input exit = %d, want 1", code)
 	}
 	if !strings.Contains(errOut.String(), "no benchmark lines") {
 		t.Errorf("stderr %q should explain the empty input", errOut.String())
+	}
+}
+
+func TestRunRejectsMissingBenchmem(t *testing.T) {
+	var out, errOut bytes.Buffer
+	in := "BenchmarkNoMem-4 	     200	    123456 ns/op\n"
+	if code := run(strings.NewReader(in), &out, &errOut, nil); code != 1 {
+		t.Errorf("no-benchmem input exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-benchmem") {
+		t.Errorf("stderr %q should tell the user to pass -benchmem", errOut.String())
+	}
+}
+
+func TestAllocBudgets(t *testing.T) {
+	b := allocBudgets{}
+	if err := b.Set("MonitorRound=2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set("Attest/warm=0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "NoEquals", "=3", "X=-1", "X=abc"} {
+		if err := b.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+
+	within := "BenchmarkMonitorRound-8 	 10	 100 ns/op	 0 B/op	 2 allocs/op\n" +
+		"BenchmarkAttest/warm-8 	 10	 100 ns/op	 0 B/op	 0 allocs/op\n"
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader(within), &out, &errOut, b); code != 0 {
+		t.Errorf("within-budget exit = %d, stderr: %s", code, errOut.String())
+	}
+
+	over := "BenchmarkMonitorRound-8 	 10	 100 ns/op	 64 B/op	 3 allocs/op\n" +
+		"BenchmarkAttest/warm-8 	 10	 100 ns/op	 0 B/op	 0 allocs/op\n"
+	out.Reset()
+	errOut.Reset()
+	if code := run(strings.NewReader(over), &out, &errOut, b); code != 1 {
+		t.Errorf("over-budget exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "budget") {
+		t.Errorf("stderr %q should name the blown budget", errOut.String())
+	}
+
+	// A budget whose benchmark never ran must fail too.
+	missing := "BenchmarkMonitorRound-8 	 10	 100 ns/op	 0 B/op	 0 allocs/op\n"
+	out.Reset()
+	errOut.Reset()
+	if code := run(strings.NewReader(missing), &out, &errOut, b); code != 1 {
+		t.Errorf("missing-benchmark exit = %d, want 1", code)
 	}
 }

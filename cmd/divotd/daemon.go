@@ -21,6 +21,7 @@ import (
 
 	"divot"
 	"divot/internal/attest"
+	"divot/internal/pool"
 	"divot/internal/rng"
 	"divot/internal/telemetry"
 )
@@ -52,8 +53,15 @@ type Daemon struct {
 	links []*linkState
 	byID  map[string]*linkState
 
-	roundDur *telemetry.HistogramVec
-	overruns *telemetry.CounterVec
+	roundDur   *telemetry.HistogramVec
+	overruns   *telemetry.CounterVec
+	shardDepth *telemetry.GaugeVec
+	cacheHits  *telemetry.CounterVec
+	cacheMiss  *telemetry.CounterVec
+
+	// maxStale bounds how old a bus's cached attestation view may be and
+	// still be served (0 = cache disabled, every request re-measures).
+	maxStale time.Duration
 
 	// heartbeat paces the event stream's idle keep-alives (tests shorten it).
 	heartbeat time.Duration
@@ -94,6 +102,51 @@ type linkState struct {
 	events   *telemetry.Bus
 	alertsMu sync.Mutex
 	alerts   []attest.Event
+
+	// cache is the bus's last attestation view. It is refreshed at the end
+	// of every error-free monitoring round and after every real spot
+	// check, and invalidated the instant anything attention-worthy happens
+	// (alert, gate move, health transition, re-enrollment, monitor error,
+	// attack) — so a stale "ok" can never outlive the event that made it
+	// wrong. cacheMu nests inside mu (monitorOnce refreshes under both)
+	// and is never held across engine calls.
+	cacheMu     sync.Mutex
+	cacheValid  bool
+	cacheAt     time.Time
+	cacheReport attest.AuthReport
+	cacheHealth attest.LinkHealthView
+}
+
+// invalidateCache drops the bus's cached attestation view.
+func (ls *linkState) invalidateCache() {
+	ls.cacheMu.Lock()
+	ls.cacheValid = false
+	ls.cacheMu.Unlock()
+}
+
+// refreshCache installs a fresh attestation view, stamped now.
+func (ls *linkState) refreshCache(rep attest.AuthReport, health attest.LinkHealthView) {
+	ls.cacheMu.Lock()
+	ls.cacheValid = true
+	ls.cacheAt = time.Now()
+	ls.cacheReport = rep
+	ls.cacheHealth = health
+	ls.cacheMu.Unlock()
+}
+
+// cached returns the bus's attestation view when it is younger than
+// maxStale (false otherwise, including whenever the cache is disabled or
+// invalidated).
+func (ls *linkState) cached(maxStale time.Duration) (attest.AuthReport, attest.LinkHealthView, bool) {
+	if maxStale <= 0 {
+		return attest.AuthReport{}, attest.LinkHealthView{}, false
+	}
+	ls.cacheMu.Lock()
+	defer ls.cacheMu.Unlock()
+	if !ls.cacheValid || time.Since(ls.cacheAt) > maxStale {
+		return attest.AuthReport{}, attest.LinkHealthView{}, false
+	}
+	return ls.cacheReport, ls.cacheHealth, true
 }
 
 // record stamps the per-link sequence number, offers the event to stream
@@ -119,18 +172,21 @@ func (ls *linkState) snapshotAlerts() []attest.Event {
 }
 
 // alertSink routes attention-worthy events into the owning bus's ring and
-// stream feed.
+// stream feed, and drops the bus's cached attestation view — every kind it
+// passes marks a state change the cache must not outlive.
 type alertSink struct{ d *Daemon }
 
 // Emit implements telemetry.Sink.
 func (s alertSink) Emit(ev telemetry.Event) {
 	switch ev.Kind {
 	case telemetry.EventAlert, telemetry.EventGate, telemetry.EventHealth,
-		telemetry.EventReactor, telemetry.EventMonitorError, telemetry.EventAttack:
+		telemetry.EventReactor, telemetry.EventMonitorError,
+		telemetry.EventAttack, telemetry.EventReenroll:
 	default:
 		return
 	}
 	if ls, ok := s.d.byID[ev.Link]; ok {
+		ls.invalidateCache()
 		ls.record(ev)
 	}
 }
@@ -141,6 +197,12 @@ func (s alertSink) Emit(ev telemetry.Event) {
 func NewDaemon(spec Spec) (*Daemon, error) {
 	cfg := divot.DefaultConfig()
 	cfg.Engine.Parallelism = spec.Parallelism
+	return newDaemon(spec, cfg)
+}
+
+// newDaemon is NewDaemon with the engine configuration exposed, so
+// benchmarks can run large fleets on deliberately light instruments.
+func newDaemon(spec Spec, cfg divot.Config) (*Daemon, error) {
 	sys := divot.NewSystem(spec.Seed, cfg)
 
 	d := &Daemon{
@@ -168,14 +230,18 @@ func NewDaemon(spec Spec) (*Daemon, error) {
 		telemetry.DurationBuckets, "link")
 	d.overruns = d.reg.Counter("divot_scheduler_overruns_total",
 		"Rounds that took longer than the bus's monitoring interval.", "link")
+	d.shardDepth = d.reg.Gauge("divot_scheduler_shard_depth",
+		"Buses due or overdue on a scheduler shard when it starts a round.", "shard")
+	d.cacheHits = d.reg.Counter("divot_attest_cache_hits_total",
+		"Attestation requests answered from the cached last-round view.", "link")
+	d.cacheMiss = d.reg.Counter("divot_attest_cache_misses_total",
+		"Attestation requests that re-measured the bus.", "link")
+	d.maxStale = time.Duration(spec.MaxStalenessMS) * time.Millisecond
 
 	for _, b := range spec.Buses {
 		link, err := sys.NewLink(b.ID)
 		if err != nil {
 			return nil, err
-		}
-		if err := link.Calibrate(); err != nil {
-			return nil, fmt.Errorf("calibrating bus %q: %w", b.ID, err)
 		}
 		reactor, err := divot.NewReactor(divot.DefaultReactionPolicy())
 		if err != nil {
@@ -197,7 +263,38 @@ func NewDaemon(spec Spec) (*Daemon, error) {
 		d.links = append(d.links, ls)
 		d.byID[b.ID] = ls
 	}
+	if err := d.calibrateFleet(); err != nil {
+		return nil, err
+	}
 	return d, nil
+}
+
+// calibrateFleet enrolls every bus, running the calibrations concurrently
+// under the engine's parallelism bound. Each link's telemetry is buffered in
+// a private recorder for the duration and drained into the shared sink in
+// spec order afterwards, so startup produces the same audit-log byte
+// sequence at every worker count.
+func (d *Daemon) calibrateFleet() error {
+	shared := d.sys.Sink()
+	errs := make([]error, len(d.links))
+	recs := make([]*divot.TelemetryRecorder, len(d.links))
+	for i, ls := range d.links {
+		recs[i] = &divot.TelemetryRecorder{}
+		ls.link.SetSink(recs[i])
+	}
+	pool.Run(len(d.links), pool.Workers(d.sys.Config().Engine.Parallelism), func(_, i int) {
+		errs[i] = d.links[i].link.Calibrate()
+	})
+	for i, ls := range d.links {
+		ls.link.SetSink(shared)
+		recs[i].DrainTo(shared)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("calibrating bus %q: %w", d.links[i].id, err)
+		}
+	}
+	return nil
 }
 
 // monitorOnce runs one round on a bus: mount the scripted attack when due,
@@ -218,35 +315,43 @@ func (d *Daemon) monitorOnce(ls *linkState) {
 	d.roundDur.With(ls.id).Observe(time.Since(start).Seconds())
 	if err == nil {
 		ls.reactor.ObserveHealth(alerts, ls.link.Health())
+		if d.maxStale > 0 {
+			// The round just measured both endpoints, so its verdict is a
+			// free attestation view: cache it (after the reactor ran, so
+			// any invalidation it triggered has already landed).
+			ls.refreshCache(reportFromRound(ls, alerts), healthView(ls))
+		}
 	}
 	ls.rounds.Add(1)
 }
 
-// schedule runs the bus's monitoring loop until ctx is done. Each period is
-// the bus interval spread by ±JitterFrac (drawn from the bus's own labelled
-// stream, so the sequence is reproducible); a round that overruns its period
-// is counted and the next one starts immediately — per-bus backpressure
-// rather than an unbounded queue.
-func (d *Daemon) schedule(ctx context.Context, ls *linkState) {
-	timer := time.NewTimer(d.period(ls))
-	defer timer.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-timer.C:
-		}
-		start := time.Now()
-		d.monitorOnce(ls)
-		period := d.period(ls)
-		if took := time.Since(start); took >= period {
-			d.overruns.With(ls.id).Inc()
-			period = 0
-		} else {
-			period -= took
-		}
-		timer.Reset(period)
+// reportFromRound condenses one monitoring round into the attestation view
+// a spot check would produce, with the same CPU-side acceptance rule as
+// Link.Authenticate. Caller holds ls.mu.
+func reportFromRound(ls *linkState, alerts []divot.Alert) attest.AuthReport {
+	rep := attest.AuthReport{
+		ID: ls.id, Accepted: true, Score: 1,
+		Health: ls.link.Health().State().String(),
 	}
+	for _, a := range alerts {
+		if a.Side != divot.SideCPU {
+			continue
+		}
+		rep.Accepted = false
+		switch a.Kind {
+		case divot.AlertAuthFailure:
+			rep.Score = a.Score
+		case divot.AlertTamper:
+			rep.Tampered = true
+			rep.TamperPosition = a.Position
+		}
+	}
+	return rep
+}
+
+// healthView snapshots one bus's /v1/health entry. Caller holds ls.mu.
+func healthView(ls *linkState) attest.LinkHealthView {
+	return attest.LinkHealthViews([]divot.LinkHealth{ls.link.Health()})[0]
 }
 
 // period draws the next jittered interval for a bus.
@@ -285,12 +390,12 @@ func (d *Daemon) Run(ctx context.Context, logw io.Writer) error {
 	var wg sync.WaitGroup
 	schedCtx, stopSched := context.WithCancel(ctx)
 	defer stopSched()
-	for _, ls := range d.links {
+	for i, links := range d.shardLinks() {
 		wg.Add(1)
-		go func(ls *linkState) {
+		go func(shard int, links []*linkState) {
 			defer wg.Done()
-			d.schedule(schedCtx, ls)
-		}(ls)
+			d.runShard(schedCtx, shard, links)
+		}(i, links)
 	}
 
 	srv := &http.Server{Handler: d.Handler()}

@@ -77,10 +77,27 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleFleetHealth serves the full per-endpoint condition of every
-// calibrated bus. System.HealthAll guarantees a non-nil slice, so an
-// all-uncalibrated fleet encodes "links": [] (regression-tested — it used to
-// render null).
+// calibrated bus. With the attestation cache enabled, buses whose cached
+// view is fresh are reported from it and only the stale ones are locked and
+// snapshotted; with the cache disabled (max_staleness_ms 0) the whole fleet
+// is locked and snapshotted between rounds, the original semantics.
+// System.HealthAll guarantees a non-nil slice, so an all-uncalibrated fleet
+// encodes "links": [] (regression-tested — it used to render null).
 func (d *Daemon) handleFleetHealth(w http.ResponseWriter, _ *http.Request) {
+	if d.maxStale > 0 {
+		views := make([]attest.LinkHealthView, 0, len(d.links))
+		for _, ls := range d.sortedLinks() {
+			_, hv, ok := ls.cached(d.maxStale)
+			if !ok {
+				ls.mu.Lock()
+				hv = healthView(ls)
+				ls.mu.Unlock()
+			}
+			views = append(views, hv)
+		}
+		attest.WriteData(w, http.StatusOK, attest.FleetHealthResponse{Links: views})
+		return
+	}
 	for _, ls := range d.links {
 		ls.mu.Lock() // snapshot between rounds, not mid-round
 	}
@@ -116,19 +133,33 @@ func (d *Daemon) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
 	attest.WriteData(w, http.StatusOK, d.attestOne(ls))
 }
 
-// attestOne runs one read-only spot check on a bus, serialized with the
-// scheduler (the engine is not safe for concurrent rounds on one link).
+// attestOne answers one bus's attestation. When the bus's cached last-round
+// view is younger than the spec's max_staleness_ms bound it is served
+// directly — no bus lock, no measurement; otherwise (and always when the
+// cache is disabled) a read-only spot check runs, serialized with the
+// scheduler (the engine is not safe for concurrent rounds on one link), and
+// its result becomes the new cached view.
 func (d *Daemon) attestOne(ls *linkState) attest.AuthReport {
+	if rep, _, ok := ls.cached(d.maxStale); ok {
+		d.cacheHits.With(ls.id).Inc()
+		rep.Cached = true
+		return rep
+	}
+	d.cacheMiss.With(ls.id).Inc()
 	ls.mu.Lock()
 	res := ls.link.Authenticate()
-	health := ls.link.Health().State().String()
-	ls.mu.Unlock()
-	return attest.AuthReport{
+	rep := attest.AuthReport{
 		ID:             ls.id,
 		Accepted:       res.Accepted,
 		Score:          res.Score,
 		Tampered:       res.Tampered,
 		TamperPosition: res.TamperPosition,
-		Health:         health,
+		Health:         ls.link.Health().State().String(),
 	}
+	hv := healthView(ls)
+	ls.mu.Unlock()
+	if d.maxStale > 0 {
+		ls.refreshCache(rep, hv)
+	}
+	return rep
 }

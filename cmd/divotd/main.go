@@ -5,6 +5,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +26,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	specPath := fs.String("spec", "", "fleet spec JSON file (required)")
 	listen := fs.String("listen", "", "override the spec's listen address")
+	pprofAddr := fs.String("pprof-addr", "",
+		"serve net/http/pprof on this address over its own listener (empty = disabled; never exposed on the attestation API)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,9 +44,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "divotd: %v\n", err)
 		return 1
 	}
+	if *pprofAddr != "" {
+		stopPprof, err := servePprof(*pprofAddr, stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "divotd: %v\n", err)
+			return 1
+		}
+		defer stopPprof()
+	}
 	if err := d.Run(ctx, stdout); err != nil {
 		fmt.Fprintf(stderr, "divotd: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// servePprof exposes the runtime profiler on its own listener, deliberately
+// separate from the attestation API: an operator opts in per process with
+// -pprof-addr (typically bound to localhost), and the attestation listener
+// never learns the /debug/pprof routes.
+func servePprof(addr string, logw io.Writer) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listening for pprof on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // closed on shutdown
+	fmt.Fprintf(logw, "divotd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { srv.Close() }, nil
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"container/heap"
+	"context"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// The fleet scheduler is a fixed pool of shard goroutines, each driving its
+// subset of buses off a min-heap of due times. The goroutine count is bound
+// by SchedulerShards (default one per CPU) instead of growing with the
+// fleet, so a 1000-bus spec runs on a handful of goroutines. Per-bus
+// semantics are unchanged from the old goroutine-per-bus loop: each period
+// is the bus interval spread by ±JitterFrac (drawn from the bus's own
+// labelled stream, so the sequence is reproducible), and a round that
+// overruns its period is counted and becomes due again immediately — per-bus
+// backpressure rather than an unbounded queue. An overdue bus re-enters the
+// heap at "now", so its shard siblings that are also due still interleave
+// rather than starve.
+
+// shardCount resolves the scheduler goroutine bound for this fleet.
+func (d *Daemon) shardCount() int {
+	n := d.spec.SchedulerShards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(d.links) {
+		n = len(d.links)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shardLinks deals the fleet round-robin, in spec order, onto shardCount
+// shards.
+func (d *Daemon) shardLinks() [][]*linkState {
+	shards := make([][]*linkState, d.shardCount())
+	for i, ls := range d.links {
+		shards[i%len(shards)] = append(shards[i%len(shards)], ls)
+	}
+	return shards
+}
+
+// shardEntry is one scheduled bus on a shard's heap.
+type shardEntry struct {
+	ls  *linkState
+	due time.Time
+}
+
+// shardQueue is a min-heap of scheduled buses, earliest due first.
+type shardQueue []shardEntry
+
+func (q shardQueue) Len() int           { return len(q) }
+func (q shardQueue) Less(i, j int) bool { return q[i].due.Before(q[j].due) }
+func (q shardQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *shardQueue) Push(x any)        { *q = append(*q, x.(shardEntry)) }
+func (q *shardQueue) Pop() any {
+	old := *q
+	e := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return e
+}
+
+// backlog counts buses due at or before now — the shard's instantaneous
+// depth, exported as divot_scheduler_shard_depth.
+func (q shardQueue) backlog(now time.Time) int {
+	n := 0
+	for _, e := range q {
+		if !e.due.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// runShard drives one shard's buses until ctx is done: sleep until the
+// earliest due bus, run its round, reschedule it, repeat.
+func (d *Daemon) runShard(ctx context.Context, shard int, links []*linkState) {
+	if len(links) == 0 {
+		return
+	}
+	depth := d.shardDepth.With(strconv.Itoa(shard))
+	q := make(shardQueue, 0, len(links))
+	now := time.Now()
+	for _, ls := range links {
+		q = append(q, shardEntry{ls: ls, due: now.Add(d.period(ls))})
+	}
+	heap.Init(&q)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		if wait := time.Until(q[0].due); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+		} else {
+			// Back-to-back rounds must still observe cancellation.
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+		start := time.Now()
+		depth.Set(float64(q.backlog(start)))
+		ls := q[0].ls
+		d.monitorOnce(ls)
+		period := d.period(ls)
+		due := start.Add(period)
+		if took := time.Since(start); took >= period {
+			d.overruns.With(ls.id).Inc()
+			due = time.Now()
+		}
+		// Only this goroutine touches the heap, so the root entry is still
+		// ours: restamp it in place and sift.
+		q[0].due = due
+		heap.Fix(&q, 0)
+	}
+}

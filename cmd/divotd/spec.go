@@ -27,6 +27,17 @@ type Spec struct {
 	// JitterFrac spreads each bus's period by ±frac (0..0.9) so a fleet's
 	// rounds do not thundering-herd; default 0.
 	JitterFrac float64 `json:"jitter_frac"`
+	// SchedulerShards bounds the scheduler goroutines: the fleet is dealt
+	// round-robin onto this many shards, each driving its buses off a
+	// min-heap of due times. 0 = one shard per CPU; shards never exceed
+	// the bus count.
+	SchedulerShards int `json:"scheduler_shards"`
+	// MaxStalenessMS lets POST /v1/attest and GET /v1/health answer from
+	// each bus's cached last-round attestation view when it is younger
+	// than this bound, instead of taking the bus lock and re-measuring.
+	// 0 (the default) disables the cache: every request re-measures,
+	// exactly the pre-cache semantics.
+	MaxStalenessMS int `json:"max_staleness_ms"`
 	// AuditLog is the JSONL audit file path; empty disables the audit log.
 	AuditLog string `json:"audit_log"`
 	// Buses are the protected links.
@@ -109,6 +120,12 @@ func (s *Spec) Validate() error {
 	}
 	if s.Parallelism < 0 {
 		return fmt.Errorf("parallelism must be >= 0, got %d", s.Parallelism)
+	}
+	if s.SchedulerShards < 0 {
+		return fmt.Errorf("scheduler_shards must be >= 0, got %d", s.SchedulerShards)
+	}
+	if s.MaxStalenessMS < 0 {
+		return fmt.Errorf("max_staleness_ms must be >= 0, got %d", s.MaxStalenessMS)
 	}
 	seen := make(map[string]bool, len(s.Buses))
 	for i, b := range s.Buses {

@@ -36,11 +36,21 @@ func DefaultCoupler() Coupler {
 // Output combines the backward reflection and the forward incident waveform
 // into the voltage the comparator sees.
 func (c Coupler) Output(backward, forward *signal.Waveform) *signal.Waveform {
-	out := signal.Scale(backward, c.Factor)
+	return c.OutputInto(nil, backward, forward)
+}
+
+// OutputInto is Output with a reusable destination (nil allocates a fresh
+// one), which must not alias either input; numerics are bit-identical to
+// Output.
+func (c Coupler) OutputInto(dst, backward, forward *signal.Waveform) *signal.Waveform {
+	dst = signal.ScaleInto(dst, backward, c.Factor)
 	if c.Directivity != 0 && forward != nil {
-		signal.AddInPlace(out, signal.Scale(forward, c.Factor*c.Directivity))
+		k := c.Factor * c.Directivity
+		for i, v := range forward.Samples {
+			dst.Samples[i] += k * v
+		}
 	}
-	return out
+	return dst
 }
 
 // Comparator is a 1-bit sampler with intrinsic input-referred Gaussian noise

@@ -120,6 +120,10 @@ type AuthReport struct {
 	TamperPosition float64 `json:"tamper_position"`
 	// Health is the bus's monitored condition (ok/suspect/degraded/failed).
 	Health string `json:"health"`
+	// Cached is true when the verdict was served from the daemon's
+	// last-round attestation cache (within its max_staleness_ms bound)
+	// instead of a fresh spot-check measurement.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // AttestResponse is the POST /v1/attest payload, results in request order

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"divot/internal/rng"
+	"divot/internal/txline"
+)
+
+// monitorAllocBudget is the steady-state allocation ceiling of one healthy
+// MonitorOnce round at Parallelism 1. The measurement, scoring, and
+// robustness layers all recycle per-endpoint memory (arena, workspace,
+// score window), so nothing in the hot path should touch the heap; the
+// budget of 2 leaves headroom for runtime-internal noise only. Raising it
+// means a regression leaked allocation back into the monitoring loop —
+// see ARCHITECTURE.md §8.
+const monitorAllocBudget = 2
+
+// TestMonitorOnceAllocationBudget pins the allocation cost of the healthy
+// monitoring hot path: after calibration and a warmup round (arena buffers
+// sized, inverters promoted, score window filling), a MonitorOnce round
+// must stay within monitorAllocBudget allocations.
+func TestMonitorOnceAllocationBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = 1
+	l, err := NewLink("alloc0", cfg, txline.DefaultConfig(), rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // warm arenas, workspaces, and the score window
+		if _, err := l.MonitorOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		alerts, err := l.MonitorOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(alerts) != 0 {
+			t.Fatalf("clean link raised %d alerts", len(alerts))
+		}
+	})
+	if allocs > monitorAllocBudget {
+		t.Fatalf("MonitorOnce allocates %v times per round, budget %d", allocs, monitorAllocBudget)
+	}
+}

@@ -68,6 +68,14 @@ type Endpoint struct {
 	// observed line changes if the bus itself is rewired.
 	observed *txline.Line
 
+	// arena and ws are the endpoint's reusable measurement and scoring
+	// memory: every monitoring round recycles them, so the steady-state
+	// hot path allocates nothing (see ARCHITECTURE.md §8). Enrollment
+	// paths deliberately bypass them — retained fingerprints must own
+	// their memory.
+	arena *itdr.Arena
+	ws    fingerprint.Workspace
+
 	// Authenticated reflects the most recent monitoring verdict.
 	authenticated bool
 
@@ -252,6 +260,7 @@ func NewLinkOver(id string, cfg Config, line *txline.Line, stream *rng.Stream) (
 				Velocity:      line.Config().Velocity,
 			},
 			observed: line,
+			arena:    itdr.NewArena(),
 			bins:     cfg.ITDR.Bins(),
 		}, nil
 	}
@@ -411,13 +420,13 @@ func (l *Link) SpotCheck() ([]Alert, error) {
 		if !ok {
 			return raised, fmt.Errorf("%s endpoint of link %q: %w", e.Side, l.ID, ErrEnrollmentLost)
 		}
-		meas := e.refl.Measure(e.observed, l.Env)
-		f := e.pipeline.FromWaveformMasked(meas.IIP, e.mask)
+		meas := e.refl.MeasureInto(e.arena, e.observed, l.Env)
+		f := e.pipeline.FromWaveformMaskedWith(&e.ws, meas.IIP, e.mask)
 		scoring := e.mask.Dilate(l.cfg.Robust.MaskGuard)
 		if auth := e.matcher.AuthenticateMasked(f, enrolled, scoring); !auth.Accepted {
 			raised = append(raised, Alert{Side: e.Side, Kind: AlertAuthFailure, Score: auth.Score})
 		}
-		if v := e.detector.CheckMasked(f, enrolled, scoring); v.Tampered {
+		if v := e.detector.CheckMaskedWith(&e.ws, f, enrolled, scoring); v.Tampered {
 			raised = append(raised, Alert{
 				Side: e.Side, Kind: AlertTamper,
 				PeakError: v.PeakError, Position: v.Position,

@@ -162,16 +162,18 @@ type roundView struct {
 
 // observe takes one measurement and scores it against the enrollment with
 // the endpoint's current mask: repair dead bins, smooth, match over the
-// dilated live support.
+// dilated live support. The whole round runs inside the endpoint's arena
+// and workspace — nothing observed here outlives the call, so the buffers
+// are recycled round after round.
 func (l *Link) observe(e *Endpoint, enrolled fingerprint.IIP) roundView {
 	rob := l.cfg.Robust
-	meas := e.refl.Measure(e.observed, l.Env)
+	meas := e.refl.MeasureInto(e.arena, e.observed, l.Env)
 	e.trackSaturation(meas.Saturated, rob)
-	f := e.pipeline.FromWaveformMasked(meas.IIP, e.mask)
+	f := e.pipeline.FromWaveformMaskedWith(&e.ws, meas.IIP, e.mask)
 	scoring := e.mask.Dilate(rob.MaskGuard)
 	v := roundView{
 		auth: e.matcher.AuthenticateMasked(f, enrolled, scoring),
-		tv:   e.detector.CheckMasked(f, enrolled, scoring),
+		tv:   e.detector.CheckMaskedWith(&e.ws, f, enrolled, scoring),
 	}
 	if live := e.bins - scoring.Count(); rob.MinLiveBins > 0 && live < rob.MinLiveBins {
 		v.lowRes = true
@@ -295,15 +297,20 @@ func roundVerdict(authFail, tamper, suspect bool) string {
 	return "ok"
 }
 
-// pushScore appends an accepted score to the rolling window.
+// pushScore appends an accepted score to the rolling window. Once the
+// window is full it shifts in place instead of reslicing, so the backing
+// array is reused round after round.
 func (e *Endpoint) pushScore(s float64, window int) {
 	if window <= 0 {
 		return
 	}
-	e.window = append(e.window, s)
-	if len(e.window) > window {
-		e.window = e.window[len(e.window)-window:]
+	if len(e.window) < window {
+		e.window = append(e.window, s)
+		return
 	}
+	copy(e.window, e.window[len(e.window)-window+1:])
+	e.window = e.window[:window]
+	e.window[window-1] = s
 }
 
 // baseline returns the rolling-window mean (0 with no data).

@@ -114,11 +114,17 @@ func (m BinMask) Union(other []bool) BinMask {
 // kernel; the repaired bins themselves are excluded from matching by the
 // mask.
 func Repair(w *signal.Waveform, m BinMask) *signal.Waveform {
+	return RepairInto(nil, w, m)
+}
+
+// RepairInto is Repair with a reusable destination (nil allocates a fresh
+// one), which must not alias w. An empty mask returns w itself, untouched,
+// exactly like Repair.
+func RepairInto(dst *signal.Waveform, w *signal.Waveform, m BinMask) *signal.Waveform {
 	if m.Empty() {
 		return w
 	}
-	out := signal.New(w.Rate, w.Len())
-	copy(out.Samples, w.Samples)
+	out := signal.CopyInto(dst, w)
 	n := out.Len()
 	i := 0
 	for i < n {

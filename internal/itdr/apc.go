@@ -3,6 +3,7 @@ package itdr
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"divot/internal/stats"
 )
@@ -139,11 +140,49 @@ func (iv *Inverter) Matches(refs []float64) bool {
 func (iv *Inverter) Promoted() bool { return iv.table != nil }
 
 // Promote tabulates the composite CDF so subsequent Estimate calls invert by
-// interpolation instead of bisection. Idempotent.
+// interpolation instead of bisection. Idempotent. The table itself comes
+// from a process-wide cache keyed by the CDF's parameters: every instrument
+// of the same configuration probes a given ETS bin with the same Vernier
+// reference sequence, so a 1000-link fleet shares one ~4 KB table per bin
+// instead of holding a thousand bitwise-identical copies.
 func (iv *Inverter) Promote() {
 	if iv.table == nil {
-		iv.table = iv.cdf.InverseTable(inverterTableSize)
+		iv.table = sharedInverseTable(iv.cdf)
 	}
+}
+
+// tableCache shares promoted inverse tables across instruments. Tabulation
+// is a pure function of the CDF parameters, so sharing cannot change any
+// estimate; a fingerprint collision (different parameters, same key) falls
+// back to a private table rather than evicting the first owner. The cache
+// grows with the set of distinct instrument configurations seen by the
+// process — bounded in practice, and each entry is a few KB.
+var tableCache sync.Map // uint64 → *tableCacheEntry
+
+type tableCacheEntry struct {
+	cdf   *stats.CompositeCDF
+	table *stats.InverseTable
+}
+
+func sharedInverseTable(cdf *stats.CompositeCDF) *stats.InverseTable {
+	key := cdf.Fingerprint()
+	if e, ok := tableCache.Load(key); ok {
+		ent := e.(*tableCacheEntry)
+		if ent.cdf.Equal(cdf) {
+			return ent.table
+		}
+		return cdf.InverseTable(inverterTableSize)
+	}
+	t := cdf.InverseTable(inverterTableSize)
+	if e, loaded := tableCache.LoadOrStore(key, &tableCacheEntry{cdf: cdf, table: t}); loaded {
+		// Another goroutine published first; use its entry when it truly
+		// matches (the tables are bitwise-identical either way).
+		ent := e.(*tableCacheEntry)
+		if ent.cdf.Equal(cdf) {
+			return ent.table
+		}
+	}
+	return t
 }
 
 // Estimate inverts the composite CDF: given a measured ones-fraction over

@@ -54,6 +54,11 @@ type Reflectometer struct {
 	sink       telemetry.Sink
 	link, side string
 
+	// fwd caches the forward incident edge fed to the coupler's directivity
+	// term: it depends only on static configuration (rate, bins, probe), so
+	// it is synthesized once and reused by every measurement.
+	fwd *signal.Waveform
+
 	// binInv caches one inverse APC map per ETS phase bin across
 	// measurements. Clock-triggered probing revisits each bin with the same
 	// Vernier reference sequence every measurement, so from the second
@@ -115,10 +120,27 @@ func (r *Reflectometer) Probe() txline.Probe { return r.probe }
 
 // Measure acquires one full IIP of the line under the given environment.
 // The environment condition (temperature, strain, EMI phase) is sampled once
-// per measurement; comparator noise is drawn per trial.
+// per measurement; comparator noise is drawn per trial. The returned
+// Measurement owns its memory (it is detached from the pooled arena backing
+// the acquisition), so callers may retain it across further measurements —
+// calibration averaging depends on that.
 func (r *Reflectometer) Measure(line *txline.Line, env txline.Environment) Measurement {
+	a := arenaPool.Get().(*Arena)
+	m := r.MeasureInto(a, line, env)
+	m.IIP = m.IIP.Clone()
+	m.Saturated = append([]bool(nil), m.Saturated...)
+	arenaPool.Put(a)
+	return m
+}
+
+// MeasureInto is Measure running entirely inside the caller's arena: the
+// returned Measurement's IIP and Saturated alias the arena's buffers and are
+// valid until the next MeasureInto on the same arena. In steady state (warm
+// arena, warm per-bin inverter cache, Parallelism 1) a measurement allocates
+// nothing; results are bit-identical to Measure at any parallelism.
+func (r *Reflectometer) MeasureInto(a *Arena, line *txline.Line, env txline.Environment) Measurement {
 	cond := env.Sample(r.envRN)
-	return r.measureUnder(line, cond)
+	return r.measureUnder(a, line, cond)
 }
 
 // measureUnder runs the acquisition for a fixed environmental condition.
@@ -132,7 +154,7 @@ func (r *Reflectometer) Measure(line *txline.Line, env txline.Environment) Measu
 // slot, so fanning bins across cfg.EffectiveParallelism() workers yields
 // bit-identical IIPs at any worker count — Parallelism=1 runs the same
 // per-bin code inline.
-func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) Measurement {
+func (r *Reflectometer) measureUnder(a *Arena, line *txline.Line, cond txline.Condition) Measurement {
 	cfg := r.cfg
 	bins := cfg.Bins()
 	rate := cfg.EquivalentRate()
@@ -153,47 +175,42 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 		cond.EMIAmplitude = ct.EMIAmplitude
 	}
 
+	workers := cfg.EffectiveParallelism()
+	if workers > bins {
+		workers = bins
+	}
+	a.prepare(rate, bins, workers, cfg.TrialsPerBin)
+
 	// Physical truth: the back-reflection waveform for this condition, and
 	// the incident edge that leaks through the coupler's finite directivity.
-	backward := line.Reflect(r.probe, cond.DeltaT, cond.Stretch, rate, bins)
-	forward := signal.StepEdge(rate, bins, 0, r.probe.RiseTime, r.probe.Amplitude)
-	seen := cfg.Coupler.Output(backward, forward)
+	// The forward edge depends only on static configuration, so it is
+	// synthesized once per instrument and reused.
+	backward := line.ReflectInto(&a.reflect, r.probe, cond.DeltaT, cond.Stretch, rate, bins)
+	if r.fwd == nil || r.fwd.Rate != rate || r.fwd.Len() != bins {
+		r.fwd = signal.StepEdge(rate, bins, 0, r.probe.RiseTime, r.probe.Amplitude)
+	}
+	a.seen = cfg.Coupler.OutputInto(a.seen, backward, r.fwd)
 	// Directional couplers are inherently AC-coupled: the DC level of the
 	// reflected waveform (set by the line's average impedance offset from
 	// nominal) never reaches the detector. Removing it keeps the waveform
 	// centered in the APC's dynamic range regardless of which line is
 	// attached — without this, lines with a large average offset would
 	// saturate the comparator range. (In place: the coupler output above is
-	// a fresh buffer this measurement owns.)
-	seen = signal.RemoveMeanInPlace(seen)
+	// a buffer this measurement owns.)
+	seen := signal.RemoveMeanInPlace(a.seen)
 
-	clockPeriod := 1 / cfg.SampleClockHz
 	// Fresh randomness for each measurement: the trigger pattern depends
 	// on the live traffic and the EMI aggressor drifts in phase, so
 	// neither may repeat identically between measurements.
-	mStream := r.envRN.ChildN("measurement", r.seq)
+	a.mStream.ReseedChildN(r.envRN, "measurement", r.seq)
 	if len(r.binInv) != bins {
 		r.binInv = make([]*Inverter, bins)
 	}
 
-	out := signal.New(rate, bins)
-	binCycles := make([]int, bins)
-	saturated := make([]bool, bins)
 	// Jitter faults add in quadrature to the PLL's own phase noise.
 	jitterRMS := cfg.PhaseJitterRMS
 	if faulted && mf.ExtraJitterRMS > 0 {
 		jitterRMS = math.Sqrt(jitterRMS*jitterRMS + mf.ExtraJitterRMS*mf.ExtraJitterRMS)
-	}
-	distorted := faulted && mf.distortsTrials()
-	workers := cfg.EffectiveParallelism()
-	if workers > bins {
-		workers = bins
-	}
-	// One reference-level scratch buffer per worker, reused across the bins
-	// that worker happens to execute.
-	scratch := make([][]float64, workers)
-	for w := range scratch {
-		scratch[w] = make([]float64, cfg.TrialsPerBin)
 	}
 
 	// Deterministic per-bin cycle base: bin m behaves as if it were acquired
@@ -207,125 +224,40 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 		binStride = int(float64(cfg.TrialsPerBin) / cfg.TriggerDensity)
 	}
 
-	pool.Run(bins, workers, func(worker, m int) {
-		// All randomness below derives from the bin index, never from which
-		// worker runs the bin or in what order.
-		bs := mStream.ChildN("bin", uint64(m))
-		refs := scratch[worker]
-		tBin := float64(m) * cfg.PhaseStepSec
-		xtalk := cond.CrosstalkAt(tBin)
-		var bf BinFault
-		if faulted && mf.Bin != nil {
-			bf = mf.Bin(m)
+	a.ctx = binCtx{
+		cond:        cond,
+		seen:        seen,
+		mf:          mf,
+		faulted:     faulted,
+		distorted:   faulted && mf.distortsTrials(),
+		jitterRMS:   jitterRMS,
+		clockPeriod: 1 / cfg.SampleClockHz,
+		binStride:   binStride,
+		out:         a.out,
+		binCycles:   a.binCycles,
+		saturated:   a.saturated,
+		scratch:     a.scratch,
+		binRN:       a.binRN,
+		mStream:     a.mStream,
+	}
+	ctx := &a.ctx
+	if workers <= 1 {
+		// Inline fast path: no closure, no goroutines — the steady-state
+		// Parallelism=1 monitoring loop allocates nothing here.
+		for m := 0; m < bins; m++ {
+			r.measureBin(ctx, 0, m)
 		}
-		ones := 0
-		cycleBase := m * binStride
-		cycle := 0
-		for j := 0; j < cfg.TrialsPerBin; j++ {
-			// Advance to the bin's next cycle carrying a usable launch edge.
-			polarity := 1.0
-			switch cfg.Trigger {
-			case TriggerClock:
-				cycle++
-			case TriggerFIFO:
-				for {
-					cycle++
-					if bs.Bool(cfg.TriggerDensity) {
-						break
-					}
-				}
-			case TriggerNone:
-				for {
-					cycle++
-					if bs.Bool(2 * cfg.TriggerDensity) {
-						break
-					}
-				}
-				// Edge direction is uncontrolled: half the launches are
-				// rising, half falling, and a falling edge's reflection is
-				// the negative of the rising edge's.
-				if bs.Bool(0.5) {
-					polarity = -1
-				}
-			}
-			tAbs := float64(cycleBase+cycle)*clockPeriod + tBin
-			ref := r.mod.Level(tAbs)
-			refs[j] = ref
-			// The EMI aggressor is asynchronous to the sampling clock: its
-			// frequency offset and jitter decorrelate the phase between
-			// successive visits to the same bin, so each trial sees an
-			// independent phase — the premise of the paper's synchronized-
-			// averaging argument (§IV-C). A phase-locked aggressor would
-			// not average out; that adversarial case is out of scope here.
-			var emi float64
-			if cond.EMIAmplitude != 0 {
-				emi = cond.EMIAmplitude * math.Sin(bs.Uniform(0, 2*math.Pi))
-			}
-			// The PLL's phase-shifted clock jitters around the nominal
-			// bin position, so each trial samples the waveform slightly
-			// off-bin — a timing-noise contribution that scales with the
-			// local slew rate.
-			tSample := tBin
-			if faulted {
-				tSample += mf.PhaseOffset
-			}
-			if jitterRMS > 0 {
-				tSample += bs.Gaussian(0, jitterRMS)
-			}
-			vsig := polarity*seen.At(tSample) + emi + xtalk
-			// Fault paths replace the comparator decision; the healthy
-			// branch is byte-for-byte the original sampling call.
-			var dec bool
-			switch {
-			case bf.Dead:
-				// A dead acquisition slice never fires; no noise is drawn,
-				// mirroring hardware where the counter simply sees no pulses.
-			case faulted && mf.Stuck == StuckLow:
-			case faulted && mf.Stuck == StuckHigh:
-				dec = true
-			case distorted:
-				dec = r.comp.SampleDistorted(bs, vsig, ref, mf.ExtraOffset, mf.noiseScale())
-			default:
-				dec = r.comp.SampleWith(bs, vsig, ref)
-			}
-			if dec {
-				ones++
-			}
-		}
-		if bf.CounterXOR != 0 {
-			ones ^= int(bf.CounterXOR)
-			if ones > cfg.TrialsPerBin {
-				// The physical counter is TrialsPerBin wide; an upset cannot
-				// read beyond full scale.
-				ones = cfg.TrialsPerBin
-			}
-		}
-		saturated[m] = ones == 0 || ones == cfg.TrialsPerBin
-		p := float64(ones) / float64(cfg.TrialsPerBin)
-		// Per-bin inverse-map cache: reuse the inverter while the bin's
-		// reference sequence repeats (always, under TriggerClock) and
-		// promote it to a tabulated CDF on the first reuse. Data-triggered
-		// modes see fresh cycle offsets each measurement, so they rebuild —
-		// still cheaper than before thanks to the sorted, windowed CDF.
-		inv := r.binInv[m]
-		if inv == nil || !inv.Matches(refs) {
-			inv = r.apc.NewInverter(refs)
-			r.binInv[m] = inv
-		} else {
-			inv.Promote()
-		}
-		// Refer the estimate back to the line by undoing the coupler gain.
-		out.Samples[m] = inv.Estimate(p, cfg.TrialsPerBin) / cfg.Coupler.Factor
-		binCycles[m] = cycle
-	})
+	} else {
+		pool.Run(bins, workers, func(worker, m int) { r.measureBin(ctx, worker, m) })
+	}
 
 	cycles := 0
-	for _, c := range binCycles {
+	for _, c := range a.binCycles {
 		cycles += c
 	}
 	if r.sink != nil {
 		sat := 0
-		for _, s := range saturated {
+		for _, s := range a.saturated {
 			if s {
 				sat++
 			}
@@ -337,10 +269,147 @@ func (r *Reflectometer) measureUnder(line *txline.Line, cond txline.Condition) M
 		})
 	}
 	return Measurement{
-		IIP:        out,
+		IIP:        a.out,
 		Trials:     bins * cfg.TrialsPerBin,
 		CyclesUsed: cycles,
 		Duration:   float64(cycles) / cfg.SampleClockHz,
-		Saturated:  saturated,
+		Saturated:  a.saturated,
 	}
+}
+
+// binCtx is the read-mostly state shared by every bin of one measurement;
+// it lives inside the arena so assembling it per measurement costs nothing.
+// Workers touch only their own scratch/binRN slot and their bins' output
+// slots.
+type binCtx struct {
+	cond        txline.Condition
+	seen        *signal.Waveform
+	mf          MeasurementFault
+	faulted     bool
+	distorted   bool
+	jitterRMS   float64
+	clockPeriod float64
+	binStride   int
+	out         *signal.Waveform
+	binCycles   []int
+	saturated   []bool
+	scratch     [][]float64
+	binRN       []*rng.Stream
+	mStream     *rng.Stream
+}
+
+// measureBin acquires one ETS phase bin: trigger search, trial loop, and
+// inverse-map evaluation. All randomness derives from the bin index, never
+// from which worker runs the bin or in what order — the determinism contract
+// behind bit-identical IIPs at any parallelism.
+func (r *Reflectometer) measureBin(c *binCtx, worker, m int) {
+	cfg := r.cfg
+	bs := c.binRN[worker]
+	bs.ReseedChildN(c.mStream, "bin", uint64(m))
+	refs := c.scratch[worker]
+	tBin := float64(m) * cfg.PhaseStepSec
+	xtalk := c.cond.CrosstalkAt(tBin)
+	var bf BinFault
+	if c.faulted && c.mf.Bin != nil {
+		bf = c.mf.Bin(m)
+	}
+	ones := 0
+	cycleBase := m * c.binStride
+	cycle := 0
+	for j := 0; j < cfg.TrialsPerBin; j++ {
+		// Advance to the bin's next cycle carrying a usable launch edge.
+		polarity := 1.0
+		switch cfg.Trigger {
+		case TriggerClock:
+			cycle++
+		case TriggerFIFO:
+			for {
+				cycle++
+				if bs.Bool(cfg.TriggerDensity) {
+					break
+				}
+			}
+		case TriggerNone:
+			for {
+				cycle++
+				if bs.Bool(2 * cfg.TriggerDensity) {
+					break
+				}
+			}
+			// Edge direction is uncontrolled: half the launches are
+			// rising, half falling, and a falling edge's reflection is
+			// the negative of the rising edge's.
+			if bs.Bool(0.5) {
+				polarity = -1
+			}
+		}
+		tAbs := float64(cycleBase+cycle)*c.clockPeriod + tBin
+		ref := r.mod.Level(tAbs)
+		refs[j] = ref
+		// The EMI aggressor is asynchronous to the sampling clock: its
+		// frequency offset and jitter decorrelate the phase between
+		// successive visits to the same bin, so each trial sees an
+		// independent phase — the premise of the paper's synchronized-
+		// averaging argument (§IV-C). A phase-locked aggressor would
+		// not average out; that adversarial case is out of scope here.
+		var emi float64
+		if c.cond.EMIAmplitude != 0 {
+			emi = c.cond.EMIAmplitude * math.Sin(bs.Uniform(0, 2*math.Pi))
+		}
+		// The PLL's phase-shifted clock jitters around the nominal
+		// bin position, so each trial samples the waveform slightly
+		// off-bin — a timing-noise contribution that scales with the
+		// local slew rate.
+		tSample := tBin
+		if c.faulted {
+			tSample += c.mf.PhaseOffset
+		}
+		if c.jitterRMS > 0 {
+			tSample += bs.Gaussian(0, c.jitterRMS)
+		}
+		vsig := polarity*c.seen.At(tSample) + emi + xtalk
+		// Fault paths replace the comparator decision; the healthy
+		// branch is byte-for-byte the original sampling call.
+		var dec bool
+		switch {
+		case bf.Dead:
+			// A dead acquisition slice never fires; no noise is drawn,
+			// mirroring hardware where the counter simply sees no pulses.
+		case c.faulted && c.mf.Stuck == StuckLow:
+		case c.faulted && c.mf.Stuck == StuckHigh:
+			dec = true
+		case c.distorted:
+			dec = r.comp.SampleDistorted(bs, vsig, ref, c.mf.ExtraOffset, c.mf.noiseScale())
+		default:
+			dec = r.comp.SampleWith(bs, vsig, ref)
+		}
+		if dec {
+			ones++
+		}
+	}
+	if bf.CounterXOR != 0 {
+		ones ^= int(bf.CounterXOR)
+		if ones > cfg.TrialsPerBin {
+			// The physical counter is TrialsPerBin wide; an upset cannot
+			// read beyond full scale.
+			ones = cfg.TrialsPerBin
+		}
+	}
+	c.saturated[m] = ones == 0 || ones == cfg.TrialsPerBin
+	p := float64(ones) / float64(cfg.TrialsPerBin)
+	// Per-bin inverse-map cache: reuse the inverter while the bin's
+	// reference sequence repeats (always, under TriggerClock) and
+	// promote it to a tabulated CDF on the first reuse. Data-triggered
+	// modes see fresh cycle offsets each measurement, so they rebuild —
+	// still cheaper than before thanks to the sorted, windowed CDF.
+	inv := r.binInv[m]
+	if inv == nil || !inv.Matches(refs) {
+		inv = r.apc.NewInverter(refs)
+		r.binInv[m] = inv
+	} else {
+		inv.Promote()
+	}
+	// Refer the estimate back to the line by undoing the coupler gain.
+	c.out.Samples[m] = inv.Estimate(p, cfg.TrialsPerBin) / cfg.Coupler.Factor
+	c.binCycles[m] = cycle
 }

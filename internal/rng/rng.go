@@ -18,7 +18,6 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math/rand/v2"
 )
 
@@ -27,6 +26,7 @@ import (
 // labelled children.
 type Stream struct {
 	seed uint64
+	pcg  *rand.PCG
 	r    *rand.Rand
 }
 
@@ -34,7 +34,35 @@ type Stream struct {
 func New(seed uint64) *Stream {
 	// The second PCG word is decorrelated from the first with a golden-ratio
 	// increment so that nearby seeds do not yield overlapping sequences.
-	return &Stream{seed: seed, r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &Stream{seed: seed, pcg: pcg, r: rand.New(pcg)}
+}
+
+// Reseed resets the stream in place to the state New(seed) would produce,
+// without allocating. A PCG's output depends only on its two state words and
+// rand.Rand carries no state of its own, so a reseeded stream is
+// bit-identical to a freshly constructed one — the primitive that lets hot
+// loops keep one Stream per worker and re-derive it per work unit instead of
+// forking garbage.
+func (s *Stream) Reseed(seed uint64) {
+	s.seed = seed
+	s.pcg.Seed(seed, seed^0x9e3779b97f4a7c15)
+}
+
+// ReseedChild is Child without the allocation: it re-points s at the stream
+// Child(label) of parent would return. s and parent may not be the same
+// stream.
+func (s *Stream) ReseedChild(parent *Stream, label string) {
+	s.Reseed(parent.deriveSeed(label, 0, false))
+}
+
+// ReseedChildN is ChildN without the allocation: it re-points s at the
+// stream ChildN(label, n) of parent would return. s and parent may not be
+// the same stream. Reading the parent's seed is the only access to parent,
+// so distinct workers may re-derive children of one shared parent
+// concurrently.
+func (s *Stream) ReseedChildN(parent *Stream, label string, n uint64) {
+	s.Reseed(parent.deriveSeed(label, n, true))
 }
 
 // Child derives an independent stream from this stream's seed and a label.
@@ -53,23 +81,32 @@ func (s *Stream) ChildN(label string, n uint64) *Stream {
 	return New(s.deriveSeed(label, n, true))
 }
 
+// FNV-1a constants, matching hash/fnv's 64-bit offset basis and prime. The
+// hash is inlined (rather than calling hash/fnv) so deriving a child seed
+// allocates nothing; the rng tests pin the inline form against hash/fnv so
+// historical child seeds can never silently change.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // deriveSeed hashes the parent seed, the label, and (optionally) an index
-// into a child seed.
+// into a child seed — FNV-1a over the little-endian seed bytes, the label
+// bytes, then the little-endian index bytes.
 func (s *Stream) deriveSeed(label string, n uint64, indexed bool) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := range buf {
-		buf[i] = byte(s.seed >> (8 * i))
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(s.seed>>(8*i)))) * fnvPrime64
 	}
-	h.Write(buf[:])
-	h.Write([]byte(label))
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * fnvPrime64
+	}
 	if indexed {
-		for i := range buf {
-			buf[i] = byte(n >> (8 * i))
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(n>>(8*i)))) * fnvPrime64
 		}
-		h.Write(buf[:])
 	}
-	return h.Sum64()
+	return h
 }
 
 // Seed returns the seed this stream was created with.

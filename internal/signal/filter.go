@@ -11,13 +11,27 @@ func GaussianSmooth(w *Waveform, sigmaSamples float64) *Waveform {
 	if sigmaSamples <= 0 {
 		return w.Clone()
 	}
-	radius := int(math.Ceil(4 * sigmaSamples))
-	kernel := make([]float64, 2*radius+1)
+	return GaussianSmoothInto(nil, w, GaussianKernel(sigmaSamples))
+}
+
+// kernelRadius is the Gaussian kernel half-width in samples: four sigmas,
+// rounded up.
+func kernelRadius(sigmaSamples float64) int {
+	return int(math.Ceil(4 * sigmaSamples))
+}
+
+// fillGaussianKernel writes the unnormalized exp(-z²/2) taps into kernel,
+// which must have length 2*radius+1.
+func fillGaussianKernel(kernel []float64, radius int, sigmaSamples float64) {
 	for i := range kernel {
 		z := (float64(i) - float64(radius)) / sigmaSamples
 		kernel[i] = math.Exp(-0.5 * z * z)
 	}
-	out := New(w.Rate, w.Len())
+}
+
+// smoothWith runs the edge-renormalized convolution of GaussianSmooth from w
+// into out; out must already have w's length and must not alias w.
+func smoothWith(out, w *Waveform, kernel []float64, radius int) {
 	for i := range w.Samples {
 		var acc, mass float64
 		for k, kv := range kernel {
@@ -32,7 +46,6 @@ func GaussianSmooth(w *Waveform, sigmaSamples float64) *Waveform {
 			out.Samples[i] = acc / mass
 		}
 	}
-	return out
 }
 
 // MovingAverage smooths w with a centered boxcar of the given width in

@@ -1,0 +1,90 @@
+package signal
+
+// This file holds the buffer-reusing forms of the package's allocating
+// operations. Every XxxInto takes a destination waveform that may be nil (a
+// fresh one is allocated) or recycled from a previous call (its storage is
+// reused when large enough); the returned waveform is the destination, with
+// numerics bit-identical to the allocating form — same loops, same
+// accumulation order. Destinations must not alias the inputs unless a
+// function documents otherwise. The measurement hot path (itdr.Arena,
+// fingerprint.Workspace) is built on these.
+
+// Reuse returns a waveform with the given rate and n zeroed samples,
+// recycling w's storage when it is non-nil and large enough. The zeroing
+// makes the result interchangeable with New(rate, n) — accumulating callers
+// (txline.Line.ReflectInto) depend on it, and for overwriting callers n
+// samples of clearing is noise next to the work that follows.
+func Reuse(w *Waveform, rate float64, n int) *Waveform {
+	if w == nil || cap(w.Samples) < n {
+		return New(rate, n)
+	}
+	w.Rate = rate
+	w.Samples = w.Samples[:n]
+	for i := range w.Samples {
+		w.Samples[i] = 0
+	}
+	return w
+}
+
+// CopyInto copies src into dst (reusing dst's storage when possible) and
+// returns dst — the reusing form of Clone.
+func CopyInto(dst, src *Waveform) *Waveform {
+	dst = Reuse(dst, src.Rate, src.Len())
+	copy(dst.Samples, src.Samples)
+	return dst
+}
+
+// GaussianKernel returns the unnormalized Gaussian smoothing kernel
+// GaussianSmooth builds internally for the given standard deviation in
+// samples: 2*ceil(4σ)+1 taps of exp(-z²/2). Hoist it once per pipeline and
+// pass it to GaussianSmoothInto to smooth repeatedly without rebuilding.
+// sigmaSamples must be positive.
+func GaussianKernel(sigmaSamples float64) []float64 {
+	radius := kernelRadius(sigmaSamples)
+	kernel := make([]float64, 2*radius+1)
+	fillGaussianKernel(kernel, radius, sigmaSamples)
+	return kernel
+}
+
+// GaussianSmoothInto is GaussianSmooth with a hoisted kernel (from
+// GaussianKernel, built at the same sigma) and a reusable destination, which
+// must not alias w. Edge renormalization is identical to GaussianSmooth.
+func GaussianSmoothInto(dst, w *Waveform, kernel []float64) *Waveform {
+	radius := len(kernel) / 2
+	dst = Reuse(dst, w.Rate, w.Len())
+	smoothWith(dst, w, kernel, radius)
+	return dst
+}
+
+// DerivativeInto is Derivative with a reusable destination, which must not
+// alias w.
+func DerivativeInto(dst, w *Waveform) *Waveform {
+	if w.Len() < 2 {
+		return Reuse(dst, w.Rate, 0)
+	}
+	dst = Reuse(dst, w.Rate, w.Len()-1)
+	for i := range dst.Samples {
+		dst.Samples[i] = (w.Samples[i+1] - w.Samples[i]) * w.Rate
+	}
+	return dst
+}
+
+// RemoveMeanInto is RemoveMean with a reusable destination, which must not
+// alias w.
+func RemoveMeanInto(dst, w *Waveform) *Waveform {
+	m := Mean(w)
+	dst = Reuse(dst, w.Rate, w.Len())
+	for i, v := range w.Samples {
+		dst.Samples[i] = v - m
+	}
+	return dst
+}
+
+// ScaleInto is Scale with a reusable destination, which must not alias w.
+func ScaleInto(dst, w *Waveform, k float64) *Waveform {
+	dst = Reuse(dst, w.Rate, w.Len())
+	for i, v := range w.Samples {
+		dst.Samples[i] = k * v
+	}
+	return dst
+}

@@ -1,0 +1,62 @@
+package signal
+
+import (
+	"math"
+	"testing"
+)
+
+func rampWave(n int) *Waveform {
+	w := New(1e9, n)
+	for i := range w.Samples {
+		w.Samples[i] = math.Sin(float64(i)*0.37) + 0.1*float64(i)
+	}
+	return w
+}
+
+// TestIntoVariantsMatchAllocatingForms proves every XxxInto is bit-identical
+// to its allocating counterpart, both into a nil destination and into a
+// recycled, previously dirty one.
+func TestIntoVariantsMatchAllocatingForms(t *testing.T) {
+	w := rampWave(257)
+	dirty := New(2e9, 400)
+	for i := range dirty.Samples {
+		dirty.Samples[i] = 1e9
+	}
+	check := func(name string, want, got *Waveform) {
+		t.Helper()
+		if got.Rate != want.Rate || got.Len() != want.Len() {
+			t.Fatalf("%s: grid mismatch (%v,%d) vs (%v,%d)", name, got.Rate, got.Len(), want.Rate, want.Len())
+		}
+		for i := range want.Samples {
+			if got.Samples[i] != want.Samples[i] {
+				t.Fatalf("%s: sample %d = %v, want %v", name, i, got.Samples[i], want.Samples[i])
+			}
+		}
+	}
+	kernel := GaussianKernel(4)
+	check("smooth/nil", GaussianSmooth(w, 4), GaussianSmoothInto(nil, w, kernel))
+	check("smooth/dirty", GaussianSmooth(w, 4), GaussianSmoothInto(dirty.Clone(), w, kernel))
+	check("derivative", Derivative(w), DerivativeInto(dirty.Clone(), w))
+	check("removemean", RemoveMean(w), RemoveMeanInto(dirty.Clone(), w))
+	check("scale", Scale(w, -2.5), ScaleInto(dirty.Clone(), w, -2.5))
+	check("copy", w.Clone(), CopyInto(dirty.Clone(), w))
+
+	short := New(1e9, 1)
+	check("derivative/short", Derivative(short), DerivativeInto(nil, short))
+}
+
+// TestIntoVariantsAllocationFree proves a warm destination makes the Into
+// forms allocation-free — the property the measurement arena builds on.
+func TestIntoVariantsAllocationFree(t *testing.T) {
+	w := rampWave(257)
+	kernel := GaussianKernel(4)
+	sm := GaussianSmoothInto(nil, w, kernel)
+	dv := DerivativeInto(nil, sm)
+	allocs := testing.AllocsPerRun(20, func() {
+		sm = GaussianSmoothInto(sm, w, kernel)
+		dv = DerivativeInto(dv, sm)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm smooth+derivative allocates %v times per run, want 0", allocs)
+	}
+}

@@ -49,6 +49,44 @@ func NewCompositeCDF(sigma float64, centers []float64) *CompositeCDF {
 // Sigma returns the component standard deviation.
 func (c *CompositeCDF) Sigma() float64 { return c.sigma }
 
+// Fingerprint hashes the mixture's defining parameters (sigma and the sorted
+// centers) into a cache key — FNV-1a over the IEEE-754 bit patterns. Two
+// mixtures with equal fingerprints almost certainly tabulate identical
+// inverse tables; callers that share tables across instruments confirm with
+// Equal before trusting a hit.
+func (c *CompositeCDF) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(bits>>(8*i)))) * prime64
+		}
+	}
+	mix(c.sigma)
+	for _, t := range c.centers {
+		mix(t)
+	}
+	return h
+}
+
+// Equal reports whether two mixtures have bitwise-equal parameters — and
+// therefore bitwise-equal CDFs, inversions, and tabulations.
+func (c *CompositeCDF) Equal(o *CompositeCDF) bool {
+	if c.sigma != o.sigma || len(c.centers) != len(o.centers) {
+		return false
+	}
+	for i, t := range c.centers {
+		if t != o.centers[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Bracket returns the voltage interval [lo, hi] outside which the CDF is
 // saturated to (numerically) 0 or 1: the center span widened by pad sigmas.
 func (c *CompositeCDF) Bracket(pad float64) (lo, hi float64) {

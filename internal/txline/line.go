@@ -313,8 +313,19 @@ func (l *Line) TimeToPosition(t float64) float64 { return t * l.cfg.Velocity / 2
 // perturbations) plus the effective termination. The returned slice is
 // freshly allocated.
 func (l *Line) effectiveProfile(deltaT float64) ([]float64, float64) {
+	return l.effectiveProfileInto(nil, deltaT)
+}
+
+// effectiveProfileInto is effectiveProfile appending into a reusable scratch
+// slice (pass scratch[:0] to recycle its storage).
+func (l *Line) effectiveProfileInto(scratch []float64, deltaT float64) ([]float64, float64) {
 	common := 1 + l.cfg.TempCoeffCommon*deltaT
-	z := make([]float64, len(l.baseZ))
+	z := scratch
+	if cap(z) < len(l.baseZ) {
+		z = make([]float64, len(l.baseZ))
+	} else {
+		z = z[:len(l.baseZ)]
+	}
 	for i, base := range l.baseZ {
 		z[i] = base * common * (1 + l.diffTC[i]*deltaT)
 	}

@@ -32,15 +32,43 @@ func DefaultProbe() Probe {
 // incident edge scaled by the boundary's reflection coefficient, delayed by
 // its round-trip time (under stretch) and attenuated by the line loss.
 func (l *Line) Reflect(p Probe, deltaT, stretch float64, rate float64, n int) *signal.Waveform {
+	return l.ReflectInto(nil, p, deltaT, stretch, rate, n)
+}
+
+// reflectEvent is one arrival in the reflection superposition: round-trip
+// time t (unstretched) and amplitude a relative to the incident edge.
+type reflectEvent struct{ t, a float64 }
+
+// ReflectScratch holds the reusable buffers of ReflectInto: the effective
+// impedance profile, the event list, and the output waveform. The zero value
+// is ready to use; one scratch serves one goroutine.
+type ReflectScratch struct {
+	z      []float64
+	events []reflectEvent
+	out    *signal.Waveform
+}
+
+// ReflectInto is Reflect with every buffer recycled from s (nil s behaves
+// like Reflect). The returned waveform aliases s.out and is valid until the
+// next ReflectInto on the same scratch; numerics are bit-identical to
+// Reflect.
+func (l *Line) ReflectInto(s *ReflectScratch, p Probe, deltaT, stretch float64, rate float64, n int) *signal.Waveform {
+	if s == nil {
+		s = &ReflectScratch{}
+	}
 	// Thermal slowing of the wave stretches all arrival times on top of
 	// any mechanical strain.
 	stretch *= 1 + l.cfg.ThermalStretchPerC*deltaT
-	z, term := l.effectiveProfile(deltaT)
+	z, term := l.effectiveProfileInto(s.z[:0], deltaT)
+	s.z = z
 	segDt := 2 * l.cfg.SegmentLength / l.cfg.Velocity // round trip per segment
 	alpha := l.cfg.LossDBPerMeter * math.Ln10 / 20    // nepers per meter, one way
 
-	type event struct{ t, a float64 }
-	events := make([]event, 0, len(z)+2)
+	type event = reflectEvent
+	events := s.events[:0]
+	if cap(events) < len(z)+2 {
+		events = make([]event, 0, len(z)+2)
+	}
 	// Launch interface (source impedance to first segment) is excluded: the
 	// iTDR couples after the driver, so this static offset carries no IIP
 	// information and is removed during calibration anyway.
@@ -66,8 +94,10 @@ func (l *Line) Reflect(p Probe, deltaT, stretch float64, rate float64, n int) *s
 		echo := gTerm * gSrc * gTerm * math.Exp(-4*alpha*l.cfg.Length)
 		events = append(events, event{t: 2 * tTerm, a: echo})
 	}
+	s.events = events
 
-	out := signal.New(rate, n)
+	s.out = signal.Reuse(s.out, rate, n)
+	out := s.out
 	sigma := p.RiseTime / 2.563
 	// Each reflection is the incident erf edge delayed to the event time.
 	// Evaluate the edge only within ±5σ of its transition and hold 0/full

@@ -150,4 +150,60 @@ for _ in $(seq 1 50); do
 done
 kill -0 "$pid2" 2>/dev/null && { echo "second divotd did not exit" >&2; kill -9 "$pid2"; exit 1; }
 wait "$pid2" || { echo "second divotd exited non-zero after SIGTERM" >&2; exit 1; }
+
+# Phase 3: fleet scale. A 1000-bus spec must calibrate (in parallel), run on
+# the sharded scheduler with a bounded goroutine count — observed through the
+# opt-in pprof listener, which lives on its own port, never the API — serve
+# an attestation, and still shut down cleanly on SIGTERM.
+{
+  printf '{\n "seed": 5,\n "listen": "127.0.0.1:9723",\n "interval_ms": 60000,\n'
+  printf ' "scheduler_shards": 8,\n "max_staleness_ms": 30000,\n "buses": [\n'
+  for i in $(seq 0 999); do
+    sep=","
+    [ "$i" -eq 999 ] && sep=""
+    printf '  {"id": "dimm%04d"}%s\n' "$i" "$sep"
+  done
+  printf ' ]\n}\n'
+} > "$workdir/fleet1000.json"
+
+"$workdir/divotd" -spec "$workdir/fleet1000.json" -pprof-addr 127.0.0.1:9733 \
+  > "$workdir/divotd3.log" 2>&1 &
+pid3=$!
+trap 'kill -9 "$pid3" 2>/dev/null; rm -rf "$workdir"' EXIT
+# Calibrating 1000 buses takes a while even in parallel; allow several minutes.
+for _ in $(seq 1 1800); do
+  curl -sf http://127.0.0.1:9723/healthz > /dev/null 2>&1 && break
+  if ! kill -0 "$pid3" 2>/dev/null; then
+    echo "1000-bus divotd exited during startup:" >&2
+    cat "$workdir/divotd3.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -sf http://127.0.0.1:9723/healthz | grep '"buses": 1000'
+
+# The scheduler must be sharded, not goroutine-per-bus: the pprof profile's
+# total must stay far below the fleet size.
+goroutines=$(curl -sf "http://127.0.0.1:9733/debug/pprof/goroutine?debug=1" \
+  | head -1 | grep -o 'total [0-9]*' | grep -o '[0-9]*')
+if [ -z "$goroutines" ] || [ "$goroutines" -ge 100 ]; then
+  echo "1000-bus fleet runs $goroutines goroutines, want < 100" >&2
+  exit 1
+fi
+echo "ok: 1000 buses on $goroutines goroutines"
+
+# The shard-depth gauges must be exported and an attestation must pass.
+curl -sf http://127.0.0.1:9723/metrics | grep -q '^divot_scheduler_shard_depth{shard="0"}'
+curl -sf -X POST http://127.0.0.1:9723/v1/attest -d '{"links":["dimm0007"]}' \
+  | grep '"accepted": true'
+echo "ok: 1000-bus fleet attests"
+
+kill -TERM "$pid3"
+for _ in $(seq 1 100); do
+  kill -0 "$pid3" 2>/dev/null || break
+  sleep 0.2
+done
+kill -0 "$pid3" 2>/dev/null && { echo "1000-bus divotd did not exit" >&2; kill -9 "$pid3"; exit 1; }
+wait "$pid3" || { echo "1000-bus divotd exited non-zero after SIGTERM" >&2; exit 1; }
+grep 'shut down' "$workdir/divotd3.log"
 echo "smoke test passed"
