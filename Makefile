@@ -1,5 +1,5 @@
 GO ?= go
-PR ?= 5
+PR ?= 6
 
 # MONITOR_ALLOC_BUDGET is the allocs/op ceiling for the steady-state
 # monitoring round benchmark (BenchmarkMonitorRound runs at the default
@@ -25,9 +25,10 @@ race:
 	$(GO) test -race ./internal/... ./cmd/... ./client/...
 
 ## bench: run every benchmark once (experiment tables + hot-path micros);
-## -short keeps the 1000-bus fleet sweep out of the smoke pass
+## -short keeps the 1000-bus fleet sweep and the big federation rows out of
+## the smoke pass
 bench:
-	$(GO) test -short . ./cmd/divotd -run XXX -bench . -benchtime 1x -benchmem
+	$(GO) test -short . ./internal/daemon ./cmd/divotherd -run XXX -bench . -benchtime 1x -benchmem
 
 ## bench-guard: fail if the monitoring hot path leaks allocation back in —
 ## benchsnap -max-allocs compares BenchmarkMonitorRound against the budget
@@ -35,10 +36,13 @@ bench-guard:
 	$(GO) test . -run XXX -bench 'MonitorRound$$' -benchtime 20x -benchmem \
 		| $(GO) run ./cmd/benchsnap -max-allocs 'MonitorRound=$(MONITOR_ALLOC_BUDGET)' > /dev/null
 
-## bench-snapshot: record the hot-path micro-benchmarks as machine-readable
-## JSON (BENCH_$(PR).json) for cross-PR diffing; parsed by cmd/benchsnap
+## bench-snapshot: record the hot-path micro-benchmarks plus the full
+## federated-attest sweep (1/4/16 daemons × 1k/10k/100k buses — the big rows
+## calibrate 100k buses first, so this runs for tens of minutes) as
+## machine-readable JSON (BENCH_$(PR).json) for cross-PR diffing
 bench-snapshot:
-	$(GO) test -short . ./cmd/divotd -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll|ClientRoundTrip|FleetScheduler|Attest$$|FleetHealth' -benchtime 20x -benchmem \
+	{ $(GO) test -short . ./internal/daemon -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll|ClientRoundTrip|FleetScheduler|Attest$$|FleetHealth' -benchtime 20x -benchmem ; \
+	  $(GO) test ./cmd/divotherd -run XXX -bench 'FederatedAttest' -benchtime 1x -benchmem -timeout 90m ; } \
 		| $(GO) run ./cmd/benchsnap > BENCH_$(PR).json
 
 ## bench-experiments: the fleet campaign benchmarks used in EXPERIMENTS.md's

@@ -55,7 +55,23 @@ type (
 	AttestResponse = attest.AttestResponse
 	// LinkHealthView is one bus's per-endpoint condition (GET /v1/health).
 	LinkHealthView = attest.LinkHealthView
+	// FederatedAttestResponse is a divotherd aggregator's batch attestation
+	// outcome: request-order results with shard attribution plus the
+	// partial-failure envelope.
+	FederatedAttestResponse = attest.FederatedAttestResponse
+	// ShardStatus is one daemon's standing inside a federation.
+	ShardStatus = attest.ShardStatus
+	// ShardError is one failed shard's entry in a federated response.
+	ShardError = attest.ShardError
+	// DaemonHealth is one daemon's entry in a federated health rollup.
+	DaemonHealth = attest.DaemonHealth
+	// HerdHealthResponse is a divotherd aggregator's /v1/health rollup.
+	HerdHealthResponse = attest.HerdHealthResponse
 )
+
+// ErrUnknownDaemon reports a fan-out plan naming a daemon that is not a
+// member of the Multi.
+var ErrUnknownDaemon = errors.New("client: unknown daemon")
 
 // Wire error codes (APIError.Code values).
 const (
@@ -233,6 +249,32 @@ func attestBody(ids []string) ([]byte, error) {
 		return nil, fmt.Errorf("client: encoding attest request: %w", err)
 	}
 	return raw, nil
+}
+
+// AttestFederated is Attest against a divotherd aggregator: the same
+// request on the same route, decoded into the federated superset response
+// (shard attribution per verdict, partial-failure envelope, per-shard
+// status). Like Attest it is read-only and retried. Calling it against a
+// plain divotd also works — Complete and the shard fields simply come back
+// zero-valued, so callers should branch on len(Errors), not Complete, when
+// the server kind is unknown.
+func (c *Client) AttestFederated(ctx context.Context, ids ...string) (FederatedAttestResponse, error) {
+	var out FederatedAttestResponse
+	body, err := attestBody(ids)
+	if err != nil {
+		return out, err
+	}
+	err = c.call(ctx, http.MethodPost, "/v1/attest", body, true, &out)
+	return out, err
+}
+
+// HerdHealth fetches a divotherd aggregator's federated health rollup:
+// per-daemon liveness plus the merged per-bus health of every reachable
+// shard.
+func (c *Client) HerdHealth(ctx context.Context) (HerdHealthResponse, error) {
+	var out HerdHealthResponse
+	err := c.call(ctx, http.MethodGet, "/v1/health", nil, true, &out)
+	return out, err
 }
 
 // Authenticate spot-checks a single bus. Unlike Attest it is never retried —

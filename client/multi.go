@@ -1,0 +1,186 @@
+package client
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Multi fans calls out across a set of named daemons under one bounded
+// in-flight budget. It is the concurrency half of a federation aggregator:
+// each member is an ordinary retrying Client (backoff, jitter, per-attempt
+// timeouts all apply per call), and Multi adds the fleet-wide semaphore so a
+// 100-daemon fan-out cannot hold 100 sockets' worth of requests in flight at
+// once. Safe for concurrent use; membership may change between calls.
+type Multi struct {
+	sem chan struct{}
+
+	mu      sync.RWMutex
+	clients map[string]*Client
+}
+
+// NewMulti builds an empty fan-out set allowing at most maxInFlight
+// concurrent calls (<=0 means 16).
+func NewMulti(maxInFlight int) *Multi {
+	if maxInFlight <= 0 {
+		maxInFlight = 16
+	}
+	return &Multi{
+		sem:     make(chan struct{}, maxInFlight),
+		clients: make(map[string]*Client),
+	}
+}
+
+// Set adds or replaces the named member.
+func (m *Multi) Set(name string, c *Client) {
+	m.mu.Lock()
+	m.clients[name] = c
+	m.mu.Unlock()
+}
+
+// Delete removes the named member (no-op when absent). In-flight calls to it
+// finish undisturbed.
+func (m *Multi) Delete(name string) {
+	m.mu.Lock()
+	delete(m.clients, name)
+	m.mu.Unlock()
+}
+
+// Client returns the named member (nil when absent).
+func (m *Multi) Client(name string) *Client {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.clients[name]
+}
+
+// Names returns the member names in sorted order.
+func (m *Multi) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.clients))
+	for n := range m.clients {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttestOutcome is one daemon's answer to a fanned-out Attest.
+type AttestOutcome struct {
+	Resp AttestResponse
+	Err  error
+}
+
+// Attest fans a batch attestation out to the planned daemons — plan maps a
+// member name to the bus ids to attest there (nil ids = that daemon's whole
+// fleet) — and returns every daemon's outcome. Calls run concurrently under
+// the in-flight budget; a planned name that is not a member comes back with
+// ErrUnknownDaemon. The context covers the whole fan-out.
+func (m *Multi) Attest(ctx context.Context, plan map[string][]string) map[string]AttestOutcome {
+	out := make(map[string]AttestOutcome, len(plan))
+	var outMu sync.Mutex
+	var wg sync.WaitGroup
+	for name, ids := range plan {
+		wg.Add(1)
+		go func(name string, ids []string) {
+			defer wg.Done()
+			var o AttestOutcome
+			if c := m.Client(name); c == nil {
+				o.Err = ErrUnknownDaemon
+			} else if err := m.acquire(ctx); err != nil {
+				o.Err = err
+			} else {
+				o.Resp, o.Err = c.Attest(ctx, ids...)
+				m.release()
+			}
+			outMu.Lock()
+			out[name] = o
+			outMu.Unlock()
+		}(name, ids)
+	}
+	wg.Wait()
+	return out
+}
+
+// HealthOutcome is one daemon's answer to a fanned-out health probe.
+type HealthOutcome struct {
+	View HealthView
+	Err  error
+}
+
+// Health probes every member's /healthz concurrently under the in-flight
+// budget and returns each outcome by name. A dead daemon's entry carries the
+// transport error; the probe itself still retries under the member's policy.
+func (m *Multi) Health(ctx context.Context) map[string]HealthOutcome {
+	names := m.Names()
+	out := make(map[string]HealthOutcome, len(names))
+	var outMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			var o HealthOutcome
+			if c := m.Client(name); c == nil {
+				o.Err = ErrUnknownDaemon
+			} else if err := m.acquire(ctx); err != nil {
+				o.Err = err
+			} else {
+				o.View, o.Err = c.Health(ctx)
+				m.release()
+			}
+			outMu.Lock()
+			out[name] = o
+			outMu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	return out
+}
+
+// FleetHealthOutcome is one daemon's answer to a fanned-out FleetHealth.
+type FleetHealthOutcome struct {
+	Links []LinkHealthView
+	Err   error
+}
+
+// FleetHealth fetches every member's /v1/health concurrently under the
+// in-flight budget.
+func (m *Multi) FleetHealth(ctx context.Context) map[string]FleetHealthOutcome {
+	names := m.Names()
+	out := make(map[string]FleetHealthOutcome, len(names))
+	var outMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			var o FleetHealthOutcome
+			if c := m.Client(name); c == nil {
+				o.Err = ErrUnknownDaemon
+			} else if err := m.acquire(ctx); err != nil {
+				o.Err = err
+			} else {
+				o.Links, o.Err = c.FleetHealth(ctx)
+				m.release()
+			}
+			outMu.Lock()
+			out[name] = o
+			outMu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	return out
+}
+
+// acquire takes one in-flight slot, or reports why the wait ended early.
+func (m *Multi) acquire(ctx context.Context) error {
+	select {
+	case m.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (m *Multi) release() { <-m.sem }

@@ -1,0 +1,232 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"divot/internal/attest"
+)
+
+// attestServer is a minimal daemon answering POST /v1/attest with one
+// accepted verdict per requested bus (whole-"fleet" = the one bus it owns).
+// Each request holds the handler open briefly so concurrency is observable.
+type attestServer struct {
+	bus   string
+	hold  time.Duration
+	inUse *int32 // shared across the pack: live concurrent requests
+	peak  *int32 // shared high-water mark
+}
+
+func (s attestServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost || r.URL.Path != "/v1/attest" {
+		attest.WriteError(w, attest.CodeUnknownLink, "no route %s %s", r.Method, r.URL.Path)
+		return
+	}
+	if s.inUse != nil {
+		cur := atomic.AddInt32(s.inUse, 1)
+		for {
+			old := atomic.LoadInt32(s.peak)
+			if cur <= old || atomic.CompareAndSwapInt32(s.peak, old, cur) {
+				break
+			}
+		}
+		defer atomic.AddInt32(s.inUse, -1)
+	}
+	if s.hold > 0 {
+		time.Sleep(s.hold)
+	}
+	var req attest.AttestRequest
+	json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req) //nolint:errcheck // empty body = whole fleet
+	ids := req.Links
+	if len(ids) == 0 {
+		ids = []string{s.bus}
+	}
+	resp := attest.AttestResponse{AllAccepted: true}
+	for _, id := range ids {
+		resp.Results = append(resp.Results, attest.AuthReport{ID: id, Accepted: true, Score: 1, Health: "ok"})
+	}
+	attest.WriteData(w, http.StatusOK, resp)
+}
+
+// newPack builds n attestServer members named d0..dn-1 registered on m.
+func newPack(t *testing.T, m *Multi, n int, hold time.Duration, inUse, peak *int32) []string {
+	t.Helper()
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := "d" + string(rune('0'+i))
+		srv := httptest.NewServer(attestServer{bus: "bus-" + name, hold: hold, inUse: inUse, peak: peak})
+		t.Cleanup(srv.Close)
+		c, err := New(srv.URL, WithRetryPolicy(fastRetry()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Set(name, c)
+		names = append(names, name)
+	}
+	return names
+}
+
+// TestMultiAttestFanOut: every planned member answers exactly its planned
+// buses; a planned name that is not a member reports ErrUnknownDaemon without
+// disturbing the rest of the fan-out.
+func TestMultiAttestFanOut(t *testing.T) {
+	m := NewMulti(8)
+	names := newPack(t, m, 3, 0, nil, nil)
+	plan := map[string][]string{
+		names[0]: {"a0", "a1"},
+		names[1]: nil, // whole fleet
+		names[2]: {"c0"},
+		"ghost":  {"g0"},
+	}
+	out := m.Attest(context.Background(), plan)
+	if len(out) != 4 {
+		t.Fatalf("got %d outcomes, want 4", len(out))
+	}
+	if !errors.Is(out["ghost"].Err, ErrUnknownDaemon) {
+		t.Errorf("ghost outcome err = %v, want ErrUnknownDaemon", out["ghost"].Err)
+	}
+	if o := out[names[0]]; o.Err != nil || len(o.Resp.Results) != 2 || o.Resp.Results[0].ID != "a0" {
+		t.Errorf("%s outcome = %+v, want 2 verdicts starting at a0", names[0], o)
+	}
+	if o := out[names[1]]; o.Err != nil || len(o.Resp.Results) != 1 || o.Resp.Results[0].ID != "bus-"+names[1] {
+		t.Errorf("%s outcome = %+v, want its own fleet", names[1], o)
+	}
+	if o := out[names[2]]; o.Err != nil || !o.Resp.AllAccepted {
+		t.Errorf("%s outcome = %+v, want accepted c0", names[2], o)
+	}
+}
+
+// TestMultiAttestPartialFailure: one member answering 503 yields a typed
+// *APIError in its outcome while the others' verdicts come through — the
+// aggregator above decides what partial means; Multi must not conflate them.
+func TestMultiAttestPartialFailure(t *testing.T) {
+	m := NewMulti(8)
+	names := newPack(t, m, 2, 0, nil, nil)
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attest.WriteError(w, attest.CodeUnavailable, "draining")
+	}))
+	t.Cleanup(bad.Close)
+	bc, err := New(bad.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set("bad", bc)
+
+	out := m.Attest(context.Background(), map[string][]string{
+		names[0]: {"x"}, names[1]: {"y"}, "bad": {"z"},
+	})
+	var aerr *APIError
+	if !errors.As(out["bad"].Err, &aerr) || aerr.Code != CodeUnavailable {
+		t.Errorf("bad outcome err = %v, want *APIError %s", out["bad"].Err, CodeUnavailable)
+	}
+	for _, n := range names {
+		if o := out[n]; o.Err != nil || !o.Resp.AllAccepted {
+			t.Errorf("%s outcome = %+v, want clean verdict despite the failed peer", n, o)
+		}
+	}
+}
+
+// TestMultiBoundsInFlight: a fan-out across more members than the budget
+// never holds more than maxInFlight requests open at once — the semaphore is
+// what lets a federation aggregator front a large pack without a socket
+// stampede.
+func TestMultiBoundsInFlight(t *testing.T) {
+	const budget = 2
+	var inUse, peak int32
+	m := NewMulti(budget)
+	names := newPack(t, m, 6, 30*time.Millisecond, &inUse, &peak)
+
+	plan := make(map[string][]string, len(names))
+	for _, n := range names {
+		plan[n] = nil
+	}
+	out := m.Attest(context.Background(), plan)
+	for _, n := range names {
+		if out[n].Err != nil {
+			t.Fatalf("%s errored: %v", n, out[n].Err)
+		}
+	}
+	if got := atomic.LoadInt32(&peak); got > budget {
+		t.Errorf("peak concurrent requests = %d, want <= %d", got, budget)
+	}
+}
+
+// TestMultiAttestHonorsContext: a cancelled context releases callers parked
+// on the in-flight semaphore with the context error instead of deadlocking
+// the fan-out.
+func TestMultiAttestHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		attest.WriteData(w, http.StatusOK, attest.AttestResponse{AllAccepted: true})
+	}))
+	t.Cleanup(slow.Close)
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+
+	m := NewMulti(1)
+	for _, n := range []string{"s0", "s1", "s2"} {
+		c, err := New(slow.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Set(n, c)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	out := m.Attest(ctx, map[string][]string{"s0": nil, "s1": nil, "s2": nil})
+	cancelled := 0
+	for n, o := range out {
+		if o.Err == nil {
+			t.Errorf("%s returned no error under a cancelled context", n)
+		} else if errors.Is(o.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	// With a budget of 1, at least the two parked callers must report the
+	// context error (the in-flight one may fail with its own transport error).
+	if cancelled < 2 {
+		t.Errorf("%d outcomes carry context.Canceled, want >= 2", cancelled)
+	}
+	once.Do(func() { close(release) })
+}
+
+// TestMultiHealthFanOut: Health probes every member and attributes failures
+// by name.
+func TestMultiHealthFanOut(t *testing.T) {
+	m := NewMulti(4)
+	names := newPack(t, m, 2, 0, nil, nil)
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attest.WriteData(w, http.StatusOK, attest.HealthView{Status: "ok", Buses: 3, FleetOK: true})
+	}))
+	t.Cleanup(healthy.Close)
+	hc, err := New(healthy.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set("h", hc)
+	m.Delete(names[1])
+
+	out := m.Health(context.Background())
+	if len(out) != 2 {
+		t.Fatalf("got %d outcomes, want 2 (deleted member not probed): %v", len(out), out)
+	}
+	if o := out["h"]; o.Err != nil || !o.View.FleetOK || o.View.Buses != 3 {
+		t.Errorf("h outcome = %+v, want healthy view", o)
+	}
+	// names[0]'s attestServer has no /healthz route; the outcome must carry
+	// an error attributed to that member, not poison "h".
+	if out[names[0]].Err == nil {
+		t.Errorf("%s has no /healthz yet reported none", names[0])
+	}
+}

@@ -17,7 +17,9 @@ import (
 type WatchOptions struct {
 	// After resumes the feed past events the caller has already seen: only
 	// events with Seq > After are delivered. 0 replays the server's whole
-	// retention ring.
+	// retention ring. A non-zero After is a continuity claim — if the server
+	// has already evicted event After+1 from its retention ring, the watch
+	// ends with a *ResumeGapError instead of silently skipping ahead.
 	After uint64
 	// Buffer is the delivery channel's capacity (default 16). A full buffer
 	// back-pressures the reader goroutine, not the server — the server drops
@@ -25,16 +27,55 @@ type WatchOptions struct {
 	Buffer int
 }
 
+// ResumeGapError reports a broken resume: the watch asked the server to
+// continue past sequence number Resume, but the oldest event the server
+// still retained was Oldest > Resume+1 — the events in between fell off the
+// server's bounded retention ring and can never be delivered. The watch ends
+// rather than silently restarting from the surviving snapshot; the caller
+// decides whether to re-Watch with After 0 (accepting the hole) or to
+// rebuild its state from GET /v1/links/{id}/alerts first.
+type ResumeGapError struct {
+	// Resume is the sequence number the watch tried to continue past.
+	Resume uint64
+	// Oldest is the first sequence number the server still had.
+	Oldest uint64
+}
+
+// Error implements the error interface.
+func (e *ResumeGapError) Error() string {
+	return fmt.Sprintf("client: resume gap: events %d..%d evicted from the server's retention ring",
+		e.Resume+1, e.Oldest-1)
+}
+
 // Watch is a live subscription to one bus's event feed. Events arrive on
 // Events() in sequence order, deduplicated; the channel closes when the
 // subscription ends, after which Err reports why.
 //
-// The Watch owns reconnection: a dropped stream is redialed under the
-// client's retry policy, resuming from the last seen sequence number, so a
-// consumer observes each event at most once across disconnects. The feed is
-// still lossy by design under sustained overload (the daemon bounds its
-// per-subscriber queues); what the Watch guarantees is no duplicates and no
-// loss across its own reconnects.
+// # Resume semantics
+//
+// The Watch owns reconnection: a dropped stream (daemon restart, network
+// fault) is redialed under the client's retry policy with ?after set to the
+// last delivered sequence number, and the server replays its retention ring
+// past that point before switching to live delivery. Replay and live feed
+// may overlap; the Watch deduplicates by sequence number. The guarantee is
+// exactly-once delivery across the Watch's own reconnects: a consumer that
+// reads Events() to completion observes each retained event at most once, in
+// order, with no event skipped silently.
+//
+// Two bounded buffers qualify that guarantee, detectably:
+//
+//   - Under sustained overload the daemon drops events for subscribers that
+//     cannot keep up (its per-subscriber queues are bounded and never block
+//     the measurement hot path). Such a drop is visible as a sequence jump
+//     between consecutive delivered events within one connection.
+//   - Across a disconnect, events older than the daemon's retention ring
+//     cannot be replayed. When the resume point has been evicted the watch
+//     ends with *ResumeGapError rather than skipping the hole — the caller
+//     chooses how to re-sync (see ResumeGapError).
+//
+// LastSeq after every delivery is the durable resume cursor: persisting it
+// lets a future Watch (even in a new process) continue with
+// WatchOptions.After and keep the same guarantee.
 type Watch struct {
 	ch     chan Event
 	cancel context.CancelFunc
@@ -57,7 +98,8 @@ func (w *Watch) Close() { w.cancel() }
 
 // Err reports why the watch ended: nil until Events() closes, then the
 // caller's context error for cancellation, an *APIError for a server
-// refusal, or the transport fault that exhausted the retry policy.
+// refusal, a *ResumeGapError for an evicted resume point, or the transport
+// fault that exhausted the retry policy.
 func (w *Watch) Err() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -141,13 +183,16 @@ func (c *Client) dialStream(ctx context.Context, url string) (*http.Response, er
 	return resp, nil
 }
 
-// run consumes stream connections until the context ends or a reconnect
-// fails terminally. Each reconnect resumes from the last delivered sequence
-// number.
+// run consumes stream connections until the context ends, a reconnect fails
+// terminally, or a resume gap is detected. Each reconnect resumes from the
+// last delivered sequence number.
 func (w *Watch) run(ctx context.Context, c *Client, id string, resp *http.Response) {
 	defer close(w.ch)
 	for {
-		w.consume(ctx, resp)
+		if err := w.consume(ctx, resp); err != nil {
+			w.setErr(err)
+			return
+		}
 		if ctx.Err() != nil {
 			w.setErr(ctx.Err())
 			return
@@ -171,11 +216,20 @@ func (w *Watch) run(ctx context.Context, c *Client, id string, resp *http.Respon
 // (": hb" heartbeats, ": shutdown") keep the connection warm and are
 // skipped. Events at or below the resume point are dropped — the replay
 // window and the live queue may overlap.
-func (w *Watch) consume(ctx context.Context, resp *http.Response) {
+//
+// The first event delivered on a resumed connection is the continuity
+// check: when the connection was opened with ?after=R (R > 0), the server's
+// replay must still hold event R+1 — a first event beyond R+1 means the
+// ring evicted part of the feed, and consume reports it as *ResumeGapError
+// instead of delivering across the hole. R == 0 claims nothing, so the
+// first connection of an After-less watch starts wherever the ring starts.
+func (w *Watch) consume(ctx context.Context, resp *http.Response) error {
 	defer resp.Body.Close()
+	resume := w.last.Load()
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	var data string
+	first := true
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -185,11 +239,17 @@ func (w *Watch) consume(ctx context.Context, resp *http.Response) {
 			}
 			var ev Event
 			if err := json.Unmarshal([]byte(data), &ev); err == nil && ev.Seq > w.last.Load() {
+				if first {
+					first = false
+					if resume > 0 && ev.Seq > resume+1 {
+						return &ResumeGapError{Resume: resume, Oldest: ev.Seq}
+					}
+				}
 				select {
 				case w.ch <- ev:
 					w.last.Store(ev.Seq)
 				case <-ctx.Done():
-					return
+					return nil
 				}
 			}
 			data = ""
@@ -200,4 +260,5 @@ func (w *Watch) consume(ctx context.Context, resp *http.Response) {
 			// data payload; comments (":") are keep-alives.
 		}
 	}
+	return nil
 }

@@ -287,6 +287,114 @@ func TestWatchGivesUpWhenReconnectExhausts(t *testing.T) {
 	}
 }
 
+// TestWatchResumeGapFailsTyped: a Watch opened with After=R claims the
+// server still holds event R+1. When the retention ring has evicted it — the
+// first replayed event is beyond R+1 — the watch must end with a
+// *ResumeGapError carrying the hole's bounds, delivering nothing, rather
+// than silently skipping ahead.
+func TestWatchResumeGapFailsTyped(t *testing.T) {
+	ss := newStreamScript(t, func(conn int) ([]Event, bool) {
+		// The ring's oldest survivor is seq 9; events 6..8 are gone.
+		return []Event{{Seq: 9, Kind: "round", Link: "d"}, {Seq: 10, Kind: "alert", Link: "d"}}, true
+	})
+	c, err := New(ss.srv.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), "d", WatchOptions{After: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev, ok := <-w.Events():
+			if ok {
+				t.Fatalf("delivered event seq %d across a resume gap", ev.Seq)
+			}
+			var gap *ResumeGapError
+			if !errors.As(w.Err(), &gap) {
+				t.Fatalf("Err() = %v, want *ResumeGapError", w.Err())
+			}
+			if gap.Resume != 5 || gap.Oldest != 9 {
+				t.Errorf("gap = {Resume:%d Oldest:%d}, want {Resume:5 Oldest:9}", gap.Resume, gap.Oldest)
+			}
+			return
+		case <-deadline:
+			t.Fatal("watch never ended on a resume gap")
+		}
+	}
+}
+
+// TestWatchResumeGapAfterReconnect: the same continuity check guards the
+// watch's own reconnects — events delivered before the disconnect arrive
+// normally, then the gapped resume ends the feed instead of bridging the
+// hole.
+func TestWatchResumeGapAfterReconnect(t *testing.T) {
+	ss := newStreamScript(t, func(conn int) ([]Event, bool) {
+		if conn == 0 {
+			return []Event{{Seq: 1, Kind: "round", Link: "d"}, {Seq: 2, Kind: "alert", Link: "d"}}, false
+		}
+		// By the time the watch redials with ?after=2, the ring starts at 10.
+		return []Event{{Seq: 10, Kind: "round", Link: "d"}}, true
+	})
+	c, err := New(ss.srv.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), "d", WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectN(t, w, 2)
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("pre-disconnect seqs = [%d %d], want [1 2]", got[0].Seq, got[1].Seq)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev, ok := <-w.Events():
+			if ok {
+				t.Fatalf("delivered event seq %d across a resume gap", ev.Seq)
+			}
+			var gap *ResumeGapError
+			if !errors.As(w.Err(), &gap) {
+				t.Fatalf("Err() = %v, want *ResumeGapError", w.Err())
+			}
+			if gap.Resume != 2 || gap.Oldest != 10 {
+				t.Errorf("gap = {Resume:%d Oldest:%d}, want {Resume:2 Oldest:10}", gap.Resume, gap.Oldest)
+			}
+			if afters := ss.seenAfters(); len(afters) != 2 || afters[1] != 2 {
+				t.Errorf("server saw after=%v, want [0 2]", afters)
+			}
+			return
+		case <-deadline:
+			t.Fatal("watch never ended on a resume gap")
+		}
+	}
+}
+
+// TestWatchAfterZeroClaimsNothing: an After-less watch starts wherever the
+// ring starts — a high first sequence number is not a gap.
+func TestWatchAfterZeroClaimsNothing(t *testing.T) {
+	ss := newStreamScript(t, func(conn int) ([]Event, bool) {
+		return []Event{{Seq: 50, Kind: "round", Link: "d"}}, true
+	})
+	c, err := New(ss.srv.URL, WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := c.Watch(ctx, "d", WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectN(t, w, 1); got[0].Seq != 50 {
+		t.Errorf("delivered seq = %d, want 50", got[0].Seq)
+	}
+}
+
 // TestWatchCloseEndsFeed: Close tears the stream down without an external
 // context.
 func TestWatchCloseEndsFeed(t *testing.T) {

@@ -1,81 +1,23 @@
+// Command divotd is the fleet-attestation daemon: it owns a divot.System of
+// protected buses, monitors each on its own jittered interval, escalates
+// alerts through per-bus reactors, and serves health, metrics (Prometheus
+// text format), per-bus alert history, and on-demand authentication over
+// HTTP. The daemon itself lives in divot/internal/daemon so the divotherd
+// federation aggregator can spin up in-process packs of it in tests and
+// benchmarks; this wrapper only adds the process plumbing.
 package main
 
 import (
 	"context"
-	"flag"
-	"fmt"
-	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+
+	"divot/internal/daemon"
 )
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
-}
-
-// run is main without the process plumbing, so tests can drive flag parsing
-// and spec loading and assert on the exit code.
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("divotd", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	specPath := fs.String("spec", "", "fleet spec JSON file (required)")
-	listen := fs.String("listen", "", "override the spec's listen address")
-	pprofAddr := fs.String("pprof-addr", "",
-		"serve net/http/pprof on this address over its own listener (empty = disabled; never exposed on the attestation API)")
-	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-	spec, err := LoadSpec(*specPath)
-	if err != nil {
-		fmt.Fprintf(stderr, "divotd: %v\n", err)
-		return 1
-	}
-	if *listen != "" {
-		spec.Listen = *listen
-	}
-	d, err := NewDaemon(spec)
-	if err != nil {
-		fmt.Fprintf(stderr, "divotd: %v\n", err)
-		return 1
-	}
-	if *pprofAddr != "" {
-		stopPprof, err := servePprof(*pprofAddr, stdout)
-		if err != nil {
-			fmt.Fprintf(stderr, "divotd: %v\n", err)
-			return 1
-		}
-		defer stopPprof()
-	}
-	if err := d.Run(ctx, stdout); err != nil {
-		fmt.Fprintf(stderr, "divotd: %v\n", err)
-		return 1
-	}
-	return 0
-}
-
-// servePprof exposes the runtime profiler on its own listener, deliberately
-// separate from the attestation API: an operator opts in per process with
-// -pprof-addr (typically bound to localhost), and the attestation listener
-// never learns the /debug/pprof routes.
-func servePprof(addr string, logw io.Writer) (stop func(), err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("listening for pprof on %s: %w", addr, err)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln) //nolint:errcheck // closed on shutdown
-	fmt.Fprintf(logw, "divotd: pprof on http://%s/debug/pprof/\n", ln.Addr())
-	return func() { srv.Close() }, nil
+	os.Exit(daemon.Main(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,140 @@
+// Command divotherd is the federation aggregator: one HTTP endpoint in front
+// of a pack of divotd daemons. It discovers each daemon's bus fleet, assigns
+// every bus to a daemon on a consistent-hash ring, fans attestation requests
+// out across the shards under a bounded in-flight budget, and merges the
+// verdicts back into request order with per-shard attribution. Daemon death
+// re-balances the surviving fleet automatically; the dead daemon's buses are
+// reported unavailable — never fabricated — until it rejoins or another
+// daemon serves them.
+//
+// Usage:
+//
+//	divotherd -daemons http://h1:9720,http://h2:9720 [flags]
+//
+// Daemons are named d0, d1, ... in flag order, or explicitly with
+// name=url entries.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the entry point without the process plumbing, so tests can drive
+// flag parsing and assert on the exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("divotherd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:9730", "address to serve the aggregator API on")
+	daemons := fs.String("daemons", "",
+		"comma-separated divotd base URLs, each optionally name=url (required)")
+	fedID := fs.String("federation-id", "",
+		"federation label; a reachable daemon claiming a different non-empty federation_id refuses startup")
+	probeEvery := fs.Duration("probe-interval", 2*time.Second,
+		"how often to re-probe daemon liveness (revives rejoined daemons)")
+	maxInFlight := fs.Int("max-in-flight", 16, "upper bound on concurrent upstream calls")
+	replicas := fs.Int("replicas", 0, "virtual points per daemon on the assignment ring (0 = default)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-attempt timeout of upstream calls")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pack, err := parseDaemons(*daemons)
+	if err != nil {
+		fmt.Fprintf(stderr, "divotherd: %v\n", err)
+		return 2
+	}
+	h, err := NewHerd(ctx, herdConfig{
+		Listen:        *listen,
+		FederationID:  *fedID,
+		Daemons:       pack,
+		ProbeInterval: *probeEvery,
+		MaxInFlight:   *maxInFlight,
+		Replicas:      *replicas,
+		Timeout:       *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "divotherd: %v\n", err)
+		return 1
+	}
+	if err := h.Serve(ctx, stdout); err != nil {
+		fmt.Fprintf(stderr, "divotherd: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseDaemons splits the -daemons flag: "url" entries are named d0, d1, ...
+// in order; "name=url" entries pick their own name.
+func parseDaemons(s string) ([]daemonAddr, error) {
+	var out []daemonAddr
+	for i, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, addr := fmt.Sprintf("d%d", i), entry
+		if at := strings.Index(entry, "="); at >= 0 && !strings.Contains(entry[:at], "/") {
+			name, addr = entry[:at], entry[at+1:]
+			if name == "" {
+				return nil, fmt.Errorf("empty daemon name in %q", entry)
+			}
+		}
+		out = append(out, daemonAddr{Name: name, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no daemons given (use -daemons url[,url...])")
+	}
+	return out, nil
+}
+
+// Serve runs the aggregator until ctx is cancelled: the HTTP API on the
+// configured listen address plus the background probe loop.
+func (h *Herd) Serve(ctx context.Context, logw io.Writer) error {
+	ln, err := net.Listen("tcp", h.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", h.cfg.Listen, err)
+	}
+	probeCtx, stopProbe := context.WithCancel(ctx)
+	defer stopProbe()
+	go h.probeLoop(probeCtx)
+
+	srv := &http.Server{Handler: h.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	h.mu.RLock()
+	nd, nb := len(h.shards), len(h.buses)
+	h.mu.RUnlock()
+	fmt.Fprintf(logw, "divotherd: %d daemons, %d buses, serving on %s\n", nd, nb, ln.Addr())
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			runErr = err
+		}
+	}
+	stopProbe()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}

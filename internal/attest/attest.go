@@ -23,8 +23,10 @@
 // with ": hb" comment lines as heartbeats. Sequence numbers are per-link,
 // start at 1, and are strictly monotonic for the daemon's lifetime; a client
 // resumes after a disconnect with ?after=<last seen seq>. Events older than
-// the daemon's per-link retention ring cannot be replayed — a resume after a
-// long gap continues from the oldest retained event.
+// the daemon's per-link retention ring cannot be replayed — a resume past the
+// ring's tail is answered from the oldest retained event, and the SDK
+// surfaces that discontinuity as a typed error (client.ResumeGapError)
+// instead of delivering across the hole.
 package attest
 
 import (
@@ -46,6 +48,9 @@ type HealthView struct {
 	FleetOK bool `json:"fleet_ok"`
 	// UptimeS is seconds since the daemon started serving.
 	UptimeS float64 `json:"uptime_s"`
+	// FederationID labels the federation this daemon (or aggregator)
+	// belongs to; empty when not federated.
+	FederationID string `json:"federation_id,omitempty"`
 }
 
 // LinkSummary is the GET /v1/links representation of one bus.
@@ -124,6 +129,10 @@ type AuthReport struct {
 	// last-round attestation cache (within its max_staleness_ms bound)
 	// instead of a fresh spot-check measurement.
 	Cached bool `json:"cached,omitempty"`
+	// Daemon is the shard attribution in a federated response: the name of
+	// the divotd instance that produced this verdict. Empty on answers from
+	// a single daemon.
+	Daemon string `json:"daemon,omitempty"`
 }
 
 // AttestResponse is the POST /v1/attest payload, results in request order
@@ -155,7 +164,86 @@ type LinkHealthView struct {
 
 // FleetHealthResponse is the GET /v1/health payload.
 type FleetHealthResponse struct {
-	Links []LinkHealthView `json:"links"`
+	// FederationID labels the federation the daemon belongs to; empty when
+	// not federated.
+	FederationID string           `json:"federation_id,omitempty"`
+	Links        []LinkHealthView `json:"links"`
+}
+
+// ShardStatus is one divotd instance's standing inside a divotherd
+// federation, as reported in federated responses and GET /v1/daemons.
+type ShardStatus struct {
+	// Daemon is the aggregator-local name of the instance.
+	Daemon string `json:"daemon"`
+	// Addr is the instance's base URL.
+	Addr string `json:"addr"`
+	// Up reports the aggregator's current liveness verdict.
+	Up bool `json:"up"`
+	// Buses is how many buses the instance serves (0 while it is down and
+	// its bus set is unknown).
+	Buses int `json:"buses"`
+}
+
+// ShardError is one entry of the partial-failure envelope: a set of buses
+// whose verdicts are missing from a federated response, and why. Daemon is
+// empty when no live daemon serves the buses at all.
+type ShardError struct {
+	Daemon string `json:"daemon,omitempty"`
+	// Code is the wire error code that best describes the failure
+	// (unavailable for transport faults and dead daemons).
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Links are the affected bus ids, in request order.
+	Links []string `json:"links"`
+}
+
+// FederatedAttestResponse is the POST /v1/attest payload served by a
+// divotherd aggregator. It is a strict superset of AttestResponse — results
+// are merged across shards back into request order, each verdict carrying
+// its shard attribution — so single-daemon clients can decode it unchanged.
+// A shard failure never fabricates a verdict: the affected buses are listed
+// in Errors and Complete is false.
+type FederatedAttestResponse struct {
+	Results []AuthReport `json:"results"`
+	// AllAccepted is true only when every requested bus was attested and
+	// passed — a partial answer is never "all accepted".
+	AllAccepted bool `json:"all_accepted"`
+	// Complete is true when every requested bus produced a verdict.
+	Complete bool `json:"complete"`
+	// Shards summarizes the daemons the request fanned out to.
+	Shards []ShardStatus `json:"shards,omitempty"`
+	// Errors is the partial-failure envelope, one entry per failed shard.
+	Errors []ShardError `json:"errors,omitempty"`
+}
+
+// DaemonHealth is one daemon's entry in a federated GET /v1/health rollup.
+type DaemonHealth struct {
+	Daemon string `json:"daemon"`
+	Addr   string `json:"addr"`
+	Up     bool   `json:"up"`
+	// Buses is the daemon's fleet size.
+	Buses int `json:"buses"`
+	// FleetOK mirrors the daemon's own /healthz verdict (false while down).
+	FleetOK bool `json:"fleet_ok"`
+	// Error carries the probe failure while the daemon is down.
+	Error string `json:"error,omitempty"`
+}
+
+// HerdHealthResponse is the GET /v1/health payload served by a divotherd
+// aggregator: per-daemon liveness plus the merged per-bus health of every
+// reachable shard, each bus reported once by its assigned daemon.
+type HerdHealthResponse struct {
+	FederationID string           `json:"federation_id,omitempty"`
+	Daemons      []DaemonHealth   `json:"daemons"`
+	Links        []LinkHealthView `json:"links"`
+	// Complete is true when every daemon answered its health probe.
+	Complete bool `json:"complete"`
+}
+
+// DaemonsResponse is the GET /v1/daemons payload of a divotherd aggregator.
+type DaemonsResponse struct {
+	FederationID string        `json:"federation_id,omitempty"`
+	Daemons      []ShardStatus `json:"daemons"`
 }
 
 // LinkHealthViews converts engine health snapshots into their wire form. A

@@ -1,10 +1,15 @@
-// Command divotd is the fleet-attestation daemon: it owns a divot.System of
-// protected buses, monitors each on its own jittered interval, escalates
-// alerts through per-bus reactors, and serves health, metrics (Prometheus
-// text format), per-bus alert history, and on-demand authentication over
-// HTTP. Telemetry flows from the engine through one fanned-out sink into the
-// metrics registry, the JSONL audit log, and the daemon's alert rings.
-package main
+// Package daemon is the divotd fleet-attestation daemon: it owns a
+// divot.System of protected buses, monitors each on its own jittered
+// interval, escalates alerts through per-bus reactors, and serves health,
+// metrics (Prometheus text format), per-bus alert history, and on-demand
+// authentication over HTTP. Telemetry flows from the engine through one
+// fanned-out sink into the metrics registry, the JSONL audit log, and the
+// daemon's alert rings.
+//
+// The package is a library (cmd/divotd is a thin wrapper around Main) so the
+// divotherd federation aggregator can construct in-process daemon packs in
+// its tests and benchmarks.
+package daemon
 
 import (
 	"context"
@@ -200,8 +205,15 @@ func NewDaemon(spec Spec) (*Daemon, error) {
 	return newDaemon(spec, cfg)
 }
 
-// newDaemon is NewDaemon with the engine configuration exposed, so
-// benchmarks can run large fleets on deliberately light instruments.
+// NewWithConfig is NewDaemon with the engine configuration exposed, so
+// benchmarks (here and in cmd/divotherd) can run large fleets on
+// deliberately light instruments. The spec's Parallelism is ignored in
+// favour of cfg's.
+func NewWithConfig(spec Spec, cfg divot.Config) (*Daemon, error) {
+	return newDaemon(spec, cfg)
+}
+
+// newDaemon is NewDaemon with the engine configuration exposed.
 func newDaemon(spec Spec, cfg divot.Config) (*Daemon, error) {
 	sys := divot.NewSystem(spec.Seed, cfg)
 

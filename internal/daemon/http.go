@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"net/http"
@@ -64,10 +64,11 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	attest.WriteData(w, http.StatusOK, attest.HealthView{
-		Status:  "ok",
-		Buses:   len(d.links),
-		FleetOK: fleetOK,
-		UptimeS: time.Since(d.started).Seconds(),
+		Status:       "ok",
+		Buses:        len(d.links),
+		FleetOK:      fleetOK,
+		UptimeS:      time.Since(d.started).Seconds(),
+		FederationID: d.spec.FederationID,
 	})
 }
 
@@ -95,7 +96,9 @@ func (d *Daemon) handleFleetHealth(w http.ResponseWriter, _ *http.Request) {
 			}
 			views = append(views, hv)
 		}
-		attest.WriteData(w, http.StatusOK, attest.FleetHealthResponse{Links: views})
+		attest.WriteData(w, http.StatusOK, attest.FleetHealthResponse{
+			FederationID: d.spec.FederationID, Links: views,
+		})
 		return
 	}
 	for _, ls := range d.links {
@@ -105,7 +108,9 @@ func (d *Daemon) handleFleetHealth(w http.ResponseWriter, _ *http.Request) {
 	for _, ls := range d.links {
 		ls.mu.Unlock()
 	}
-	attest.WriteData(w, http.StatusOK, attest.FleetHealthResponse{Links: views})
+	attest.WriteData(w, http.StatusOK, attest.FleetHealthResponse{
+		FederationID: d.spec.FederationID, Links: views,
+	})
 }
 
 func (d *Daemon) handleLinks(w http.ResponseWriter, _ *http.Request) {

@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"encoding/json"
@@ -40,6 +40,13 @@ type Spec struct {
 	MaxStalenessMS int `json:"max_staleness_ms"`
 	// AuditLog is the JSONL audit file path; empty disables the audit log.
 	AuditLog string `json:"audit_log"`
+	// FederationID labels this daemon as a member of a divotherd federation.
+	// It is surfaced in /healthz and /v1/health so an aggregator (and its
+	// operators) can tell at a glance which fleet a daemon believes it
+	// belongs to; divotherd refuses to enroll a daemon whose federation id
+	// disagrees with its own. Empty means "not federated" and matches any
+	// aggregator. Overridable with divotd -federation-id.
+	FederationID string `json:"federation_id"`
 	// Buses are the protected links.
 	Buses []BusSpec `json:"buses"`
 }

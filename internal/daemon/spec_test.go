@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -60,13 +60,13 @@ func TestLoadSpecDefaults(t *testing.T) {
 	}
 }
 
-// TestRunExitCodes drives main's run() directly: a bad spec must exit
-// non-zero with a useful message on stderr, a bad flag must exit 2.
+// TestRunExitCodes drives the command entry point Main directly: a bad spec
+// must exit non-zero with a useful message on stderr, a bad flag must exit 2.
 func TestRunExitCodes(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	ctx := context.Background()
 
-	if code := run(ctx, []string{"-spec", writeSpec(t, `{"buses": []}`)}, &stdout, &stderr); code != 1 {
+	if code := Main(ctx, []string{"-spec", writeSpec(t, `{"buses": []}`)}, &stdout, &stderr); code != 1 {
 		t.Errorf("bad spec exit = %d, want 1", code)
 	}
 	if msg := stderr.String(); !strings.Contains(msg, "at least one bus") {
@@ -74,12 +74,12 @@ func TestRunExitCodes(t *testing.T) {
 	}
 
 	stderr.Reset()
-	if code := run(ctx, nil, &stdout, &stderr); code != 1 {
+	if code := Main(ctx, nil, &stdout, &stderr); code != 1 {
 		t.Errorf("missing -spec exit = %d, want 1", code)
 	}
 
 	stderr.Reset()
-	if code := run(ctx, []string{"-bogus"}, &stdout, &stderr); code != 2 {
+	if code := Main(ctx, []string{"-bogus"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad flag exit = %d, want 2", code)
 	}
 
@@ -90,7 +90,7 @@ func TestRunExitCodes(t *testing.T) {
 	out, errOut := &syncBuffer{}, &syncBuffer{}
 	codeCh := make(chan int, 1)
 	go func() {
-		codeCh <- run(runCtx, []string{"-spec", good, "-listen", "127.0.0.1:0"}, out, errOut)
+		codeCh <- Main(runCtx, []string{"-spec", good, "-listen", "127.0.0.1:0"}, out, errOut)
 	}()
 	for deadline := time.Now().Add(15 * time.Second); !strings.Contains(out.String(), "serving on"); {
 		if time.Now().After(deadline) {

@@ -4,6 +4,9 @@
 # the round counters advance, drive the remote attestation API through
 # divotctl (clean fleet first, then a fleet with a scripted interposer that
 # must be caught over the wire), then SIGTERM it and require a clean exit.
+# Phase 3 runs a 1000-bus fleet on the sharded scheduler; phase 4 federates
+# four daemons behind divotherd, kills one mid-fleet, and requires honest
+# partial-failure reporting followed by a re-balanced fleet-wide attest.
 # Used by CI's "daemon smoke" step; runnable locally as scripts/daemon_smoke.sh.
 set -euo pipefail
 
@@ -12,6 +15,7 @@ trap 'rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/divotd" ./cmd/divotd
 go build -o "$workdir/divotctl" ./cmd/divotctl
+go build -o "$workdir/divotherd" ./cmd/divotherd
 
 cat > "$workdir/fleet.json" <<'EOF'
 {
@@ -206,4 +210,97 @@ done
 kill -0 "$pid3" 2>/dev/null && { echo "1000-bus divotd did not exit" >&2; kill -9 "$pid3"; exit 1; }
 wait "$pid3" || { echo "1000-bus divotd exited non-zero after SIGTERM" >&2; exit 1; }
 grep 'shut down' "$workdir/divotd3.log"
+
+# Phase 4: federation. Four daemons with identical specs (same seed → same
+# enrollments: replicated verifiers over a shared measurement fabric) behind
+# one divotherd. The herd must attest the fleet through one endpoint; killing
+# a daemon must surface as an honest partial failure (never a fabricated OK),
+# and the very next attest must succeed fleet-wide on the re-balanced
+# survivors.
+cat > "$workdir/fed.json" <<'EOF'
+{
+  "seed": 23,
+  "interval_ms": 60000,
+  "max_staleness_ms": 30000,
+  "buses": [
+    {"id": "fed0"}, {"id": "fed1"}, {"id": "fed2"},
+    {"id": "fed3"}, {"id": "fed4"}, {"id": "fed5"}
+  ]
+}
+EOF
+fedpids=()
+for i in 0 1 2 3; do
+  "$workdir/divotd" -spec "$workdir/fed.json" -listen "127.0.0.1:974$i" \
+    -federation-id smoke > "$workdir/fed$i.log" 2>&1 &
+  fedpids+=($!)
+done
+trap 'kill -9 "${fedpids[@]}" ${herdpid:-} 2>/dev/null; rm -rf "$workdir"' EXIT
+for i in 0 1 2 3; do
+  for _ in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:974$i/healthz" > /dev/null 2>&1 && break
+    if ! kill -0 "${fedpids[$i]}" 2>/dev/null; then
+      echo "federation daemon $i exited during startup:" >&2
+      cat "$workdir/fed$i.log" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+done
+
+# A long probe interval keeps the test deterministic: the only thing allowed
+# to mark a daemon down mid-phase is the failed attest fan-out itself.
+"$workdir/divotherd" -listen 127.0.0.1:9744 -federation-id smoke -probe-interval 60s \
+  -daemons "http://127.0.0.1:9740,http://127.0.0.1:9741,http://127.0.0.1:9742,http://127.0.0.1:9743" \
+  > "$workdir/herd.log" 2>&1 &
+herdpid=$!
+for _ in $(seq 1 100); do
+  curl -sf http://127.0.0.1:9744/healthz > /dev/null 2>&1 && break
+  if ! kill -0 "$herdpid" 2>/dev/null; then
+    echo "divotherd exited during startup:" >&2
+    cat "$workdir/herd.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -sf http://127.0.0.1:9744/healthz | grep '"federation_id": "smoke"'
+curl -sf http://127.0.0.1:9744/v1/daemons | grep -c '"up": true' | grep -qx 4
+
+# divotctl works unchanged against the herd (the federated response is a
+# strict superset of the daemon's); the federated extras are asserted on the
+# raw wire, since the SDK decodes into the daemon-shaped AttestResponse.
+ctlherd="$workdir/divotctl -addr http://127.0.0.1:9744"
+$ctlherd -json attest > "$workdir/herd-attest.out"
+grep '"all_accepted": true' "$workdir/herd-attest.out"
+curl -sf -X POST http://127.0.0.1:9744/v1/attest > "$workdir/herd-fed.out"
+grep '"complete": true' "$workdir/herd-fed.out"
+grep '"daemon": "d0"' "$workdir/herd-fed.out"
+echo "ok: herd attests 6 buses across 4 daemons"
+
+# Kill one daemon. The next attest must report the partial failure honestly —
+# all_accepted=false, complete=false, an unavailable shard error — and must
+# not fabricate verdicts for the dead daemon's buses.
+kill -9 "${fedpids[1]}"
+curl -sf -X POST http://127.0.0.1:9744/v1/attest > "$workdir/herd-dead.out"
+grep '"all_accepted": false' "$workdir/herd-dead.out"
+grep '"complete": false' "$workdir/herd-dead.out"
+grep '"code": "unavailable"' "$workdir/herd-dead.out"
+echo "ok: daemon death reported as partial failure"
+
+# Re-balance: the herd marked the daemon down during the failed fan-out, so
+# the follow-up attest — through the unchanged single-daemon client — lands
+# fleet-wide on the three survivors.
+$ctlherd -json attest > "$workdir/herd-rebal.out"
+grep '"all_accepted": true' "$workdir/herd-rebal.out"
+curl -sf http://127.0.0.1:9744/v1/daemons | grep -c '"up": true' | grep -qx 3
+echo "ok: herd re-balanced onto 3 survivors"
+
+kill -TERM "$herdpid"
+for _ in $(seq 1 50); do
+  kill -0 "$herdpid" 2>/dev/null || break
+  sleep 0.2
+done
+kill -0 "$herdpid" 2>/dev/null && { echo "divotherd did not exit after SIGTERM" >&2; kill -9 "$herdpid"; exit 1; }
+wait "$herdpid" || { echo "divotherd exited non-zero after SIGTERM" >&2; exit 1; }
+for i in 0 2 3; do kill -TERM "${fedpids[$i]}" 2>/dev/null || true; done
+for p in "${fedpids[@]}"; do wait "$p" 2>/dev/null || true; done
 echo "smoke test passed"
