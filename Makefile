@@ -1,5 +1,5 @@
 GO ?= go
-PR ?= 6
+PR ?= 7
 
 # MONITOR_ALLOC_BUDGET is the allocs/op ceiling for the steady-state
 # monitoring round benchmark (BenchmarkMonitorRound runs at the default
@@ -7,7 +7,7 @@ PR ?= 6
 # sequential budget is enforced by TestMonitorOnceAllocationBudget).
 MONITOR_ALLOC_BUDGET ?= 64
 
-.PHONY: all build test race bench bench-guard bench-experiments bench-snapshot vet
+.PHONY: all build test race bench bench-guard bench-experiments bench-snapshot fuzz-short vet
 
 all: build test
 
@@ -41,7 +41,7 @@ bench-guard:
 ## calibrate 100k buses first, so this runs for tens of minutes) as
 ## machine-readable JSON (BENCH_$(PR).json) for cross-PR diffing
 bench-snapshot:
-	{ $(GO) test -short . ./internal/daemon -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll|ClientRoundTrip|FleetScheduler|Attest$$|FleetHealth' -benchtime 20x -benchmem ; \
+	{ $(GO) test -short . ./internal/daemon -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll|ClientRoundTrip|FleetScheduler|Attest$$|FleetHealth|DaemonStartup' -benchtime 20x -benchmem ; \
 	  $(GO) test ./cmd/divotherd -run XXX -bench 'FederatedAttest' -benchtime 1x -benchmem -timeout 90m ; } \
 		| $(GO) run ./cmd/benchsnap > BENCH_$(PR).json
 
@@ -49,6 +49,14 @@ bench-snapshot:
 ## performance table; pipe through benchstat to compare runs
 bench-experiments:
 	$(GO) test . -run XXX -bench 'Fig7|Fig8|Vibration|EMI|CloneResistance|IIPMeasurement|MonitorAll' -benchtime 3x
+
+## fuzz-short: a quick native-fuzzing pass over the durable-state decoders —
+## the snapshot envelope and the WAL record scanner/replayer must never panic
+## or fabricate a record on adversarial bytes (CI runs this on every push)
+fuzz-short:
+	$(GO) test ./internal/store -run XXX -fuzz FuzzDecodeSnapshot -fuzztime 10s
+	$(GO) test ./internal/store -run XXX -fuzz FuzzScanRecord -fuzztime 10s
+	$(GO) test ./internal/store -run XXX -fuzz FuzzWALReplay -fuzztime 10s
 
 vet:
 	$(GO) vet ./...

@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -67,6 +68,12 @@ type (
 	DaemonHealth = attest.DaemonHealth
 	// HerdHealthResponse is a divotherd aggregator's /v1/health rollup.
 	HerdHealthResponse = attest.HerdHealthResponse
+	// ReadyView is the warm-up progress report (GET /readyz).
+	ReadyView = attest.ReadyView
+	// HistorySample is one bus's per-round durable monitoring record.
+	HistorySample = attest.HistorySample
+	// HistoryResponse is one bus's retained score history.
+	HistoryResponse = attest.HistoryResponse
 )
 
 // ErrUnknownDaemon reports a fan-out plan naming a daemon that is not a
@@ -91,6 +98,10 @@ type APIError struct {
 	Code string
 	// Message is the human-readable detail.
 	Message string
+	// RetryAfter is the server's requested pause before the next attempt,
+	// parsed from a Retry-After header (integer seconds); zero when the
+	// server named none. Retrying calls honor it as a floor on the backoff.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -277,6 +288,25 @@ func (c *Client) HerdHealth(ctx context.Context) (HerdHealthResponse, error) {
 	return out, err
 }
 
+// Ready fetches the daemon's warm-up progress. Unlike every other route,
+// /readyz answers 200 even while the fleet is still restoring or
+// calibrating — poll it after starting or restarting a daemon and gate
+// traffic on Ready being true.
+func (c *Client) Ready(ctx context.Context) (ReadyView, error) {
+	var out ReadyView
+	err := c.call(ctx, http.MethodGet, "/readyz", nil, true, &out)
+	return out, err
+}
+
+// History fetches one bus's retained per-round score history, oldest first.
+// On a daemon with a state directory the samples survive restarts — the
+// window is hydrated from the history WAL on boot.
+func (c *Client) History(ctx context.Context, id string) ([]HistorySample, error) {
+	var out HistoryResponse
+	err := c.call(ctx, http.MethodGet, "/v1/links/"+url.PathEscape(id)+"/history", nil, true, &out)
+	return out.Samples, err
+}
+
 // Authenticate spot-checks a single bus. Unlike Attest it is never retried —
 // the conservative default for single-resource POSTs; callers wanting retry
 // semantics should use Attest(ctx, id).
@@ -302,6 +332,12 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, ide
 			return lastErr
 		}
 		d := c.backoff(attempt)
+		// A warming or rate-limiting server knows its own timeline better
+		// than our backoff curve does: its Retry-After is the floor.
+		var aerr *APIError
+		if errors.As(lastErr, &aerr) && aerr.RetryAfter > d {
+			d = aerr.RetryAfter
+		}
 		if c.retry.Budget > 0 && spent+d > c.retry.Budget {
 			return lastErr
 		}
@@ -340,7 +376,22 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if err != nil {
 		return fmt.Errorf("client: reading %s %s response: %w", method, path, err)
 	}
-	return decodeResponse(resp.StatusCode, raw, out)
+	derr := decodeResponse(resp.StatusCode, raw, out)
+	var aerr *APIError
+	if errors.As(derr, &aerr) {
+		aerr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+	}
+	return derr
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value; the HTTP-date
+// form and anything malformed decode to zero (no server hint).
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // decodeResponse turns one HTTP answer into a payload or an *APIError.

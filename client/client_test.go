@@ -16,10 +16,11 @@ import (
 
 // flakyStep scripts one request's fate on the flaky server.
 type flakyStep struct {
-	drop   bool          // sever the connection without answering
-	status int           // HTTP status to answer (with an envelope body)
-	delay  time.Duration // stall before answering
-	data   any           // success payload (status < 400)
+	drop       bool          // sever the connection without answering
+	status     int           // HTTP status to answer (with an envelope body)
+	retryAfter string        // Retry-After header on error answers
+	delay      time.Duration // stall before answering
+	data       any           // success payload (status < 400)
 }
 
 // flakyServer serves a scripted sequence of faults, then whatever the final
@@ -56,6 +57,9 @@ func (fs *flakyServer) serve(w http.ResponseWriter, r *http.Request) {
 		panic(http.ErrAbortHandler) // connection severed mid-exchange
 	case step.status >= 400:
 		w.Header().Set("Content-Type", "application/json")
+		if step.retryAfter != "" {
+			w.Header().Set("Retry-After", step.retryAfter)
+		}
 		w.WriteHeader(step.status)
 		json.NewEncoder(w).Encode(attest.Envelope{ //nolint:errcheck
 			V:     attest.Version,
@@ -367,5 +371,95 @@ func TestNewRejectsBadBaseURL(t *testing.T) {
 	}
 	if c, err := New("http://host:9720/"); err != nil || c.base != "http://host:9720" {
 		t.Errorf("New trailing slash: c.base=%q err=%v", c.base, err)
+	}
+}
+
+// TestRetryAfterFloorsBackoff: a warming daemon answers 503 with
+// Retry-After: 2, which must floor the client's own 100ms/200ms backoff
+// steps — the server knows its warm-up timeline better than our curve does.
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	fs := newFlakyServer(t,
+		flakyStep{status: 503, retryAfter: "2"},
+		flakyStep{status: 503, retryAfter: "2"},
+		flakyStep{data: attest.LinksResponse{Links: []LinkSummary{{ID: "dimm0"}}}},
+	)
+	c, slept := newTestClient(t, fs.srv.URL, testPolicy())
+	links, err := c.Links(context.Background())
+	if err != nil {
+		t.Fatalf("Links through warm-up: %v", err)
+	}
+	if len(links) != 1 || links[0].ID != "dimm0" {
+		t.Errorf("Links = %+v", links)
+	}
+	want := []time.Duration{2 * time.Second, 2 * time.Second}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Errorf("sleeps = %v, want %v (Retry-After floors the backoff)", *slept, want)
+	}
+}
+
+// TestRetryAfterSurfacesOnAPIError: a terminal failure hands the caller the
+// server's pause hint; malformed and missing headers decode to zero.
+func TestRetryAfterSurfacesOnAPIError(t *testing.T) {
+	fs := newFlakyServer(t, flakyStep{status: 503, retryAfter: "7"})
+	p := testPolicy()
+	p.MaxAttempts = 1
+	c, _ := newTestClient(t, fs.srv.URL, p)
+	_, err := c.Links(context.Background())
+	var aerr *APIError
+	if !errors.As(err, &aerr) || aerr.RetryAfter != 7*time.Second {
+		t.Fatalf("err = %v, want APIError with RetryAfter=7s", err)
+	}
+	for v, want := range map[string]time.Duration{
+		"":    0,
+		"bad": 0,
+		"-3":  0,
+		" 2 ": 2 * time.Second,
+	} {
+		if got := parseRetryAfter(v); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// TestReadyAndHistory covers the two durability-era reads: /readyz progress
+// and a bus's persisted score history.
+func TestReadyAndHistory(t *testing.T) {
+	samples := []HistorySample{
+		{Round: 1, Score: 0.97, Health: "ok", Reaction: "normal", Verdict: "ok"},
+		{Round: 2, Score: 0.31, Health: "suspect", Reaction: "degraded", Verdict: "auth-failure"},
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/readyz":
+			attest.WriteData(w, http.StatusOK, ReadyView{Ready: false, Calibrated: 12, WarmLoaded: 3, Total: 1000})
+		case "/v1/links/dimm 1/history":
+			attest.WriteData(w, http.StatusOK, HistoryResponse{Link: "dimm 1", Samples: samples})
+		default:
+			attest.WriteError(w, attest.CodeUnknownLink, "unknown bus")
+		}
+	}))
+	t.Cleanup(srv.Close)
+	c, _ := newTestClient(t, srv.URL, testPolicy())
+
+	rv, err := c.Ready(context.Background())
+	if err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	if rv.Ready || rv.Calibrated != 12 || rv.WarmLoaded != 3 || rv.Total != 1000 {
+		t.Errorf("Ready = %+v", rv)
+	}
+
+	got, err := c.History(context.Background(), "dimm 1") // exercises path escaping too
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(got) != 2 || got[0] != samples[0] || got[1] != samples[1] {
+		t.Errorf("History = %+v, want %+v", got, samples)
+	}
+
+	_, err = c.History(context.Background(), "ghost")
+	var aerr *APIError
+	if !errors.As(err, &aerr) || aerr.Code != CodeUnknownLink {
+		t.Errorf("unknown bus history err = %v, want %s", err, CodeUnknownLink)
 	}
 }

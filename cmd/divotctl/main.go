@@ -5,6 +5,8 @@
 //	divotctl [flags] health              fleet liveness; exit 1 unless fleet_ok
 //	divotctl [flags] links               per-bus monitoring snapshots
 //	divotctl [flags] alerts <bus>        one bus's retained event history
+//	divotctl [flags] history <bus>       one bus's per-round score history
+//	                                     (survives restarts on a stateful daemon)
 //	divotctl [flags] attest [bus ...]    batch attestation (whole fleet bare);
 //	                                     exit 1 unless every bus is accepted
 //	divotctl [flags] watch <bus>         live event feed, resumes across drops
@@ -56,7 +58,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	after := fs.Uint64("after", 0, "watch: resume past this sequence number")
 	maxEvents := fs.Int("max", 0, "watch: exit 0 after this many events (0 = forever)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: divotctl [flags] {health|links|alerts <bus>|attest [bus ...]|watch <bus>}")
+		fmt.Fprintln(stderr, "usage: divotctl [flags] {health|links|alerts <bus>|history <bus>|attest [bus ...]|watch <bus>}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +90,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return exitUsage
 		}
 		return cmdAlerts(ctx, c, rest[0], *jsonOut, stdout, stderr)
+	case "history":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: divotctl history <bus>")
+			return exitUsage
+		}
+		return cmdHistory(ctx, c, rest[0], *jsonOut, stdout, stderr)
 	case "attest":
 		return cmdAttest(ctx, c, rest, *jsonOut, stdout, stderr)
 	case "watch":
@@ -169,6 +177,22 @@ func cmdAlerts(ctx context.Context, c *client.Client, id string, jsonOut bool, s
 	}
 	for _, ev := range events {
 		fmt.Fprintln(stdout, eventLine(ev))
+	}
+	return exitOK
+}
+
+func cmdHistory(ctx context.Context, c *client.Client, id string, jsonOut bool, stdout, stderr io.Writer) int {
+	samples, err := c.History(ctx, id)
+	if err != nil {
+		return transportFail(stderr, "history "+id, err)
+	}
+	if jsonOut {
+		emitJSON(stdout, samples)
+		return exitOK
+	}
+	for _, s := range samples {
+		fmt.Fprintf(stdout, "round=%-6d score=%.4f health=%-9s reaction=%-9s verdict=%s\n",
+			s.Round, s.Score, s.Health, s.Reaction, s.Verdict)
 	}
 	return exitOK
 }

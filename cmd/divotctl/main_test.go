@@ -38,6 +38,16 @@ func stubDaemon(t *testing.T) *httptest.Server {
 			{ID: "victim", Rounds: 40, Health: "failed", Reaction: "alert_and_block", Alerts: 12, CPUScore: 0.41},
 		}})
 	})
+	mux.HandleFunc("GET /v1/links/{id}/history", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != "victim" {
+			attest.WriteError(w, attest.CodeUnknownLink, "unknown bus")
+			return
+		}
+		attest.WriteData(w, http.StatusOK, attest.HistoryResponse{Link: "victim", Samples: []attest.HistorySample{
+			{Round: 2, Score: 0.9981, Health: "ok", Reaction: "normal", Verdict: "ok"},
+			{Round: 3, Score: 0.41, Health: "failed", Reaction: "alert_and_block", Verdict: "auth-failure"},
+		}})
+	})
 	mux.HandleFunc("GET /v1/links/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		if r.PathValue("id") != "victim" {
 			attest.WriteError(w, attest.CodeUnknownLink, "unknown bus")
@@ -114,6 +124,32 @@ func TestLinksText(t *testing.T) {
 	}
 	if !strings.Contains(out, "victim") || !strings.Contains(out, "health=failed") {
 		t.Errorf("links output: %s", out)
+	}
+}
+
+// TestHistoryText renders a bus's persisted score history, one round per
+// line, and refuses unknown buses with the transport exit code.
+func TestHistoryText(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, errOut := runCtl(t, "-addr", srv.URL, "history", "victim")
+	if code != exitOK {
+		t.Fatalf("history exit = %d, stderr: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("history printed %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "round=2") || !strings.Contains(lines[0], "verdict=ok") {
+		t.Errorf("history line 0: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "score=0.4100") || !strings.Contains(lines[1], "verdict=auth-failure") {
+		t.Errorf("history line 1: %s", lines[1])
+	}
+	if code, _, _ := runCtl(t, "-addr", srv.URL, "history", "ghost"); code != exitTransport {
+		t.Errorf("unknown bus history exit = %d, want %d", code, exitTransport)
+	}
+	if code, _, _ := runCtl(t, "-addr", srv.URL, "history"); code != exitUsage {
+		t.Errorf("bare history exit = %d, want %d", code, exitUsage)
 	}
 }
 

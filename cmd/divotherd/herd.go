@@ -449,6 +449,54 @@ func (h *Herd) Attest(ctx context.Context, ids []string) (attest.FederatedAttest
 	return resp, nil
 }
 
+// History proxies one bus's durable score history from its assigned daemon.
+// The herd holds no history of its own — the samples live in the daemon's
+// WAL — so this is a pure passthrough with the usual federation semantics:
+// unknown buses are named as such, a bus whose every owner is down is
+// unavailable, and a shard failing mid-call is marked down for re-balance.
+func (h *Herd) History(ctx context.Context, id string) (attest.HistoryResponse, *attest.Error) {
+	h.mu.RLock()
+	_, known := h.owners[id]
+	h.mu.RUnlock()
+	if !known {
+		return attest.HistoryResponse{}, &attest.Error{
+			Code:    attest.CodeUnknownLink,
+			Message: fmt.Sprintf("unknown bus %q", id),
+		}
+	}
+	name, ok := h.Assign(id)
+	if !ok {
+		return attest.HistoryResponse{}, &attest.Error{
+			Code:    attest.CodeUnavailable,
+			Message: fmt.Sprintf("no live daemon serves bus %q", id),
+		}
+	}
+	h.mu.RLock()
+	c := h.shards[name].c
+	h.mu.RUnlock()
+	start := time.Now()
+	samples, err := c.History(ctx, id)
+	h.fanoutDur.With(name, "history").Observe(time.Since(start).Seconds())
+	if err != nil {
+		// A structured 4xx is the daemon answering fine (e.g. it dropped the
+		// bus from its spec); only transport faults and 5xx mark it down.
+		var aerr *client.APIError
+		if !errors.As(err, &aerr) || aerr.Status >= 500 {
+			if h.setDown(name, err.Error()) {
+				h.rebalanced()
+			}
+		}
+		return attest.HistoryResponse{}, &attest.Error{
+			Code:    errCode(err),
+			Message: fmt.Sprintf("daemon %s: %v", name, err),
+		}
+	}
+	if samples == nil {
+		samples = []attest.HistorySample{}
+	}
+	return attest.HistoryResponse{Link: id, Samples: samples}, nil
+}
+
 // errCode maps a fan-out failure to the wire error code that best describes
 // it: structured daemon answers keep their code, everything else (transport
 // faults, timeouts, dead daemons) is "unavailable".

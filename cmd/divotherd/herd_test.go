@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -417,5 +418,62 @@ func TestParseDaemons(t *testing.T) {
 	}
 	if _, err := parseDaemons("=http://x"); err == nil {
 		t.Error("empty daemon name accepted")
+	}
+}
+
+// TestHerdHistoryPassthrough covers the federated history route: a known
+// bus's history comes from its assigned daemon (empty but present on a fresh
+// fleet), an unknown bus is refused before fan-out, a dead owner surfaces as
+// unavailable once and is re-balanced away, and the HTTP route speaks the
+// v1 envelope.
+func TestHerdHistoryPassthrough(t *testing.T) {
+	buses := busNames(4)
+	h, pack := newTestHerd(t, 2, buses)
+	ctx := context.Background()
+
+	resp, werr := h.History(ctx, "dimm00")
+	if werr != nil {
+		t.Fatalf("History: %+v", werr)
+	}
+	if resp.Link != "dimm00" || resp.Samples == nil {
+		t.Fatalf("History = %+v, want link dimm00 with non-nil samples", resp)
+	}
+
+	// HTTP route: same answer through the envelope.
+	rec := httptest.NewRecorder()
+	h.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/links/dimm00/history", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("history route status %d: %s", rec.Code, rec.Body.String())
+	}
+	var hr attest.HistoryResponse
+	if err := attest.ParseBody(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatalf("history route body: %v", err)
+	}
+	if hr.Link != "dimm00" {
+		t.Errorf("history route link %q, want dimm00", hr.Link)
+	}
+
+	if _, werr := h.History(ctx, "bogus"); werr == nil || werr.Code != attest.CodeUnknownLink {
+		t.Fatalf("unknown bus history = %+v, want %s", werr, attest.CodeUnknownLink)
+	}
+
+	// Kill the assigned owner: the in-flight call fails as unavailable and
+	// marks the shard down; the replicated survivor serves the retry.
+	owner, ok := h.Assign("dimm00")
+	if !ok {
+		t.Fatal("dimm00 unassigned in a healthy pack")
+	}
+	var ownerIdx int
+	fmt.Sscanf(owner, "d%d", &ownerIdx)
+	pack[ownerIdx].stop()
+	if _, werr := h.History(ctx, "dimm00"); werr == nil || werr.Code != attest.CodeUnavailable {
+		t.Fatalf("mid-death history = %+v, want %s", werr, attest.CodeUnavailable)
+	}
+	resp, werr = h.History(ctx, "dimm00")
+	if werr != nil {
+		t.Fatalf("post-death history: %+v", werr)
+	}
+	if newOwner, _ := h.Assign("dimm00"); newOwner == owner {
+		t.Errorf("dimm00 still assigned to dead daemon %s", owner)
 	}
 }

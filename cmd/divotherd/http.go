@@ -19,7 +19,17 @@ func (h *Herd) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/health", h.handleHerdHealth)
 	mux.HandleFunc("GET /v1/daemons", h.handleDaemons)
 	mux.HandleFunc("POST /v1/attest", h.handleAttest)
+	mux.HandleFunc("GET /v1/links/{id}/history", h.handleHistory)
 	return mux
+}
+
+func (h *Herd) handleHistory(w http.ResponseWriter, r *http.Request) {
+	resp, werr := h.History(r.Context(), r.PathValue("id"))
+	if werr != nil {
+		attest.WriteError(w, werr.Code, "%s", werr.Message)
+		return
+	}
+	attest.WriteData(w, http.StatusOK, resp)
 }
 
 func (h *Herd) handleHealthz(w http.ResponseWriter, _ *http.Request) {

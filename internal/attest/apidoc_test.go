@@ -38,6 +38,14 @@ func goldenExamples() map[string]any {
 			Seq: 18, Kind: "reaction", Link: "dimm1", Round: 2204,
 			From: "normal", To: "quarantine", Detail: "score 0.41 under threshold",
 		}}},
+		"readyz": ReadyView{
+			Ready: false, Calibrated: 12, WarmLoaded: 3, Total: 1000,
+		},
+		"history": HistoryResponse{Link: "dimm1", Samples: []HistorySample{{
+			Round: 2203, Score: 0.9996, Health: "ok", Reaction: "normal", Verdict: "ok",
+		}, {
+			Round: 2204, Score: 0.41, Health: "suspect", Reaction: "quarantine", Verdict: "auth-failure",
+		}}},
 		"authenticate": AuthReport{
 			ID: "dimm0", Accepted: true, Score: 0.9996, Tampered: false,
 			TamperPosition: 0, Health: "ok", Cached: true,
@@ -186,6 +194,8 @@ func TestAPIDocCoversEndpoints(t *testing.T) {
 	endpoints := []string{
 		// divotd
 		"GET /healthz",
+		"GET /readyz",
+		"GET /v1/links/{id}/history",
 		"GET /metrics",
 		"GET /v1/health",
 		"GET /v1/links",

@@ -70,6 +70,51 @@ type LinksResponse struct {
 	Links []LinkSummary `json:"links"`
 }
 
+// ReadyView is the GET /readyz payload: startup progress. Unlike every other
+// route, /readyz answers 200 from the moment the daemon binds its socket —
+// before the fleet is calibrated or warm-restored — so orchestrators and
+// scripts can watch Calibrated/WarmLoaded climb toward Total instead of
+// polling blindly. Every other route answers 503 (code "unavailable", with a
+// Retry-After header) until Ready flips true.
+type ReadyView struct {
+	// Ready is true once every bus is calibrated or restored and the fleet
+	// schedulers are running.
+	Ready bool `json:"ready"`
+	// Calibrated counts buses brought up so far, warm or cold.
+	Calibrated int `json:"calibrated"`
+	// WarmLoaded counts the subset restored from enrollment snapshots
+	// (zero calibration measurements).
+	WarmLoaded int `json:"warm_loaded,omitempty"`
+	// Total is the fleet size.
+	Total int `json:"total"`
+}
+
+// HistorySample condenses one monitoring round into its durable outcome, as
+// retained in the daemon's per-bus score history (and, with a state_dir, in
+// the history WAL) and served at GET /v1/links/{id}/history.
+type HistorySample struct {
+	// Round is the bus's monitoring round number.
+	Round uint64 `json:"round"`
+	// Score is the CPU-side similarity the round measured.
+	Score float64 `json:"score"`
+	// Health is the bus condition after the round (ok/suspect/degraded/failed).
+	Health string `json:"health"`
+	// Reaction is the reactor's escalation state after the round.
+	Reaction string `json:"reaction"`
+	// Verdict summarizes the round's alerts: "ok", "auth-failure", "tamper",
+	// or "auth-failure+tamper".
+	Verdict string `json:"verdict"`
+}
+
+// HistoryResponse is the GET /v1/links/{id}/history payload: the retained
+// score history of one bus, oldest first. After a warm restart the samples
+// recovered from the history WAL appear here, so a verifier sees one
+// continuous record across daemon generations.
+type HistoryResponse struct {
+	Link    string          `json:"link"`
+	Samples []HistorySample `json:"samples"`
+}
+
 // Event is one bus-affecting protocol event, as retained in the daemon's
 // per-link history and streamed over GET /v1/links/{id}/events.
 type Event struct {

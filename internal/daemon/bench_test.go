@@ -10,6 +10,7 @@ import (
 
 	"divot"
 	"divot/internal/attest"
+	"divot/internal/store"
 )
 
 // lightConfig shrinks the instrument so fleet-scale benchmarks measure the
@@ -53,7 +54,7 @@ func BenchmarkFleetScheduler(b *testing.B) {
 			if testing.Short() && n > 100 {
 				b.Skipf("skipping %d-bus fleet in -short mode", n)
 			}
-			d, err := newDaemon(benchSpec(n, 0), lightConfig())
+			d, err := NewWithConfig(benchSpec(n, 0), lightConfig())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -87,7 +88,7 @@ func BenchmarkAttest(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			cfg := divot.DefaultConfig()
 			cfg.Engine.Parallelism = 1
-			d, err := newDaemon(benchSpec(1, mode.staleMS), cfg)
+			d, err := NewWithConfig(benchSpec(1, mode.staleMS), cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -147,6 +148,53 @@ func mustGet(b *testing.B, url string) []byte {
 	return body
 }
 
+// BenchmarkDaemonStartup measures fleet bring-up at 100 buses: cold runs the
+// full enrollment (calibration measurements plus tamper-floor probes per
+// bus), warm restores every bus from its enrollment snapshot in the state
+// directory — the crash-recovery path, which must be calibration-free.
+func BenchmarkDaemonStartup(b *testing.B) {
+	spec := benchSpec(100, 0)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewWithConfig(spec, lightConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		seedBackend, err := store.OpenDir(dir, store.DirOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := NewWithStore(spec, lightConfig(), seedBackend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.persistFleet()
+		if err := seedBackend.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			backend, err := store.OpenDir(dir, store.DirOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := NewWithStore(spec, lightConfig(), backend)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d.warmN.Load() != 100 {
+				b.Fatalf("restored %d/100 buses", d.warmN.Load())
+			}
+			backend.Close() //nolint:errcheck // read-only iteration
+		}
+	})
+}
+
 // BenchmarkFleetHealth measures GET /v1/health at 100 buses, cold (lock and
 // snapshot every bus) vs warm (served from the per-bus cached views).
 func BenchmarkFleetHealth(b *testing.B) {
@@ -158,7 +206,7 @@ func BenchmarkFleetHealth(b *testing.B) {
 		{name: "warm", staleMS: 3_600_000},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			d, err := newDaemon(benchSpec(100, mode.staleMS), lightConfig())
+			d, err := NewWithConfig(benchSpec(100, mode.staleMS), lightConfig())
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -19,6 +19,8 @@ func Main(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	listen := fs.String("listen", "", "override the spec's listen address")
 	fedID := fs.String("federation-id", "",
 		"override the spec's federation id (the label a divotherd aggregator groups this daemon under, surfaced in /healthz and /v1/health)")
+	stateDir := fs.String("state-dir", "",
+		"override the spec's state_dir (durable enrollment snapshots + history/audit WALs; a restart warm-restores the fleet from it)")
 	pprofAddr := fs.String("pprof-addr", "",
 		"serve net/http/pprof on this address over its own listener (empty = disabled; never exposed on the attestation API)")
 	if err := fs.Parse(args); err != nil {
@@ -35,7 +37,12 @@ func Main(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *fedID != "" {
 		spec.FederationID = *fedID
 	}
-	d, err := NewDaemon(spec)
+	if *stateDir != "" {
+		spec.StateDir = *stateDir
+	}
+	// New defers restore/calibration to Run, which binds the socket first and
+	// serves /readyz progress while the fleet warms.
+	d, err := New(spec)
 	if err != nil {
 		fmt.Fprintf(stderr, "divotd: %v\n", err)
 		return 1

@@ -26,8 +26,8 @@ import (
 
 	"divot"
 	"divot/internal/attest"
-	"divot/internal/pool"
 	"divot/internal/rng"
+	"divot/internal/store"
 	"divot/internal/telemetry"
 )
 
@@ -63,6 +63,27 @@ type Daemon struct {
 	shardDepth *telemetry.GaugeVec
 	cacheHits  *telemetry.CounterVec
 	cacheMiss  *telemetry.CounterVec
+	storeErrs  *telemetry.CounterVec
+
+	// backend persists enrollment snapshots, the score-history WAL, and the
+	// segmented audit log when the spec names a state_dir (nil otherwise —
+	// the daemon is then fully in-memory, the original semantics). specHash
+	// binds every snapshot to the seed+config that produced it.
+	backend  store.Backend
+	specHash string
+	// ownBackend marks a backend this daemon opened itself (from
+	// spec.StateDir) and must close at shutdown; injected backends belong to
+	// the caller.
+	ownBackend bool
+
+	// ready flips once every bus is calibrated or warm-restored; until then
+	// every route except /readyz and /metrics answers 503 with a Retry-After
+	// header. calibratedN/warmN are the /readyz progress counters. warmed
+	// makes warmup idempotent (constructors warm eagerly, Run warms lazily).
+	ready       atomic.Bool
+	calibratedN atomic.Int64
+	warmN       atomic.Int64
+	warmed      bool
 
 	// maxStale bounds how old a bus's cached attestation view may be and
 	// still be served (0 = cache disabled, every request re-measures).
@@ -98,6 +119,21 @@ type linkState struct {
 	attacked    bool
 
 	rounds atomic.Uint64
+
+	// dirty marks that an attention-worthy event (alert, gate move, health
+	// transition, re-enrollment, reaction) changed durable state since the
+	// last persisted snapshot. Set by alertSink, drained by monitorOnce —
+	// so snapshots are written when state actually moves, not every round.
+	dirty atomic.Bool
+
+	// hist is the bus's bounded score-history ring (oldest overwritten) and
+	// histBuf the reusable render buffer for its history WAL records;
+	// histMu covers both.
+	histMu  sync.Mutex
+	hist    [histRingCap]attest.HistorySample
+	histLen int
+	histIdx int
+	histBuf []byte
 
 	// events fans the bus's feed out to stream subscribers over bounded
 	// queues; its sequence counter is the per-link seq the resume protocol
@@ -192,17 +228,34 @@ func (s alertSink) Emit(ev telemetry.Event) {
 	}
 	if ls, ok := s.d.byID[ev.Link]; ok {
 		ls.invalidateCache()
+		ls.dirty.Store(true)
 		ls.record(ev)
 	}
 }
 
-// NewDaemon builds and calibrates the fleet described by spec. Every bus is
-// enrolled before the daemon starts serving, so the API never exposes an
-// uncalibrated link.
+// NewDaemon builds and brings up the fleet described by spec: every bus is
+// restored from its enrollment snapshot (when the spec names a state_dir
+// holding a valid one) or cold-calibrated before NewDaemon returns, so the
+// API never exposes an uncalibrated link.
 func NewDaemon(spec Spec) (*Daemon, error) {
+	d, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.warmup(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// New builds the fleet without bringing it up: calibration/restore is
+// deferred to Run, which serves /readyz (and 503s everything else) while the
+// fleet warms. divotd's main uses it so a 1000-bus cold boot is observable
+// instead of a silent multi-second gap before the socket opens.
+func New(spec Spec) (*Daemon, error) {
 	cfg := divot.DefaultConfig()
 	cfg.Engine.Parallelism = spec.Parallelism
-	return newDaemon(spec, cfg)
+	return newDaemon(spec, cfg, nil)
 }
 
 // NewWithConfig is NewDaemon with the engine configuration exposed, so
@@ -210,11 +263,34 @@ func NewDaemon(spec Spec) (*Daemon, error) {
 // deliberately light instruments. The spec's Parallelism is ignored in
 // favour of cfg's.
 func NewWithConfig(spec Spec, cfg divot.Config) (*Daemon, error) {
-	return newDaemon(spec, cfg)
+	d, err := newDaemon(spec, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.warmup(); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
-// newDaemon is NewDaemon with the engine configuration exposed.
-func newDaemon(spec Spec, cfg divot.Config) (*Daemon, error) {
+// NewWithStore is NewWithConfig with the persistence backend injected
+// (tests use store.Memory; spec.StateDir is ignored). The backend stays
+// owned by the caller: the daemon syncs it at shutdown but does not close it.
+func NewWithStore(spec Spec, cfg divot.Config, backend store.Backend) (*Daemon, error) {
+	d, err := newDaemon(spec, cfg, backend)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.warmup(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// newDaemon builds the daemon without warming the fleet up. When backend is
+// nil and the spec names a state_dir, the daemon opens (and owns) the
+// embedded file backend there, recovering any torn WAL tails from a crash.
+func newDaemon(spec Spec, cfg divot.Config, backend store.Backend) (*Daemon, error) {
 	sys := divot.NewSystem(spec.Seed, cfg)
 
 	d := &Daemon{
@@ -225,6 +301,21 @@ func newDaemon(spec Spec, cfg divot.Config) (*Daemon, error) {
 		heartbeat: defaultHeartbeat,
 		stop:      make(chan struct{}),
 	}
+	hash, err := computeSpecHash(spec.Seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.specHash = hash
+	if backend == nil && spec.StateDir != "" {
+		dir, err := store.OpenDir(spec.StateDir, store.DirOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("opening state dir: %w", err)
+		}
+		backend = dir
+		d.ownBackend = true
+	}
+	d.backend = backend
+
 	sinks := []divot.TelemetrySink{divot.NewMetricsSink(d.reg), alertSink{d}}
 	if spec.AuditLog != "" {
 		f, err := os.Create(spec.AuditLog)
@@ -233,6 +324,12 @@ func newDaemon(spec Spec, cfg divot.Config) (*Daemon, error) {
 		}
 		d.auditFile = f
 		d.audit = divot.NewAuditLog(f).WithClock(time.Now)
+		sinks = append(sinks, d.audit)
+	} else if d.backend != nil {
+		// With a state dir and no flat audit file, the audit trail goes to
+		// the backend's segmented log: same rendered lines, but rotation and
+		// compaction bound its growth and a torn tail survives a crash.
+		d.audit = divot.NewAuditLog(&auditAppender{d: d}).WithClock(time.Now)
 		sinks = append(sinks, d.audit)
 	}
 	sys.SetSink(divot.TelemetryFanout(sinks...))
@@ -248,6 +345,8 @@ func newDaemon(spec Spec, cfg divot.Config) (*Daemon, error) {
 		"Attestation requests answered from the cached last-round view.", "link")
 	d.cacheMiss = d.reg.Counter("divot_attest_cache_misses_total",
 		"Attestation requests that re-measured the bus.", "link")
+	d.storeErrs = d.reg.Counter("divot_store_errors_total",
+		"Durable-state operations that failed (by operation); the daemon keeps running.", "op")
 	d.maxStale = time.Duration(spec.MaxStalenessMS) * time.Millisecond
 
 	for _, b := range spec.Buses {
@@ -275,38 +374,7 @@ func newDaemon(spec Spec, cfg divot.Config) (*Daemon, error) {
 		d.links = append(d.links, ls)
 		d.byID[b.ID] = ls
 	}
-	if err := d.calibrateFleet(); err != nil {
-		return nil, err
-	}
 	return d, nil
-}
-
-// calibrateFleet enrolls every bus, running the calibrations concurrently
-// under the engine's parallelism bound. Each link's telemetry is buffered in
-// a private recorder for the duration and drained into the shared sink in
-// spec order afterwards, so startup produces the same audit-log byte
-// sequence at every worker count.
-func (d *Daemon) calibrateFleet() error {
-	shared := d.sys.Sink()
-	errs := make([]error, len(d.links))
-	recs := make([]*divot.TelemetryRecorder, len(d.links))
-	for i, ls := range d.links {
-		recs[i] = &divot.TelemetryRecorder{}
-		ls.link.SetSink(recs[i])
-	}
-	pool.Run(len(d.links), pool.Workers(d.sys.Config().Engine.Parallelism), func(_, i int) {
-		errs[i] = d.links[i].link.Calibrate()
-	})
-	for i, ls := range d.links {
-		ls.link.SetSink(shared)
-		recs[i].DrainTo(shared)
-	}
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("calibrating bus %q: %w", d.links[i].id, err)
-		}
-	}
-	return nil
 }
 
 // monitorOnce runs one round on a bus: mount the scripted attack when due,
@@ -326,13 +394,21 @@ func (d *Daemon) monitorOnce(ls *linkState) {
 	alerts, err := ls.link.MonitorOnce()
 	d.roundDur.With(ls.id).Observe(time.Since(start).Seconds())
 	if err == nil {
-		ls.reactor.ObserveHealth(alerts, ls.link.Health())
+		h := ls.link.Health()
+		ls.reactor.ObserveHealth(alerts, h)
+		d.recordHistory(ls, alerts, h)
 		if d.maxStale > 0 {
 			// The round just measured both endpoints, so its verdict is a
 			// free attestation view: cache it (after the reactor ran, so
 			// any invalidation it triggered has already landed).
 			ls.refreshCache(reportFromRound(ls, alerts), healthView(ls))
 		}
+	}
+	// Persist the bus's snapshot when this round changed durable state
+	// (re-enrollment, gate move, health transition, reaction) — still under
+	// ls.mu, so the written state is exactly the round's outcome.
+	if d.backend != nil && ls.dirty.Swap(false) {
+		d.saveSnapshot(ls)
 	}
 	ls.rounds.Add(1)
 }
@@ -388,7 +464,13 @@ func (d *Daemon) Addr() string {
 
 // Run serves the fleet until ctx is cancelled (SIGTERM/SIGINT in main), then
 // shuts down gracefully: the schedulers drain their in-flight rounds, the
-// HTTP server finishes open requests, and the audit log is flushed.
+// HTTP server finishes open requests, every bus's snapshot is persisted, and
+// the audit log is flushed.
+//
+// The socket opens before the fleet is warm: a daemon built with New binds,
+// serves /readyz (and 503s with Retry-After everywhere else), restores or
+// calibrates the fleet, and only then starts the schedulers — so a 1000-bus
+// cold boot is observable and a warm boot measurably instant.
 func (d *Daemon) Run(ctx context.Context, logw io.Writer) error {
 	d.started = time.Now()
 	ln, err := net.Listen("tcp", d.spec.Listen)
@@ -398,6 +480,15 @@ func (d *Daemon) Run(ctx context.Context, logw io.Writer) error {
 	d.listenerMu.Lock()
 	d.listener = ln
 	d.listenerMu.Unlock()
+
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	if err := d.warmup(); err != nil {
+		srv.Close() //nolint:errcheck // surfacing the warmup error
+		return err
+	}
 
 	var wg sync.WaitGroup
 	schedCtx, stopSched := context.WithCancel(ctx)
@@ -409,11 +500,36 @@ func (d *Daemon) Run(ctx context.Context, logw io.Writer) error {
 			d.runShard(schedCtx, shard, links)
 		}(i, links)
 	}
-
-	srv := &http.Server{Handler: d.Handler()}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(logw, "divotd: %d buses calibrated, serving on %s\n", len(d.links), ln.Addr())
+	// Bound what a crash can lose: the audit log and both WALs buffer their
+	// appends, so push them to stable storage on a short cadence. Graceful
+	// shutdown still does the final flush below; this ticker only matters
+	// for the SIGKILL path.
+	if d.backend != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-schedCtx.Done():
+					return
+				case <-t.C:
+					if d.audit != nil && d.auditFile == nil {
+						if err := d.audit.Flush(); err != nil {
+							d.storeErrs.With("flush_audit").Inc()
+						}
+					}
+					if err := d.backend.Sync(); err != nil {
+						d.storeErrs.With("sync").Inc()
+					}
+				}
+			}
+		}()
+	}
+	warm := d.warmN.Load()
+	fmt.Fprintf(logw, "divotd: %d buses ready (%d restored warm, %d calibrated), serving on %s\n",
+		len(d.links), warm, int64(len(d.links))-warm, ln.Addr())
 
 	var runErr error
 	select {
@@ -441,6 +557,20 @@ func (d *Daemon) Run(ctx context.Context, logw io.Writer) error {
 				runErr = err
 			}
 		} else if err := d.audit.Flush(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	// Persist the fleet's final state (round counters included) and make the
+	// store durable, so the next boot restarts warm exactly where this one
+	// stopped. A crash skips all of this — that path is covered by the
+	// per-round snapshot writes and the WAL's torn-tail recovery.
+	if d.backend != nil {
+		d.persistFleet()
+		if d.ownBackend {
+			if err := d.backend.Close(); err != nil && runErr == nil {
+				runErr = err
+			}
+		} else if err := d.backend.Sync(); err != nil && runErr == nil {
 			runErr = err
 		}
 	}

@@ -32,14 +32,38 @@ func (d *Daemon) view(ls *linkState) attest.LinkSummary {
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /v1/health", d.handleFleetHealth)
 	mux.HandleFunc("GET /v1/links", d.handleLinks)
 	mux.HandleFunc("GET /v1/links/{id}/alerts", d.handleAlerts)
+	mux.HandleFunc("GET /v1/links/{id}/history", d.handleHistory)
 	mux.HandleFunc("GET /v1/links/{id}/events", d.handleEvents)
 	mux.HandleFunc("POST /v1/links/{id}/authenticate", d.handleAuthenticate)
 	mux.HandleFunc("POST /v1/attest", d.handleAttest)
-	return mux
+	return d.gateReady(mux)
+}
+
+// gateReady rejects requests while the fleet is still warming up (restore or
+// calibration in progress). Only /readyz — the progress report itself — and
+// /metrics pass through; everything else answers 503 with a Retry-After
+// header so well-behaved clients (the SDK honors it) back off instead of
+// hammering a booting daemon.
+func (d *Daemon) gateReady(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !d.ready.Load() {
+			switch r.URL.Path {
+			case "/readyz", "/metrics":
+			default:
+				w.Header().Set("Retry-After", "1")
+				attest.WriteError(w, attest.CodeUnavailable,
+					"daemon warming up: %d/%d buses ready",
+					d.calibratedN.Load(), len(d.links))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // lookup resolves the {id} path segment, answering 404 itself on a miss.
@@ -69,6 +93,19 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		FleetOK:      fleetOK,
 		UptimeS:      time.Since(d.started).Seconds(),
 		FederationID: d.spec.FederationID,
+	})
+}
+
+// handleReadyz reports startup progress. It answers 200 from the moment the
+// socket binds — readiness is in the payload, not the status code — so
+// orchestration (and daemon_smoke.sh) polls one URL whether the fleet is
+// restoring in milliseconds or calibrating for a minute.
+func (d *Daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	attest.WriteData(w, http.StatusOK, attest.ReadyView{
+		Ready:      d.ready.Load(),
+		Calibrated: int(d.calibratedN.Load()),
+		WarmLoaded: int(d.warmN.Load()),
+		Total:      len(d.links),
 	})
 }
 
@@ -128,6 +165,16 @@ func (d *Daemon) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	}
 	events := ls.snapshotAlerts()
 	attest.WriteData(w, http.StatusOK, attest.EventsResponse{Link: ls.id, Events: events})
+}
+
+func (d *Daemon) handleHistory(w http.ResponseWriter, r *http.Request) {
+	ls, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	attest.WriteData(w, http.StatusOK, attest.HistoryResponse{
+		Link: ls.id, Samples: ls.snapshotHistory(),
+	})
 }
 
 func (d *Daemon) handleAuthenticate(w http.ResponseWriter, r *http.Request) {

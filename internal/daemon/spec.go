@@ -38,8 +38,18 @@ type Spec struct {
 	// 0 (the default) disables the cache: every request re-measures,
 	// exactly the pre-cache semantics.
 	MaxStalenessMS int `json:"max_staleness_ms"`
-	// AuditLog is the JSONL audit file path; empty disables the audit log.
+	// AuditLog is the JSONL audit file path; empty disables the flat-file
+	// audit log (with a StateDir the audit trail still goes to the state
+	// directory's segmented log).
 	AuditLog string `json:"audit_log"`
+	// StateDir, when non-empty, makes the daemon's state crash-safe: per-bus
+	// enrollment snapshots, the score-history WAL, and a segmented audit log
+	// live under this directory, and a restarted daemon warm-restores the
+	// fleet from them — zero calibration rounds — instead of re-enrolling.
+	// Snapshots are bound to the seed+configuration that produced them; a
+	// spec change falls back to cold calibration per bus. Empty keeps the
+	// daemon fully in-memory. Overridable with divotd -state-dir.
+	StateDir string `json:"state_dir"`
 	// FederationID labels this daemon as a member of a divotherd federation.
 	// It is surfaced in /healthz and /v1/health so an aggregator (and its
 	// operators) can tell at a glance which fleet a daemon believes it

@@ -176,6 +176,7 @@ func TestFleetHealthEmptyEncodesEmptyList(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := &Daemon{sys: sys, heartbeat: defaultHeartbeat, stop: make(chan struct{})}
+	d.ready.Store(true) // hand-built daemon: skip the warmup gate
 	rec := httptest.NewRecorder()
 	d.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/health", nil))
 	if rec.Code != http.StatusOK {

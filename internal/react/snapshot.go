@@ -1,0 +1,59 @@
+package react
+
+import "fmt"
+
+// Snapshot is the reactor's durable state: the escalation level and the
+// streaks that gate the anti-ratchet rules. Persisting it means a daemon
+// restart cannot be used to launder an escalation — a link that was Halted
+// with four consecutive authentication failures restarts Halted with four
+// consecutive failures, not Normal with zero. The action Log is deliberately
+// not persisted: it is an in-memory trace, and the audit log is the durable
+// record of actions.
+type Snapshot struct {
+	State        string `json:"state"`
+	TamperStreak int    `json:"tamper_streak,omitempty"`
+	AuthStreak   int    `json:"auth_streak,omitempty"`
+	CleanStreak  int    `json:"clean_streak,omitempty"`
+	Rounds       int    `json:"rounds,omitempty"`
+}
+
+// Snapshot captures the reactor's durable state.
+func (r *Reactor) Snapshot() Snapshot {
+	return Snapshot{
+		State:        r.state.String(),
+		TamperStreak: r.tamperStreak,
+		AuthStreak:   r.authStreak,
+		CleanStreak:  r.cleanStreak,
+		Rounds:       r.Rounds,
+	}
+}
+
+// Restore installs a snapshot, validating it first; on error the reactor is
+// unchanged. No event is emitted and nothing is logged — restoring is not an
+// action.
+func (r *Reactor) Restore(s Snapshot) error {
+	state, err := stateFromName(s.State)
+	if err != nil {
+		return err
+	}
+	if s.TamperStreak < 0 || s.AuthStreak < 0 || s.CleanStreak < 0 || s.Rounds < 0 {
+		return fmt.Errorf("react: snapshot has a negative counter: %+v", s)
+	}
+	r.state = state
+	r.prev = state
+	r.tamperStreak = s.TamperStreak
+	r.authStreak = s.AuthStreak
+	r.cleanStreak = s.CleanStreak
+	r.Rounds = s.Rounds
+	return nil
+}
+
+// stateFromName parses a State's String form.
+func stateFromName(name string) (State, error) {
+	for s := StateNormal; s <= StateDegraded; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return StateNormal, fmt.Errorf("react: unknown reactor state %q", name)
+}

@@ -1,0 +1,46 @@
+package react
+
+import "testing"
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a, err := NewReactor(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.state = StateHalted
+	a.prev = StateAlerted
+	a.tamperStreak = 2
+	a.authStreak = 4
+	a.cleanStreak = 0
+	a.Rounds = 37
+
+	b, err := NewReactor(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(a.Snapshot()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if b.state != StateHalted || b.prev != StateHalted {
+		t.Fatalf("state = %v/%v, want Halted/Halted", b.state, b.prev)
+	}
+	if b.tamperStreak != 2 || b.authStreak != 4 || b.cleanStreak != 0 || b.Rounds != 37 {
+		t.Fatalf("streaks lost: %+v", b.Snapshot())
+	}
+}
+
+func TestRestoreRejectsBadSnapshot(t *testing.T) {
+	r, err := NewReactor(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Restore(Snapshot{State: "bogus"}); err == nil {
+		t.Fatal("unknown state accepted")
+	}
+	if err := r.Restore(Snapshot{State: StateNormal.String(), AuthStreak: -1}); err == nil {
+		t.Fatal("negative streak accepted")
+	}
+	if r.state != StateNormal || r.Rounds != 0 {
+		t.Fatal("reactor mutated by rejected restore")
+	}
+}

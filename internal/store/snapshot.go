@@ -1,0 +1,103 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// snapshotVersion guards against silently decoding incompatible envelopes.
+const snapshotVersion = 1
+
+// Typed load failures. Every one of them means the same thing to the caller
+// — do not trust the snapshot, calibrate cold — but they are distinguished so
+// metrics and logs can say why.
+var (
+	// ErrNoSnapshot: nothing persisted for this bus.
+	ErrNoSnapshot = errors.New("store: no snapshot")
+	// ErrCorruptSnapshot: the envelope is unreadable or its checksum fails.
+	ErrCorruptSnapshot = errors.New("store: corrupt snapshot")
+	// ErrStaleSnapshot: the snapshot was taken under a different spec hash
+	// (seed or engine/line configuration changed since it was written).
+	ErrStaleSnapshot = errors.New("store: stale snapshot")
+)
+
+// snapshotEnvelope is the on-disk form: a versioned wrapper carrying the
+// payload verbatim plus a sha256 over the payload bytes and the spec hash the
+// snapshot was taken under.
+type snapshotEnvelope struct {
+	Version  int             `json:"version"`
+	SpecHash string          `json:"spec_hash"`
+	SHA256   string          `json:"sha256"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// EncodeSnapshot wraps a JSON payload in the checksummed envelope.
+func EncodeSnapshot(specHash string, payload []byte) ([]byte, error) {
+	if !json.Valid(payload) {
+		return nil, fmt.Errorf("store: snapshot payload is not valid JSON")
+	}
+	sum := sha256.Sum256(payload)
+	return json.Marshal(snapshotEnvelope{
+		Version:  snapshotVersion,
+		SpecHash: specHash,
+		SHA256:   hex.EncodeToString(sum[:]),
+		Payload:  json.RawMessage(payload),
+	})
+}
+
+// DecodeSnapshot validates an envelope — version, checksum, spec hash — and
+// returns its payload. Failures come back as ErrCorruptSnapshot or
+// ErrStaleSnapshot (wrapped with detail).
+func DecodeSnapshot(raw []byte, wantSpecHash string) ([]byte, error) {
+	var env snapshotEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if env.Version != snapshotVersion {
+		return nil, fmt.Errorf("%w: envelope version %d, want %d", ErrCorruptSnapshot, env.Version, snapshotVersion)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorruptSnapshot)
+	}
+	if env.SpecHash != wantSpecHash {
+		return nil, fmt.Errorf("%w: spec hash %.12s…, want %.12s…", ErrStaleSnapshot, env.SpecHash, wantSpecHash)
+	}
+	return env.Payload, nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory
+// plus rename, fsyncing both the file and the directory, so a crash leaves
+// either the old snapshot or the new one — never a torn mix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after the rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // best-effort directory durability
+		d.Close()
+	}
+	return nil
+}

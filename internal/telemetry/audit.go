@@ -123,6 +123,11 @@ func (a *AuditLog) Close(underlying io.Writer) error {
 	return nil
 }
 
+// AppendJSONString appends s as a JSON string literal, for hand-rolled
+// allocation-free renderers outside this package (the daemon's history WAL
+// records use it).
+func AppendJSONString(b []byte, s string) []byte { return appendJSONString(b, s) }
+
 // appendJSONString appends s as a JSON string literal. Control characters
 // and the two JSON metacharacters are escaped; everything else (the event
 // vocabulary is ASCII plus the occasional unit glyph) passes through, with

@@ -51,6 +51,9 @@ const (
 	// EventMonitorError: a monitoring round returned a protocol error
 	// (uncalibrated link, lost enrollment).
 	EventMonitorError
+	// EventRestored: a link's enrollment and robustness state were restored
+	// from a validated persistent snapshot instead of fresh calibration.
+	EventRestored
 )
 
 // String names the kind, matching its audit-log rendering.
@@ -80,6 +83,8 @@ func (k EventKind) String() string {
 		return "attack"
 	case EventMonitorError:
 		return "monitor-error"
+	case EventRestored:
+		return "restored"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

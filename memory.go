@@ -59,6 +59,9 @@ type (
 	ReactionAction = react.Action
 	// ReactionState is the escalation level.
 	ReactionState = react.State
+	// ReactorSnapshot is a reactor's durable state (Reactor.Snapshot /
+	// Reactor.Restore) — escalation level and anti-ratchet streaks.
+	ReactorSnapshot = react.Snapshot
 )
 
 // Reaction action constants.

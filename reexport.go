@@ -34,6 +34,12 @@ type (
 	EndpointHealth = core.EndpointHealth
 	// HealthState orders conditions from ok to failed.
 	HealthState = core.HealthState
+	// LinkSnapshot is a link's durable state (Link.Snapshot / Link.Restore):
+	// enrolled fingerprints, tamper thresholds, dead-bin masks, drift
+	// baselines, and health counters, in a versioned JSON-encodable form.
+	LinkSnapshot = core.LinkSnapshot
+	// EndpointSnapshot is one endpoint's durable state within a LinkSnapshot.
+	EndpointSnapshot = core.EndpointSnapshot
 )
 
 // Engine constants.

@@ -4,9 +4,12 @@
 # the round counters advance, drive the remote attestation API through
 # divotctl (clean fleet first, then a fleet with a scripted interposer that
 # must be caught over the wire), then SIGTERM it and require a clean exit.
-# Phase 3 runs a 1000-bus fleet on the sharded scheduler; phase 4 federates
-# four daemons behind divotherd, kills one mid-fleet, and requires honest
-# partial-failure reporting followed by a re-balanced fleet-wide attest.
+# Phase 3 runs a 1000-bus fleet on the sharded scheduler and warm-restarts it
+# from its state directory; phase 4 federates four daemons behind divotherd,
+# kills one mid-fleet, and requires honest partial-failure reporting followed
+# by a re-balanced fleet-wide attest; phase 5 SIGKILLs a stateful daemon
+# mid-flight and requires a calibration-free warm restart with its history
+# and audit trail intact.
 # Used by CI's "daemon smoke" step; runnable locally as scripts/daemon_smoke.sh.
 set -euo pipefail
 
@@ -30,18 +33,27 @@ EOF
 "$workdir/divotd" -spec "$workdir/fleet.json" > "$workdir/divotd.log" 2>&1 &
 pid=$!
 
-# Wait for the daemon to come up (calibration of three buses takes a moment).
-for _ in $(seq 1 100); do
-  if curl -sf http://127.0.0.1:9721/healthz > /dev/null 2>&1; then
-    break
-  fi
-  if ! kill -0 "$pid" 2>/dev/null; then
-    echo "divotd exited during startup:" >&2
-    cat "$workdir/divotd.log" >&2
-    exit 1
-  fi
-  sleep 0.2
-done
+# Wait for readiness: /readyz answers from the moment the listener binds —
+# before calibration finishes — and flips "ready" when the fleet is up.
+wait_ready() {
+  local addr=$1 waitpid=$2 logf=$3 tries=${4:-100}
+  for _ in $(seq 1 "$tries"); do
+    if curl -sf "http://$addr/readyz" 2>/dev/null | grep -q '"ready": true'; then
+      return 0
+    fi
+    if ! kill -0 "$waitpid" 2>/dev/null; then
+      echo "divotd on $addr exited during startup:" >&2
+      cat "$logf" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  echo "divotd on $addr never became ready" >&2
+  curl -sf "http://$addr/readyz" >&2 || true
+  exit 1
+}
+
+wait_ready 127.0.0.1:9721 "$pid" "$workdir/divotd.log"
 curl -sf http://127.0.0.1:9721/healthz
 
 # Two scrapes a few rounds apart: every bus's round counter must advance.
@@ -107,16 +119,8 @@ cat > "$workdir/attacked.json" <<'EOF'
 EOF
 "$workdir/divotd" -spec "$workdir/attacked.json" > "$workdir/divotd2.log" 2>&1 &
 pid2=$!
-trap 'kill -9 "$pid2" 2>/dev/null; rm -rf "$workdir"' EXIT
-for _ in $(seq 1 100); do
-  curl -sf http://127.0.0.1:9722/healthz > /dev/null 2>&1 && break
-  if ! kill -0 "$pid2" 2>/dev/null; then
-    echo "second divotd exited during startup:" >&2
-    cat "$workdir/divotd2.log" >&2
-    exit 1
-  fi
-  sleep 0.2
-done
+trap 'kill -9 "$pid2" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+wait_ready 127.0.0.1:9722 "$pid2" "$workdir/divotd2.log"
 
 ctl2="$workdir/divotctl -addr http://127.0.0.1:9722"
 # The live feed must deliver the attack's events through the SDK's watcher.
@@ -171,19 +175,12 @@ wait "$pid2" || { echo "second divotd exited non-zero after SIGTERM" >&2; exit 1
 } > "$workdir/fleet1000.json"
 
 "$workdir/divotd" -spec "$workdir/fleet1000.json" -pprof-addr 127.0.0.1:9733 \
-  > "$workdir/divotd3.log" 2>&1 &
+  -state-dir "$workdir/state1000" > "$workdir/divotd3.log" 2>&1 &
 pid3=$!
-trap 'kill -9 "$pid3" 2>/dev/null; rm -rf "$workdir"' EXIT
-# Calibrating 1000 buses takes a while even in parallel; allow several minutes.
-for _ in $(seq 1 1800); do
-  curl -sf http://127.0.0.1:9723/healthz > /dev/null 2>&1 && break
-  if ! kill -0 "$pid3" 2>/dev/null; then
-    echo "1000-bus divotd exited during startup:" >&2
-    cat "$workdir/divotd3.log" >&2
-    exit 1
-  fi
-  sleep 0.2
-done
+trap 'kill -9 "$pid3" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+# Calibrating 1000 buses takes a while even in parallel; allow several
+# minutes. /readyz reports progress the whole time.
+wait_ready 127.0.0.1:9723 "$pid3" "$workdir/divotd3.log" 1800
 curl -sf http://127.0.0.1:9723/healthz | grep '"buses": 1000'
 
 # The scheduler must be sharded, not goroutine-per-bus: the pprof profile's
@@ -211,6 +208,25 @@ kill -0 "$pid3" 2>/dev/null && { echo "1000-bus divotd did not exit" >&2; kill -
 wait "$pid3" || { echo "1000-bus divotd exited non-zero after SIGTERM" >&2; exit 1; }
 grep 'shut down' "$workdir/divotd3.log"
 
+# Warm restart at scale: the graceful shutdown persisted every enrollment, so
+# a relaunch on the same state directory must restore all 1000 buses without
+# a single calibration measurement — startup drops from minutes to seconds.
+"$workdir/divotd" -spec "$workdir/fleet1000.json" -state-dir "$workdir/state1000" \
+  > "$workdir/divotd3b.log" 2>&1 &
+pid3=$!
+wait_ready 127.0.0.1:9723 "$pid3" "$workdir/divotd3b.log" 300
+grep -q '1000 buses ready (1000 restored warm, 0 calibrated)' "$workdir/divotd3b.log"
+curl -sf -X POST http://127.0.0.1:9723/v1/attest -d '{"links":["dimm0007"]}' \
+  | grep '"accepted": true'
+echo "ok: 1000-bus fleet warm-restarted with zero recalibration"
+kill -TERM "$pid3"
+for _ in $(seq 1 100); do
+  kill -0 "$pid3" 2>/dev/null || break
+  sleep 0.2
+done
+kill -0 "$pid3" 2>/dev/null && { echo "warm 1000-bus divotd did not exit" >&2; kill -9 "$pid3"; exit 1; }
+wait "$pid3" || { echo "warm 1000-bus divotd exited non-zero after SIGTERM" >&2; exit 1; }
+
 # Phase 4: federation. Four daemons with identical specs (same seed → same
 # enrollments: replicated verifiers over a shared measurement fabric) behind
 # one divotherd. The herd must attest the fleet through one endpoint; killing
@@ -234,17 +250,9 @@ for i in 0 1 2 3; do
     -federation-id smoke > "$workdir/fed$i.log" 2>&1 &
   fedpids+=($!)
 done
-trap 'kill -9 "${fedpids[@]}" ${herdpid:-} 2>/dev/null; rm -rf "$workdir"' EXIT
+trap 'kill -9 "${fedpids[@]}" ${herdpid:-} 2>/dev/null || true; rm -rf "$workdir"' EXIT
 for i in 0 1 2 3; do
-  for _ in $(seq 1 100); do
-    curl -sf "http://127.0.0.1:974$i/healthz" > /dev/null 2>&1 && break
-    if ! kill -0 "${fedpids[$i]}" 2>/dev/null; then
-      echo "federation daemon $i exited during startup:" >&2
-      cat "$workdir/fed$i.log" >&2
-      exit 1
-    fi
-    sleep 0.2
-  done
+  wait_ready "127.0.0.1:974$i" "${fedpids[$i]}" "$workdir/fed$i.log"
 done
 
 # A long probe interval keeps the test deterministic: the only thing allowed
@@ -303,4 +311,79 @@ kill -0 "$herdpid" 2>/dev/null && { echo "divotherd did not exit after SIGTERM" 
 wait "$herdpid" || { echo "divotherd exited non-zero after SIGTERM" >&2; exit 1; }
 for i in 0 2 3; do kill -TERM "${fedpids[$i]}" 2>/dev/null || true; done
 for p in "${fedpids[@]}"; do wait "$p" 2>/dev/null || true; done
+
+# Phase 5: crash durability. A stateful daemon is SIGKILLed mid-flight — no
+# graceful persist, no WAL close — and relaunched on the same state
+# directory. The restart must restore every enrollment without a single
+# calibration measurement, keep serving verdicts, and keep the history and
+# audit trails accumulated before the crash.
+cat > "$workdir/durable.json" <<EOF
+{
+  "seed": 31,
+  "listen": "127.0.0.1:9725",
+  "interval_ms": 20,
+  "jitter_frac": 0.1,
+  "state_dir": "$workdir/state5",
+  "buses": [{"id": "dimm0"}, {"id": "dimm1"}, {"id": "dimm2"}]
+}
+EOF
+"$workdir/divotd" -spec "$workdir/durable.json" > "$workdir/divotd5.log" 2>&1 &
+pid5=$!
+trap 'kill -9 "$pid5" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+wait_ready 127.0.0.1:9725 "$pid5" "$workdir/divotd5.log"
+grep -q '3 buses ready (0 restored warm, 3 calibrated)' "$workdir/divotd5.log"
+
+# Let rounds accumulate past the daemon's 1s durability flush, then snapshot
+# the durable trails as of the crash.
+sleep 2.5
+hist_before=$(curl -sf http://127.0.0.1:9725/v1/links/dimm0/history | grep -c '"round"')
+if [ "$hist_before" -lt 1 ]; then
+  echo "no history samples before the crash" >&2
+  exit 1
+fi
+audit_before=$(cat "$workdir"/state5/audit/seg-*.wal | wc -c)
+if [ "$audit_before" -lt 1 ]; then
+  echo "no audit bytes before the crash" >&2
+  exit 1
+fi
+
+kill -9 "$pid5"
+wait "$pid5" 2>/dev/null || true
+
+"$workdir/divotd" -spec "$workdir/durable.json" > "$workdir/divotd5b.log" 2>&1 &
+pid5=$!
+wait_ready 127.0.0.1:9725 "$pid5" "$workdir/divotd5b.log"
+# Zero recalibration: every bus came back from its enrollment snapshot.
+grep -q '3 buses ready (3 restored warm, 0 calibrated)' "$workdir/divotd5b.log"
+
+# Verdicts flow immediately on the restored enrollments.
+ctl5="$workdir/divotctl -addr http://127.0.0.1:9725"
+$ctl5 -json attest | grep '"all_accepted": true'
+
+# History continuity: the pre-crash samples survived the torn WAL tail (the
+# window is bounded at 256/bus, far above what this phase accumulates).
+hist_after=$(curl -sf http://127.0.0.1:9725/v1/links/dimm0/history | grep -c '"round"')
+if [ "$hist_after" -lt "$hist_before" ]; then
+  echo "history lost across the crash: $hist_before -> $hist_after samples" >&2
+  exit 1
+fi
+echo "ok: $hist_before pre-crash history samples survived ($hist_after retained)"
+
+# Audit continuity: the audit WAL kept its pre-crash bytes and keeps growing.
+sleep 2.5
+audit_after=$(cat "$workdir"/state5/audit/seg-*.wal | wc -c)
+if [ "$audit_after" -le "$audit_before" ]; then
+  echo "audit log did not survive and grow: $audit_before -> $audit_after bytes" >&2
+  exit 1
+fi
+echo "ok: audit trail continuous across SIGKILL ($audit_before -> $audit_after bytes)"
+
+kill -TERM "$pid5"
+for _ in $(seq 1 50); do
+  kill -0 "$pid5" 2>/dev/null || break
+  sleep 0.2
+done
+kill -0 "$pid5" 2>/dev/null && { echo "stateful divotd did not exit after SIGTERM" >&2; kill -9 "$pid5"; exit 1; }
+wait "$pid5" || { echo "stateful divotd exited non-zero after SIGTERM" >&2; exit 1; }
+echo "ok: crash-restart durability"
 echo "smoke test passed"

@@ -46,6 +46,7 @@ const (
 	EventFault        = telemetry.EventFault
 	EventAttack       = telemetry.EventAttack
 	EventMonitorError = telemetry.EventMonitorError
+	EventRestored     = telemetry.EventRestored
 )
 
 // Telemetry constructors.
