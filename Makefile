@@ -7,7 +7,8 @@ PR ?= 7
 # sequential budget is enforced by TestMonitorOnceAllocationBudget).
 MONITOR_ALLOC_BUDGET ?= 64
 
-.PHONY: all build test race bench bench-guard bench-experiments bench-snapshot fuzz-short vet
+.PHONY: all build test race bench bench-guard bench-experiments bench-snapshot fuzz-short vet \
+	quality-guard quality-baseline experiments
 
 all: build test
 
@@ -57,6 +58,26 @@ fuzz-short:
 	$(GO) test ./internal/store -run XXX -fuzz FuzzDecodeSnapshot -fuzztime 10s
 	$(GO) test ./internal/store -run XXX -fuzz FuzzScanRecord -fuzztime 10s
 	$(GO) test ./internal/store -run XXX -fuzz FuzzWALReplay -fuzztime 10s
+
+## quality-guard: fail if detection quality regressed — divotlab re-runs the
+## short fixed-seed grid and compares every cell's TPR/FPR and every ROC
+## curve's AUC against the checked-in baseline (CI runs this on every push)
+quality-guard:
+	$(GO) run ./cmd/divotlab guard \
+		-config experiments/grids/quality.json -baseline QUALITY_BASELINE.json
+
+## quality-baseline: re-record QUALITY_BASELINE.json after a *deliberate*
+## detector change (review the TPR/FPR diff before committing it)
+quality-baseline:
+	$(GO) run ./cmd/divotlab run \
+		-config experiments/grids/quality.json -out QUALITY_BASELINE.json
+
+## experiments: regenerate the detection-quality report and splice its
+## ROC/operating-point tables into EXPERIMENTS.md between the divotlab markers
+experiments:
+	$(GO) run ./cmd/divotlab run \
+		-config experiments/grids/roc.json \
+		-out experiments/detection_quality.json -markdown EXPERIMENTS.md
 
 vet:
 	$(GO) vet ./...

@@ -6,21 +6,23 @@
 //	  "ns_per_op": 11897940, "bytes_per_op": 5374858, "allocs_per_op": 200}]
 //
 // Non-benchmark lines (package headers, PASS/ok, sub-test noise) are
-// ignored, so the tool can sit directly on a `go test` pipe:
-//
-//	go test . -run XXX -bench . -benchtime 1x -benchmem | benchsnap > BENCH_3.json
+// ignored, so the tool can sit directly on a `go test` pipe. `make
+// bench-snapshot` is the canonical producer — it runs the hot-path micros
+// and the federation sweep and records BENCH_$(PR).json (PR comes from the
+// Makefile variable), the checkpoints the perf history is diffed on.
 //
 // Every result must carry B/op and allocs/op — benchsnap refuses input
 // produced without -benchmem, so a snapshot can never silently drop the
-// allocation columns the perf history is diffed on.
+// allocation columns.
 //
 // Repeatable -max-allocs name=N flags turn benchsnap into an allocation
-// guard: if the named benchmark's allocs/op exceeds N the exit code is 1.
-// `make bench-guard` uses this to fail the build when the monitoring hot
-// path regresses.
-//
-// Used by `make bench-snapshot` to record BENCH_<pr>.json checkpoints that
-// can be diffed across PRs.
+// guard with three hard edges: a budgeted benchmark that allocates more
+// than N allocs/op fails (exit 1), a budget naming a benchmark absent from
+// the input fails (a guard that guards nothing would rot), and input
+// without -benchmem columns fails before any budget is checked. `make
+// bench-guard` runs BenchmarkMonitorRound through
+// `-max-allocs MonitorRound=$(MONITOR_ALLOC_BUDGET)` to fail the build
+// when the monitoring hot path regresses.
 package main
 
 import (

@@ -1,0 +1,226 @@
+// Command divotlab drives the detection-quality experiment harness
+// (internal/experiment): declarative scenario grids over attack type,
+// contrast, temperature, comparator noise, dead-bin fraction, and fleet
+// size, aggregated into TPR/FPR per cell, ROC curves per attack and
+// detection channel, detection-latency percentiles, and an auto-tuned
+// operating point. Reports are deterministic: the same grid and seed
+// produce byte-identical JSON at any -parallelism.
+//
+// Usage:
+//
+//	divotlab run   -config grid.json [-out report.json] [-markdown EXPERIMENTS.md] [-parallelism N]
+//	divotlab report -in report.json
+//	divotlab tune  -in report.json
+//	divotlab guard -config grid.json -baseline QUALITY_BASELINE.json [-tpr-tol F] [-fpr-tol F] [-auc-tol F]
+//
+// `run` executes the grid and writes the report JSON (stdout by default);
+// -markdown additionally splices the rendered tables into the named file
+// between the `<!-- divotlab:begin/end -->` markers. `report` re-renders an
+// existing report's tables. `tune` prints the auto-tuned operating point as
+// a divotd spec fragment. `guard` re-runs a fixed-seed grid and exits 1 if
+// any cell's TPR/FPR or any curve's AUC regressed against the checked-in
+// baseline — `make quality-guard` runs it in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"divot/internal/exper"
+	"divot/internal/experiment"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommands; testable via the return code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "report":
+		return cmdReport(args[1:], stdout, stderr)
+	case "tune":
+		return cmdTune(args[1:], stdout, stderr)
+	case "guard":
+		return cmdGuard(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "divotlab: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `divotlab — detection-quality experiment harness
+
+  divotlab run    -config grid.json [-out report.json] [-markdown FILE] [-parallelism N]
+  divotlab report -in report.json
+  divotlab tune   -in report.json
+  divotlab guard  -config grid.json -baseline baseline.json [-tpr-tol F] [-fpr-tol F] [-auc-tol F]
+`)
+}
+
+// newFlags builds a subcommand flag set that reports into stderr.
+func newFlags(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet("divotlab "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := newFlags("run", stderr)
+	config := fs.String("config", "", "grid config JSON (required)")
+	out := fs.String("out", "", "report output path (default stdout)")
+	markdown := fs.String("markdown", "", "markdown file to splice the rendered tables into")
+	par := fs.Int("parallelism", 0, "trial workers (0 = GOMAXPROCS; results identical at any value)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rep, code := runGrid(*config, *par, stderr)
+	if code != 0 {
+		return code
+	}
+	raw, err := experiment.EncodeReport(rep)
+	if err != nil {
+		fmt.Fprintln(stderr, "divotlab:", err)
+		return 1
+	}
+	if *out == "" {
+		if _, err := stdout.Write(raw); err != nil {
+			fmt.Fprintln(stderr, "divotlab:", err)
+			return 1
+		}
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(stderr, "divotlab:", err)
+		return 1
+	}
+	if *markdown != "" {
+		doc, err := rep.SpliceMarkdown(*markdown)
+		if err != nil {
+			fmt.Fprintln(stderr, "divotlab:", err)
+			return 1
+		}
+		if err := os.WriteFile(*markdown, []byte(doc), 0o644); err != nil {
+			fmt.Fprintln(stderr, "divotlab:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runGrid loads the config and executes it with the requested parallelism.
+func runGrid(configPath string, parallelism int, stderr io.Writer) (*experiment.Report, int) {
+	if configPath == "" {
+		fmt.Fprintln(stderr, "divotlab: -config is required")
+		return nil, 2
+	}
+	cfg, err := experiment.LoadConfig(configPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "divotlab:", err)
+		return nil, 1
+	}
+	// exper.Parallelism is the repo-wide worker knob; the harness inherits
+	// it so divotlab and the exper sweeps scale the same way.
+	prev := exper.Parallelism
+	exper.Parallelism = parallelism
+	defer func() { exper.Parallelism = prev }()
+	rep, err := experiment.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "divotlab:", err)
+		return nil, 1
+	}
+	return rep, 0
+}
+
+func cmdReport(args []string, stdout, stderr io.Writer) int {
+	fs := newFlags("report", stderr)
+	in := fs.String("in", "", "report JSON to render (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "divotlab: -in is required")
+		return 2
+	}
+	rep, err := experiment.LoadReport(*in)
+	if err != nil {
+		fmt.Fprintln(stderr, "divotlab:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, rep.Markdown())
+	return 0
+}
+
+func cmdTune(args []string, stdout, stderr io.Writer) int {
+	fs := newFlags("tune", stderr)
+	in := fs.String("in", "", "report JSON to read the operating point from (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "divotlab: -in is required")
+		return 2
+	}
+	rep, err := experiment.LoadReport(*in)
+	if err != nil {
+		fmt.Fprintln(stderr, "divotlab:", err)
+		return 1
+	}
+	t := rep.Tuning
+	fmt.Fprintf(stdout, "auth threshold %.2f holds pooled FPR at %.4f (target %g)\n",
+		t.AuthThreshold, t.AchievedFPR, t.TargetFPR)
+	for _, atk := range rep.Config.Attacks {
+		fmt.Fprintf(stdout, "  %-14s TPR %.3f\n", atk, t.TPRByAttack[atk])
+	}
+	fmt.Fprintf(stdout, "divotd spec fragment: {\"auth_threshold\": %.2f}\n", t.AuthThreshold)
+	return 0
+}
+
+func cmdGuard(args []string, stdout, stderr io.Writer) int {
+	fs := newFlags("guard", stderr)
+	config := fs.String("config", "", "fixed-seed grid config JSON (required)")
+	baseline := fs.String("baseline", "", "checked-in baseline report JSON (required)")
+	par := fs.Int("parallelism", 0, "trial workers (0 = GOMAXPROCS)")
+	tprTol := fs.Float64("tpr-tol", 0, "allowed per-cell TPR drop")
+	fprTol := fs.Float64("fpr-tol", 0, "allowed per-cell FPR rise")
+	aucTol := fs.Float64("auc-tol", 0, "allowed per-curve AUC loss")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseline == "" {
+		fmt.Fprintln(stderr, "divotlab: -baseline is required")
+		return 2
+	}
+	base, err := experiment.LoadReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "divotlab:", err)
+		return 1
+	}
+	cur, code := runGrid(*config, *par, stderr)
+	if code != 0 {
+		return code
+	}
+	violations := experiment.CompareReports(base, cur, experiment.Tolerances{
+		TPR: *tprTol, FPR: *fprTol, AUC: *aucTol,
+	})
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(stderr, "divotlab: quality regression:", v)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "quality guard passed: %d cells, %d ROC curves within tolerance of %s\n",
+		len(base.Cells), len(base.ROC), *baseline)
+	return 0
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyGrid is a seconds-scale fixed-seed grid for the CLI round trip.
+const tinyGrid = `{
+  "name": "cli-test", "seed": 23,
+  "attacks": ["wiretap"],
+  "seeds": 1, "pre_rounds": 3, "post_rounds": 5
+}`
+
+// nerfedGrid is tinyGrid with the detector deliberately desensitized.
+const nerfedGrid = `{
+  "name": "cli-test", "seed": 23,
+  "attacks": ["wiretap"],
+  "seeds": 1, "pre_rounds": 3, "post_rounds": 5,
+  "detector": {"auth_threshold": 0.05, "tamper_threshold_scale": 25}
+}`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunReportTuneGuardRoundTrip drives the full CLI surface: run a grid to
+// a report file (splicing markdown on the way), re-render and tune from the
+// artifact, then guard the same grid against it (green) and the nerfed grid
+// (red, exit 1).
+func TestRunReportTuneGuardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	grid := write(t, "grid.json", tinyGrid)
+	report := filepath.Join(dir, "report.json")
+	md := filepath.Join(dir, "EXPERIMENTS.md")
+	if err := os.WriteFile(md, []byte("# Experiments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"run", "-config", grid, "-out", report, "-markdown", md, "-parallelism", "4"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exit %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"version": 1`) {
+		t.Error("report carries no schema version")
+	}
+	doc, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), "divotlab:begin") || !strings.Contains(string(doc), "| wiretap |") {
+		t.Errorf("markdown splice missing generated table:\n%s", doc)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"report", "-in", report}, &stdout, &stderr); code != 0 {
+		t.Fatalf("report exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "| attack | channel | AUC |") {
+		t.Errorf("report render missing ROC table:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"tune", "-in", report}, &stdout, &stderr); code != 0 {
+		t.Fatalf("tune exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `{"auth_threshold": `) {
+		t.Errorf("tune printed no spec fragment:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"guard", "-config", grid, "-baseline", report, "-parallelism", "4"},
+		&stdout, &stderr); code != 0 {
+		t.Fatalf("self-guard exit %d, stderr: %s", code, stderr.String())
+	}
+
+	nerfed := write(t, "nerfed.json", nerfedGrid)
+	stderr.Reset()
+	if code := run([]string{"guard", "-config", nerfed, "-baseline", report, "-parallelism", "4"},
+		&stdout, &stderr); code != 1 {
+		t.Fatalf("nerfed guard exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "quality regression") {
+		t.Errorf("nerfed guard stderr names no regression:\n%s", stderr.String())
+	}
+}
+
+func TestCLIRejectsBadInvocations(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	if code := run([]string{"frobnicate"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown subcommand exit = %d, want 2", code)
+	}
+	if code := run([]string{"run"}, &stdout, &stderr); code != 2 {
+		t.Errorf("run without -config exit = %d, want 2", code)
+	}
+	if code := run([]string{"guard", "-config", "x.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("guard without -baseline exit = %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"run", "-config", "/does/not/exist.json"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing config exit = %d, want 1", code)
+	}
+	if code := run([]string{"report", "-in", "/does/not/exist.json"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing report exit = %d, want 1", code)
+	}
+	if code := run([]string{"help"}, &stdout, &stderr); code != 0 {
+		t.Errorf("help exit = %d, want 0", code)
+	}
+}

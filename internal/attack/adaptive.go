@@ -1,0 +1,103 @@
+package attack
+
+import (
+	"fmt"
+
+	"divot/internal/txline"
+)
+
+// Stepper is implemented by attacks that evolve between monitoring rounds —
+// adaptive adversaries that pace their physical manipulation against the
+// defender's observation cadence. Callers that mount a scripted attack (the
+// divotd scheduler, the experiment harness) call Advance once per round after
+// Apply; static attacks simply don't implement it.
+type Stepper interface {
+	// Advance evolves the mounted attack by one monitoring round.
+	Advance(l *txline.Line)
+}
+
+// AdaptiveTap is the adaptive adversary of ROADMAP item 4: a tap whose
+// loading is introduced gradually, a fraction of an ohm per monitoring round,
+// instead of the abrupt −18 Ω dent of a WireTap. The attacker's theory is
+// that each round's similarity decay stays inside the drift the re-enrollment
+// policy tolerates, so the defender refreshes its enrolled fingerprint around
+// the growing tap and launders the attack into the baseline. The
+// countermeasures under test are the refresh guards (a tap is *localized* —
+// MaxContrast — and its per-round decay can exceed MaxStep) and the reactor's
+// anti-ratchet rule (absorbed-transient rounds never count toward recovery).
+type AdaptiveTap struct {
+	// Position is the tap location in meters from the source.
+	Position float64
+	// Extent is the physical size of the disturbance.
+	Extent float64
+	// RatePerRound is how much impedance change each Advance adds (negative:
+	// the tap loads the trace capacitively). Small magnitudes hide inside
+	// the re-enrollment window; large ones converge toward a plain WireTap.
+	RatePerRound float64
+	// FinalDeltaZ is the full tap loading the attacker needs to read the
+	// bus; drifting stops once reached.
+	FinalDeltaZ float64
+
+	current float64
+	applied bool
+}
+
+// DefaultAdaptiveTap returns a patient attacker at the given position:
+// the full −18 Ω wire-tap loading approached at −0.25 Ω per monitoring
+// round (72 rounds to full depth).
+func DefaultAdaptiveTap(position float64) *AdaptiveTap {
+	return &AdaptiveTap{
+		Position:     position,
+		Extent:       1.5e-3,
+		RatePerRound: -0.25,
+		FinalDeltaZ:  -18,
+	}
+}
+
+// Name implements Attack.
+func (a *AdaptiveTap) Name() string { return "adaptive-tap" }
+
+func (a *AdaptiveTap) key() string { return fmt.Sprintf("adaptivetap-%p", a) }
+
+// Apply attaches the tap at its first, barely-there increment.
+func (a *AdaptiveTap) Apply(l *txline.Line) {
+	if a.applied {
+		return
+	}
+	a.applied = true
+	a.current = 0
+	a.Advance(l)
+}
+
+// Advance implements Stepper: deepen the tap by one round's increment,
+// saturating at FinalDeltaZ.
+func (a *AdaptiveTap) Advance(l *txline.Line) {
+	if !a.applied {
+		return
+	}
+	a.current += a.RatePerRound
+	// Saturate at the target depth for either drift direction.
+	if (a.RatePerRound < 0 && a.current < a.FinalDeltaZ) ||
+		(a.RatePerRound > 0 && a.current > a.FinalDeltaZ) {
+		a.current = a.FinalDeltaZ
+	}
+	l.ApplyPerturbation(a.key(), txline.Perturbation{
+		Position: a.Position, Extent: a.Extent, DeltaZ: a.current,
+		Kind: txline.KindCapacitive,
+	})
+}
+
+// DeltaZ reports the tap's current loading in ohms.
+func (a *AdaptiveTap) DeltaZ() float64 { return a.current }
+
+// Remove lifts the tap. The slow version is attached without scratching the
+// mask (the attacker has time to work a connector loose), so unlike WireTap
+// no scar remains.
+func (a *AdaptiveTap) Remove(l *txline.Line) {
+	if !a.applied {
+		return
+	}
+	l.RemovePerturbation(a.key())
+	a.applied = false
+	a.current = 0
+}

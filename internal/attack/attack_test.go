@@ -251,3 +251,63 @@ func TestReplaceTailValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestAdaptiveTapDriftsToFullDepth(t *testing.T) {
+	l := newLine(22)
+	before := reflect(l)
+	pos := 0.1
+	tap := DefaultAdaptiveTap(pos)
+	if tap.Name() != "adaptive-tap" {
+		t.Errorf("Name = %q", tap.Name())
+	}
+	var _ Attack = tap
+	var _ Stepper = tap
+
+	// Advancing an unmounted tap is a no-op.
+	tap.Advance(l)
+	if peak, _ := errPeak(before, reflect(l)); peak != 0 {
+		t.Fatal("Advance before Apply perturbed the line")
+	}
+
+	tap.Apply(l)
+	firstPeak, at := errPeak(before, reflect(l))
+	if firstPeak == 0 {
+		t.Fatal("freshly mounted adaptive tap invisible")
+	}
+	if math.Abs(at-l.PositionToTime(pos)) > 0.3e-9 {
+		t.Errorf("tap at %v, want ~%v", at, l.PositionToTime(pos))
+	}
+
+	// Each round deepens the dent monotonically toward FinalDeltaZ...
+	prev := firstPeak
+	for i := 0; i < 200; i++ {
+		tap.Advance(l)
+		peak, _ := errPeak(before, reflect(l))
+		if peak < prev {
+			t.Fatalf("round %d: tap got shallower (%v -> %v)", i, prev, peak)
+		}
+		prev = peak
+	}
+	// ...and saturates there.
+	if tap.DeltaZ() != tap.FinalDeltaZ {
+		t.Errorf("DeltaZ = %v after 200 rounds, want saturated %v", tap.DeltaZ(), tap.FinalDeltaZ)
+	}
+	saturated := prev
+	tap.Advance(l)
+	if peak, _ := errPeak(before, reflect(l)); peak != saturated {
+		t.Error("tap kept deepening past FinalDeltaZ")
+	}
+
+	// Slow workmanship: removal leaves no residue.
+	tap.Remove(l)
+	if peak, _ := errPeak(before, reflect(l)); peak != 0 {
+		t.Errorf("adaptive tap left residue %v", peak)
+	}
+	// Idempotent re-apply restarts the drift from scratch.
+	tap.Apply(l)
+	tap.Apply(l)
+	if tap.DeltaZ() != tap.RatePerRound {
+		t.Errorf("re-applied tap at %v, want one increment %v", tap.DeltaZ(), tap.RatePerRound)
+	}
+	tap.Remove(l)
+}

@@ -87,6 +87,8 @@ type Endpoint struct {
 	mask          fingerprint.BinMask
 	window        []float64 // rolling accepted-score window, oldest first
 	lastScore     float64
+	lastPeakErr   float64 // E_xy peak of the latest monitored round
+	lastContrast  float64 // peak-to-mean contrast of that error field
 	reenrollments int
 	suspectRounds int
 	lastSuspect   bool
@@ -108,6 +110,12 @@ type Config struct {
 	// TamperThreshold is the E_xy peak flagging tampering, in volts².
 	// Zero means auto-calibrate from the clean noise floor at enrollment.
 	TamperThreshold float64
+	// TamperThresholdScale multiplies the auto-calibrated tamper threshold
+	// (ignored when TamperThreshold is set explicitly). 0 means 1. The
+	// experiment harness sweeps it to trade tamper sensitivity for false
+	// alarms — and to inject deliberate detector nerfs that the quality
+	// regression gate must catch.
+	TamperThresholdScale float64
 	// EnrollMeasurements is the number of averaged measurements during
 	// calibration.
 	EnrollMeasurements int
@@ -129,6 +137,14 @@ type Config struct {
 // tamperFloorProbes is how many extra measurements (auto-threshold
 // calibration only) probe the clean noise floor after enrollment.
 const tamperFloorProbes = 4
+
+// tamperScale resolves TamperThresholdScale's 0-means-1 convention.
+func (c Config) tamperScale() float64 {
+	if c.TamperThresholdScale <= 0 {
+		return 1
+	}
+	return c.TamperThresholdScale
+}
 
 // CalibrationMeasurements returns how many instrument measurements one
 // endpoint consumes during Calibrate: the enrollment averages plus the
@@ -298,6 +314,39 @@ func (e *Endpoint) Instrument() *itdr.Reflectometer { return e.refl }
 // no bin has been masked).
 func (e *Endpoint) Mask() fingerprint.BinMask { return e.mask.Clone() }
 
+// Observation is one monitored round's raw detection statistics at an
+// endpoint, before any threshold turns them into a verdict. The experiment
+// harness (internal/experiment) records these traces and sweeps the decision
+// thresholds offline to build ROC curves; the live protocol's alerts are the
+// operating point on those curves.
+type Observation struct {
+	// Score is the confirmed similarity of the round (the mean over the
+	// original measurement and any confirmation retries when the round was
+	// confirmed as a failure).
+	Score float64
+	// PeakError is the error function's E_xy peak, in volts².
+	PeakError float64
+	// TamperThreshold is the detector's current peak threshold — the live
+	// operating point of the tamper channel. PeakError/TamperThreshold > 1
+	// is exactly the round's live tamper verdict, and sweeping that ratio
+	// sweeps the tamper threshold without re-measuring.
+	TamperThreshold float64
+	// Contrast is the peak-to-mean ratio of the error field (localized
+	// change reads high, global drift reads low).
+	Contrast float64
+}
+
+// LastObservation returns the endpoint's detection statistics from the most
+// recent MonitorOnce round. Before the first round it is the zero value.
+func (e *Endpoint) LastObservation() Observation {
+	return Observation{
+		Score:           e.lastScore,
+		PeakError:       e.lastPeakErr,
+		TamperThreshold: e.detector.PeakThreshold,
+		Contrast:        e.lastContrast,
+	}
+}
+
 // ObservedLine returns the line the endpoint currently measures.
 func (e *Endpoint) ObservedLine() *txline.Line { return e.observed }
 
@@ -334,7 +383,7 @@ func (l *Link) Calibrate() error {
 					floor = v
 				}
 			}
-			e.detector.PeakThreshold = 3 * floor
+			e.detector.PeakThreshold = 3 * l.cfg.tamperScale() * floor
 		}
 		e.authenticated = true
 		e.Gate.Set(true)

@@ -117,6 +117,8 @@ func (e *Endpoint) resetRobustState(cfg Config) {
 	e.mask = nil
 	e.window = nil
 	e.lastScore = 0
+	e.lastPeakErr = 0
+	e.lastContrast = 0
 	e.reenrollments = 0
 	e.suspectRounds = 0
 	e.lastSuspect = false
@@ -268,6 +270,8 @@ func (l *Link) monitorEndpoint(e *Endpoint) ([]Alert, error) {
 	e.authenticated = !authFail
 	l.gateSet(e, !authFail)
 	e.lastScore = score
+	e.lastPeakErr = v.tv.PeakError
+	e.lastContrast = v.tv.Contrast
 
 	// Only plainly accepted rounds feed the drift baseline: suspect rounds
 	// carry a transient's garbage and confirmed failures are not drift.
@@ -382,7 +386,7 @@ func (l *Link) reenroll(e *Endpoint) error {
 			}
 		}
 		if floor > 0 {
-			e.detector.PeakThreshold = 3 * floor
+			e.detector.PeakThreshold = 3 * l.cfg.tamperScale() * floor
 		}
 	}
 	e.window = e.window[:0]

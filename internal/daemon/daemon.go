@@ -255,6 +255,9 @@ func NewDaemon(spec Spec) (*Daemon, error) {
 func New(spec Spec) (*Daemon, error) {
 	cfg := divot.DefaultConfig()
 	cfg.Engine.Parallelism = spec.Parallelism
+	if spec.AuthThreshold > 0 {
+		cfg.Engine.AuthThreshold = spec.AuthThreshold
+	}
 	return newDaemon(spec, cfg, nil)
 }
 
@@ -389,6 +392,12 @@ func (d *Daemon) monitorOnce(ls *linkState) {
 			Kind: divot.EventAttack, Link: ls.id,
 			Round: ls.link.Rounds(), Detail: ls.attack.Name(),
 		})
+	} else if ls.attacked {
+		// An adaptive adversary paces itself against the monitoring cadence:
+		// advance it one step per round once mounted.
+		if s, ok := ls.attack.(divot.AttackStepper); ok {
+			s.Advance(ls.link.Line)
+		}
 	}
 	start := time.Now()
 	alerts, err := ls.link.MonitorOnce()

@@ -50,6 +50,13 @@ type Spec struct {
 	// spec change falls back to cold calibration per bus. Empty keeps the
 	// daemon fully in-memory. Overridable with divotd -state-dir.
 	StateDir string `json:"state_dir"`
+	// AuthThreshold, when positive, overrides the engine's similarity
+	// acceptance threshold (divot.Config.Engine.AuthThreshold, default
+	// 0.70). This is the operating point `divotlab tune` records after
+	// picking a threshold for a target false-positive rate on the
+	// experiment grid; it participates in the durable-state spec hash, so
+	// changing it recalibrates cold. 0 keeps the engine default.
+	AuthThreshold float64 `json:"auth_threshold"`
 	// FederationID labels this daemon as a member of a divotherd federation.
 	// It is surfaced in /healthz and /v1/health so an aggregator (and its
 	// operators) can tell at a glance which fleet a daemon believes it
@@ -73,8 +80,10 @@ type BusSpec struct {
 
 // AttackSpec scripts a physical attack mounted during the run.
 type AttackSpec struct {
-	// Kind selects the attack model: "interposer", "wiretap", "probe", or
-	// "module-swap".
+	// Kind selects the attack model: "interposer", "wiretap", "probe",
+	// "module-swap", or "adaptive-tap" (a tap whose loading drifts slowly
+	// between rounds, trying to hide inside the re-enrollment window; the
+	// scheduler advances it one step per monitoring round).
 	Kind string `json:"kind"`
 	// AfterRounds mounts the attack once the bus has completed this many
 	// monitoring rounds.
@@ -86,10 +95,11 @@ type AttackSpec struct {
 
 // attackKinds are the accepted AttackSpec.Kind values.
 var attackKinds = map[string]bool{
-	"interposer":  true,
-	"wiretap":     true,
-	"probe":       true,
-	"module-swap": true,
+	"interposer":   true,
+	"wiretap":      true,
+	"probe":        true,
+	"module-swap":  true,
+	"adaptive-tap": true,
 }
 
 // LoadSpec reads and validates a fleet spec file.
@@ -144,6 +154,9 @@ func (s *Spec) Validate() error {
 	if s.MaxStalenessMS < 0 {
 		return fmt.Errorf("max_staleness_ms must be >= 0, got %d", s.MaxStalenessMS)
 	}
+	if s.AuthThreshold < 0 || s.AuthThreshold >= 1 {
+		return fmt.Errorf("auth_threshold must be in [0, 1), got %g", s.AuthThreshold)
+	}
 	seen := make(map[string]bool, len(s.Buses))
 	for i, b := range s.Buses {
 		if b.ID == "" {
@@ -158,7 +171,7 @@ func (s *Spec) Validate() error {
 		}
 		if a := b.Attack; a != nil {
 			if !attackKinds[a.Kind] {
-				return fmt.Errorf("bus %q: unknown attack kind %q (want interposer, wiretap, probe, or module-swap)", b.ID, a.Kind)
+				return fmt.Errorf("bus %q: unknown attack kind %q (want interposer, wiretap, probe, module-swap, or adaptive-tap)", b.ID, a.Kind)
 			}
 			if a.Position < 0 {
 				return fmt.Errorf("bus %q: attack position must be >= 0, got %g", b.ID, a.Position)
@@ -190,6 +203,8 @@ func buildAttack(sys *divot.System, id string, a *AttackSpec) divot.Attack {
 		return divot.NewMagneticProbe(a.Position)
 	case "module-swap":
 		return divot.NewModuleSwap(sys.Config().Line, sys.Stream("attack-"+id))
+	case "adaptive-tap":
+		return divot.NewAdaptiveTap(a.Position)
 	}
 	return nil
 }

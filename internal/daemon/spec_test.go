@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"divot"
 )
 
 func TestLoadSpecRejectsBadSpecs(t *testing.T) {
@@ -21,6 +23,7 @@ func TestLoadSpecRejectsBadSpecs(t *testing.T) {
 		{"negative interval", `{"interval_ms": -5, "buses": [{"id": "a"}]}`, "interval_ms"},
 		{"unknown attack", `{"buses": [{"id": "a", "attack": {"kind": "laser"}}]}`, `unknown attack kind "laser"`},
 		{"unknown field", `{"busses": [{"id": "a"}]}`, "parsing fleet spec"},
+		{"bad threshold", `{"auth_threshold": 1.2, "buses": [{"id": "a"}]}`, "auth_threshold"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -57,6 +60,33 @@ func TestLoadSpecDefaults(t *testing.T) {
 	}
 	if got := spec.interval(spec.Buses[1]); got != 7 {
 		t.Errorf("bus b interval = %d, want override 7", got)
+	}
+}
+
+// TestSpecAcceptsAdaptiveTapAndThreshold covers the experiment-harness spec
+// extensions: the adaptive-tap scripted attack validates and builds a
+// stepper, and a tuned auth_threshold reaches the engine configuration.
+func TestSpecAcceptsAdaptiveTapAndThreshold(t *testing.T) {
+	spec, err := LoadSpec(writeSpec(t, `{
+		"seed": 5, "auth_threshold": 0.62,
+		"buses": [{"id": "a", "attack": {"kind": "adaptive-tap", "after_rounds": 3, "position": 0.1}}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.AuthThreshold != 0.62 {
+		t.Errorf("AuthThreshold = %v, want 0.62", spec.AuthThreshold)
+	}
+	d, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := d.byID["a"]
+	if ls.attack == nil || ls.attack.Name() != "adaptive-tap" {
+		t.Fatalf("scripted attack = %v, want adaptive-tap", ls.attack)
+	}
+	if _, ok := ls.attack.(divot.AttackStepper); !ok {
+		t.Fatal("adaptive-tap does not implement the stepper the scheduler advances")
 	}
 }
 

@@ -42,6 +42,7 @@ func All() []Entry {
 		{"sharing", SharingAblation},
 		{"crosstalk", CrosstalkAblation},
 		{"faults", FaultSweep},
+		{"adaptive", AdaptiveSweep},
 		{"pagepolicy", PagePolicyAblation},
 		{"baselines", Baselines},
 	}

@@ -1,0 +1,304 @@
+package experiment
+
+import "sort"
+
+// Report is the versioned artifact one grid run produces. Everything in it is
+// deterministic: cells appear in grid order, ROC curves in attack-declaration
+// order, and map keys are sorted by the JSON encoder — the same config and
+// seed marshal to the same bytes at any worker count.
+type Report struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	Config  Config `json:"config"`
+
+	Cells  []CellResult `json:"cells"`
+	ROC    []ROCCurve   `json:"roc"`
+	Tuning Tuning       `json:"tuning"`
+
+	// Trials carries the raw per-round traces when Config.IncludeTrials is
+	// set (the determinism tests pin the whole pipeline through it).
+	Trials []TrialResult `json:"trials,omitempty"`
+}
+
+// reportVersion is bumped whenever the report schema or the trial semantics
+// change incompatibly — the quality guard refuses to compare across versions.
+const reportVersion = 1
+
+// CellResult is one grid cell's detection quality at the live operating
+// point (the thresholds the protocol actually ran with).
+type CellResult struct {
+	Cell
+
+	// AttackedTrials and CleanTrials are the sample sizes behind TPR and
+	// FPR. Clean trials are shared across cells that differ only by attack.
+	AttackedTrials int `json:"attacked_trials"`
+	CleanTrials    int `json:"clean_trials"`
+
+	// TPR is the fraction of attacked trials with a live victim alert at or
+	// after the mount round; FPR the fraction of clean trials with any live
+	// alert on any link in any round.
+	TPR float64 `json:"tpr"`
+	FPR float64 `json:"fpr"`
+
+	// Detection latency in rounds from the mount (1 = caught immediately),
+	// among detected trials. Zero when nothing was detected.
+	LatencyP50 int `json:"latency_p50,omitempty"`
+	LatencyP90 int `json:"latency_p90,omitempty"`
+	LatencyMax int `json:"latency_max,omitempty"`
+
+	// PostReenrollments totals victim fingerprint refreshes after the mount
+	// across attacked trials — nonzero means the attack laundered itself
+	// into the baseline at least once.
+	PostReenrollments int `json:"post_reenrollments,omitempty"`
+	// Halts and Wipes total the victim reactor's escalations across
+	// attacked trials.
+	Halts int `json:"halts,omitempty"`
+	Wipes int `json:"wipes,omitempty"`
+}
+
+// ROC channels. The auth channel sweeps the similarity acceptance threshold
+// θ (detect when score < θ); the tamper channel sweeps the multiplier m on
+// the live tamper threshold (detect when PeakError > m·threshold, so m=1 is
+// the live operating point).
+const (
+	ChannelAuthScore   = "auth-score"
+	ChannelTamperRatio = "tamper-ratio"
+)
+
+// ROCPoint is one threshold's operating characteristics.
+type ROCPoint struct {
+	Threshold float64 `json:"threshold"`
+	TPR       float64 `json:"tpr"`
+	FPR       float64 `json:"fpr"`
+}
+
+// ROCCurve is one attack kind's ROC on one detection channel, positives
+// pooled across every cell of that attack, negatives pooled across all clean
+// trials.
+type ROCCurve struct {
+	Attack  string     `json:"attack"`
+	Channel string     `json:"channel"`
+	Points  []ROCPoint `json:"points"`
+	AUC     float64    `json:"auc"`
+}
+
+// Tuning is the auto-tuned operating point: the highest similarity threshold
+// whose pooled false-positive rate stays within the target. divotd specs set
+// it via the auth_threshold field.
+type Tuning struct {
+	TargetFPR float64 `json:"target_fpr"`
+	// AuthThreshold is the recommended θ; AchievedFPR the pooled FPR there.
+	AuthThreshold float64 `json:"auth_threshold"`
+	AchievedFPR   float64 `json:"achieved_fpr"`
+	// TPRByAttack is each attack kind's pooled auth-channel TPR at the
+	// recommended threshold.
+	TPRByAttack map[string]float64 `json:"tpr_by_attack"`
+}
+
+// trialStat reduces a trial to its per-channel detection statistic. Both
+// classes use only rounds at or after the mount, so positives and negatives
+// see the same number of chances to cross a threshold — pooling the clean
+// trials' pre-mount rounds too would bias the negative extremes low and
+// understate the ROC. Attacked trials read the victim link; clean trials the
+// fleet-wide extremes.
+func trialStat(cfg Config, t TrialResult) (minScore, maxRatio float64) {
+	minScore, maxRatio = 1, 0
+	for _, r := range t.Rounds {
+		if r.Round < cfg.mountRound() {
+			continue
+		}
+		if t.Class == classAttacked {
+			if r.VictimScore < minScore {
+				minScore = r.VictimScore
+			}
+			if r.VictimRatio > maxRatio {
+				maxRatio = r.VictimRatio
+			}
+		} else {
+			if r.MinScore < minScore {
+				minScore = r.MinScore
+			}
+			if r.MaxRatio > maxRatio {
+				maxRatio = r.MaxRatio
+			}
+		}
+	}
+	return minScore, maxRatio
+}
+
+// rate is detections/total, 0 for an empty pool.
+func rate(detected, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(detected) / float64(total)
+}
+
+// quantile returns the nearest-rank q-quantile of sorted ints (0 for empty).
+func quantile(sorted []int, q float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// sweepAuth counts how many statistics fall below θ.
+func sweepAuth(stats []float64, theta float64) int {
+	n := 0
+	for _, s := range stats {
+		if s < theta {
+			n++
+		}
+	}
+	return n
+}
+
+// sweepTamper counts how many statistics exceed the multiplier m.
+func sweepTamper(stats []float64, m float64) int {
+	n := 0
+	for _, s := range stats {
+		if s > m {
+			n++
+		}
+	}
+	return n
+}
+
+// auc integrates TPR over FPR by trapezoid, anchoring the curve at (0,0) and
+// (1,1).
+func auc(points []ROCPoint) float64 {
+	ps := append([]ROCPoint{{TPR: 0, FPR: 0}}, points...)
+	ps = append(ps, ROCPoint{TPR: 1, FPR: 1})
+	sort.SliceStable(ps, func(i, j int) bool {
+		if ps[i].FPR != ps[j].FPR {
+			return ps[i].FPR < ps[j].FPR
+		}
+		return ps[i].TPR < ps[j].TPR
+	})
+	var area float64
+	for i := 1; i < len(ps); i++ {
+		area += (ps[i].FPR - ps[i-1].FPR) * (ps[i].TPR + ps[i-1].TPR) / 2
+	}
+	return area
+}
+
+// aggregate folds the trial results into the report.
+func aggregate(cfg Config, trials []TrialResult) *Report {
+	rep := &Report{Version: reportVersion, Name: cfg.Name, Config: cfg}
+	if cfg.IncludeTrials {
+		rep.Trials = trials
+	}
+
+	attacked := map[Cell][]TrialResult{}
+	clean := map[Cell][]TrialResult{}
+	for _, t := range trials {
+		if t.Class == classAttacked {
+			attacked[t.Cell] = append(attacked[t.Cell], t)
+		} else {
+			clean[t.Cell] = append(clean[t.Cell], t)
+		}
+	}
+
+	// cleanAlerted counts an env's clean trials with any live alert.
+	cleanAlerted := func(ts []TrialResult) int {
+		n := 0
+		for _, t := range ts {
+			for _, r := range t.Rounds {
+				if r.AuthAlerts+r.TamperAlerts+r.FleetAlerts > 0 {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+
+	// --- per-cell live operating point ---------------------------------
+	for _, cell := range cfg.Cells() {
+		ts := attacked[cell]
+		cs := clean[envKey(cell)]
+		cr := CellResult{Cell: cell, AttackedTrials: len(ts), CleanTrials: len(cs)}
+		detected := 0
+		var latencies []int
+		for _, t := range ts {
+			if t.DetectedRound > 0 {
+				detected++
+				latencies = append(latencies, t.DetectedRound-cfg.PreRounds)
+			}
+			cr.PostReenrollments += t.PostReenrollments
+			cr.Halts += t.Halts
+			cr.Wipes += t.Wipes
+		}
+		cr.TPR = rate(detected, len(ts))
+		cr.FPR = rate(cleanAlerted(cs), len(cs))
+		sort.Ints(latencies)
+		cr.LatencyP50 = quantile(latencies, 0.5)
+		cr.LatencyP90 = quantile(latencies, 0.9)
+		if n := len(latencies); n > 0 {
+			cr.LatencyMax = latencies[n-1]
+		}
+		rep.Cells = append(rep.Cells, cr)
+	}
+
+	// --- pooled statistics for the threshold sweeps --------------------
+	// Positives per attack kind (all cells of that attack); negatives
+	// pooled globally across every clean trial.
+	posScore := map[string][]float64{}
+	posRatio := map[string][]float64{}
+	var negScore, negRatio []float64
+	for _, t := range trials {
+		s, r := trialStat(cfg, t)
+		if t.Class == classAttacked {
+			posScore[t.Cell.Attack] = append(posScore[t.Cell.Attack], s)
+			posRatio[t.Cell.Attack] = append(posRatio[t.Cell.Attack], r)
+		} else {
+			negScore = append(negScore, s)
+			negRatio = append(negRatio, r)
+		}
+	}
+
+	// --- ROC curves -----------------------------------------------------
+	for _, atk := range cfg.Attacks {
+		authCurve := ROCCurve{Attack: atk, Channel: ChannelAuthScore}
+		for i := 0; i <= 100; i++ {
+			theta := float64(i) / 100
+			authCurve.Points = append(authCurve.Points, ROCPoint{
+				Threshold: theta,
+				TPR:       rate(sweepAuth(posScore[atk], theta), len(posScore[atk])),
+				FPR:       rate(sweepAuth(negScore, theta), len(negScore)),
+			})
+		}
+		authCurve.AUC = auc(authCurve.Points)
+		rep.ROC = append(rep.ROC, authCurve)
+
+		tamperCurve := ROCCurve{Attack: atk, Channel: ChannelTamperRatio}
+		for i := 1; i <= 50; i++ {
+			m := float64(i) / 10
+			tamperCurve.Points = append(tamperCurve.Points, ROCPoint{
+				Threshold: m,
+				TPR:       rate(sweepTamper(posRatio[atk], m), len(posRatio[atk])),
+				FPR:       rate(sweepTamper(negRatio, m), len(negRatio)),
+			})
+		}
+		tamperCurve.AUC = auc(tamperCurve.Points)
+		rep.ROC = append(rep.ROC, tamperCurve)
+	}
+
+	// --- operating-point auto-tune --------------------------------------
+	tuning := Tuning{TargetFPR: cfg.TargetFPR, TPRByAttack: map[string]float64{}}
+	for i := 100; i >= 0; i-- {
+		theta := float64(i) / 100
+		if fpr := rate(sweepAuth(negScore, theta), len(negScore)); fpr <= cfg.TargetFPR {
+			tuning.AuthThreshold = theta
+			tuning.AchievedFPR = fpr
+			break
+		}
+	}
+	for _, atk := range cfg.Attacks {
+		tuning.TPRByAttack[atk] = rate(
+			sweepAuth(posScore[atk], tuning.AuthThreshold), len(posScore[atk]))
+	}
+	rep.Tuning = tuning
+	return rep
+}

@@ -1,0 +1,255 @@
+// Package experiment is the detection-quality harness: it turns the repo's
+// anecdotal attack demos into measured TPR/FPR. A Config declares a scenario
+// grid (attack type × contrast × temperature × noise × dead-bin fraction ×
+// fleet size), the runner fans seeded trials out across workers with
+// labelled-rng children (results are bit-identical at any worker count), and
+// the aggregator folds the per-round score traces into per-cell TPR/FPR,
+// ROC curves swept over the alert thresholds, detection-latency percentiles,
+// and an auto-tuned operating point. cmd/divotlab is the CLI; `make
+// quality-guard` compares a short fixed-seed grid against a checked-in
+// baseline and fails CI when a detector change regresses quality.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// attackKinds are the accepted Attack axis values. They mirror the divotd
+// spec's scripted-attack kinds plus "none" is implicit (every cell also runs
+// attack-free trials for the false-positive side).
+var attackKinds = map[string]bool{
+	"interposer":   true,
+	"wiretap":      true,
+	"probe":        true,
+	"module-swap":  true,
+	"adaptive-tap": true,
+}
+
+// AttackKinds lists the accepted attack axis values, sorted.
+func AttackKinds() []string {
+	kinds := make([]string, 0, len(attackKinds))
+	for k := range attackKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// DetectorConfig overrides the detector's knobs for a run — the tuning
+// surface of the harness, and the nerf-injection surface of the quality
+// guard's self-test.
+type DetectorConfig struct {
+	// AuthThreshold overrides the engine's similarity acceptance threshold
+	// (0 keeps the engine default, 0.70).
+	AuthThreshold float64 `json:"auth_threshold,omitempty"`
+	// TamperThresholdScale multiplies the auto-calibrated tamper threshold
+	// (0 means 1). Raising it desensitizes the tamper channel.
+	TamperThresholdScale float64 `json:"tamper_threshold_scale,omitempty"`
+	// DisableReenroll turns drift-guarded re-enrollment off for the run.
+	DisableReenroll bool `json:"disable_reenroll,omitempty"`
+}
+
+// Config declares one experiment grid. Every axis slice is a full factorial
+// dimension: the grid is the cartesian product of all of them, and every
+// cell runs Seeds attacked trials (the true-positive side) plus Seeds clean
+// trials (the false-positive side) from independent labelled rng children.
+type Config struct {
+	// Name labels the run in the report and the regenerated markdown.
+	Name string `json:"name"`
+	// Seed roots the grid's random universe. Identical configs produce
+	// byte-identical reports at any worker count.
+	Seed uint64 `json:"seed"`
+
+	// Attacks is the attack-type axis: interposer, wiretap, probe,
+	// module-swap, adaptive-tap.
+	Attacks []string `json:"attacks"`
+	// Contrasts scales each attack's physical magnitude (1 = the paper's
+	// default attack; 0.5 = a gentler attacker). The interposer is a
+	// topological cut and does not scale — list it with contrast 1.
+	Contrasts []float64 `json:"contrasts,omitempty"`
+	// TemperaturesC is the ambient-temperature axis (calibration is at
+	// 23 °C, so other values exercise the thermal mismatch).
+	TemperaturesC []float64 `json:"temperatures_c,omitempty"`
+	// NoiseScales multiplies the comparator's input-referred RMS noise.
+	NoiseScales []float64 `json:"noise_scales,omitempty"`
+	// DeadBinFracs injects a permanent dead-ETS-bin field of this fraction
+	// at the CPU endpoint from the first monitoring round.
+	DeadBinFracs []float64 `json:"dead_bin_fracs,omitempty"`
+	// FleetSizes is how many links each trial monitors; the attack always
+	// targets link 0, the rest contribute clean rounds to the
+	// false-positive accounting.
+	FleetSizes []int `json:"fleet_sizes,omitempty"`
+	// Seeds is how many independent trials of each class each cell runs.
+	Seeds int `json:"seeds,omitempty"`
+
+	// PreRounds is how many clean rounds precede the attack mount;
+	// PostRounds how many follow it. Clean trials run the same total.
+	PreRounds  int `json:"pre_rounds,omitempty"`
+	PostRounds int `json:"post_rounds,omitempty"`
+	// Position is where contact attacks land, in meters from the CPU end.
+	Position float64 `json:"position,omitempty"`
+
+	// Detector overrides detector knobs (tuning sweeps, nerf injection).
+	Detector DetectorConfig `json:"detector,omitempty"`
+
+	// TargetFPR is the per-trial false-positive budget the auto-tuner picks
+	// the operating threshold for.
+	TargetFPR float64 `json:"target_fpr,omitempty"`
+
+	// IncludeTrials embeds every trial's full round traces in the report
+	// (large; the determinism tests use it to pin the whole pipeline).
+	IncludeTrials bool `json:"include_trials,omitempty"`
+}
+
+// WithDefaults fills unset fields with the harness defaults.
+func (c Config) WithDefaults() Config {
+	if c.Name == "" {
+		c.Name = "unnamed"
+	}
+	if len(c.Contrasts) == 0 {
+		c.Contrasts = []float64{1}
+	}
+	if len(c.TemperaturesC) == 0 {
+		c.TemperaturesC = []float64{23}
+	}
+	if len(c.NoiseScales) == 0 {
+		c.NoiseScales = []float64{1}
+	}
+	if len(c.DeadBinFracs) == 0 {
+		c.DeadBinFracs = []float64{0}
+	}
+	if len(c.FleetSizes) == 0 {
+		c.FleetSizes = []int{1}
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 3
+	}
+	if c.PreRounds == 0 {
+		c.PreRounds = 10
+	}
+	if c.PostRounds == 0 {
+		c.PostRounds = 20
+	}
+	if c.Position == 0 {
+		c.Position = 0.1
+	}
+	if c.TargetFPR == 0 {
+		c.TargetFPR = 0.01
+	}
+	return c
+}
+
+// Validate rejects grids the runner cannot execute. Call on a
+// WithDefaults()-completed config.
+func (c Config) Validate() error {
+	if len(c.Attacks) == 0 {
+		return fmt.Errorf("experiment: no attacks listed — the grid needs at least one attack kind")
+	}
+	for _, a := range c.Attacks {
+		if !attackKinds[a] {
+			return fmt.Errorf("experiment: unknown attack kind %q (want %s)", a, strings.Join(AttackKinds(), ", "))
+		}
+	}
+	for _, v := range c.Contrasts {
+		if v <= 0 {
+			return fmt.Errorf("experiment: contrast must be positive, got %g", v)
+		}
+	}
+	for _, v := range c.NoiseScales {
+		if v <= 0 {
+			return fmt.Errorf("experiment: noise scale must be positive, got %g", v)
+		}
+	}
+	for _, v := range c.DeadBinFracs {
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("experiment: dead-bin fraction must be in [0, 1), got %g", v)
+		}
+	}
+	for _, v := range c.FleetSizes {
+		if v <= 0 {
+			return fmt.Errorf("experiment: fleet size must be positive, got %d", v)
+		}
+	}
+	if c.Seeds <= 0 {
+		return fmt.Errorf("experiment: seeds must be positive, got %d", c.Seeds)
+	}
+	if c.PreRounds < 1 || c.PostRounds < 1 {
+		return fmt.Errorf("experiment: pre_rounds and post_rounds must be at least 1, got %d/%d", c.PreRounds, c.PostRounds)
+	}
+	if c.Position <= 0 {
+		return fmt.Errorf("experiment: position must be positive, got %g", c.Position)
+	}
+	if c.TargetFPR < 0 || c.TargetFPR >= 1 {
+		return fmt.Errorf("experiment: target_fpr must be in [0, 1), got %g", c.TargetFPR)
+	}
+	if t := c.Detector.AuthThreshold; t < 0 || t >= 1 {
+		return fmt.Errorf("experiment: detector.auth_threshold must be in [0, 1), got %g", t)
+	}
+	if s := c.Detector.TamperThresholdScale; s < 0 {
+		return fmt.Errorf("experiment: detector.tamper_threshold_scale must be >= 0, got %g", s)
+	}
+	return nil
+}
+
+// LoadConfig reads, defaults, and validates a grid config file.
+func LoadConfig(path string) (Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("reading experiment config: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("parsing experiment config %s: %w", path, err)
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("experiment config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Cell identifies one grid cell — one combination of every axis value.
+type Cell struct {
+	Attack      string  `json:"attack"`
+	Contrast    float64 `json:"contrast"`
+	TempC       float64 `json:"temp_c"`
+	NoiseScale  float64 `json:"noise_scale"`
+	DeadBinFrac float64 `json:"dead_bin_frac"`
+	FleetSize   int     `json:"fleet_size"`
+}
+
+// Label renders the cell's canonical identity — also the rng namespace every
+// trial of the cell derives from, so a cell's results are independent of
+// which other cells share the grid.
+func (c Cell) Label() string {
+	return fmt.Sprintf("%s/c%g/t%g/n%g/d%g/f%d",
+		c.Attack, c.Contrast, c.TempC, c.NoiseScale, c.DeadBinFrac, c.FleetSize)
+}
+
+// Cells expands the grid in deterministic (presentation) order.
+func (c Config) Cells() []Cell {
+	var cells []Cell
+	for _, a := range c.Attacks {
+		for _, con := range c.Contrasts {
+			for _, t := range c.TemperaturesC {
+				for _, n := range c.NoiseScales {
+					for _, d := range c.DeadBinFracs {
+						for _, f := range c.FleetSizes {
+							cells = append(cells, Cell{
+								Attack: a, Contrast: con, TempC: t,
+								NoiseScale: n, DeadBinFrac: d, FleetSize: f,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}

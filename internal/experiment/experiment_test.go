@@ -1,0 +1,308 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"divot/internal/exper"
+)
+
+// writeFile drops content into a fresh temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigValidatesAndDefaults(t *testing.T) {
+	bad := []struct {
+		name, body, wantErr string
+	}{
+		{"no attacks", `{"seed": 1}`, "no attacks"},
+		{"unknown attack", `{"attacks": ["laser"]}`, `unknown attack kind "laser"`},
+		{"unknown field", `{"attacks": ["probe"], "atacks": []}`, "parsing"},
+		{"bad contrast", `{"attacks": ["probe"], "contrasts": [0]}`, "contrast"},
+		{"bad dead bins", `{"attacks": ["probe"], "dead_bin_fracs": [1]}`, "dead-bin"},
+		{"bad fleet", `{"attacks": ["probe"], "fleet_sizes": [0]}`, "fleet size"},
+		{"bad target fpr", `{"attacks": ["probe"], "target_fpr": 1}`, "target_fpr"},
+		{"bad auth threshold", `{"attacks": ["probe"], "detector": {"auth_threshold": 1.5}}`, "auth_threshold"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadConfig(writeFile(t, "grid.json", tc.body))
+			if err == nil {
+				t.Fatalf("config %s loaded without error", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	cfg, err := LoadConfig(writeFile(t, "grid.json", `{"seed": 9, "attacks": ["probe"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seeds != 3 || cfg.PreRounds != 10 || cfg.PostRounds != 20 ||
+		cfg.TargetFPR != 0.01 || cfg.Position != 0.1 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if len(cfg.Contrasts) != 1 || cfg.Contrasts[0] != 1 || cfg.FleetSizes[0] != 1 {
+		t.Errorf("axis defaults not applied: %+v", cfg)
+	}
+}
+
+func TestCellsExpandInDeclarationOrder(t *testing.T) {
+	cfg := Config{
+		Attacks:   []string{"wiretap", "probe"},
+		Contrasts: []float64{1, 0.5},
+	}.WithDefaults()
+	cells := cfg.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	want := []string{
+		"wiretap/c1/t23/n1/d0/f1", "wiretap/c0.5/t23/n1/d0/f1",
+		"probe/c1/t23/n1/d0/f1", "probe/c0.5/t23/n1/d0/f1",
+	}
+	for i, w := range want {
+		if got := cells[i].Label(); got != w {
+			t.Errorf("cell %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+// withParallelism runs fn with the repo-wide worker knob pinned.
+func withParallelism(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := exper.Parallelism
+	exper.Parallelism = n
+	defer func() { exper.Parallelism = prev }()
+	fn()
+}
+
+// detTestConfig is the determinism grid: small but exercising the attack
+// mount, the adaptive stepper, a fleet of two, and the full trace recording.
+func detTestConfig() Config {
+	return Config{
+		Name: "determinism", Seed: 17,
+		Attacks:       []string{"wiretap", "adaptive-tap"},
+		FleetSizes:    []int{2},
+		Seeds:         1,
+		PreRounds:     3,
+		PostRounds:    6,
+		IncludeTrials: true,
+	}
+}
+
+// TestRunDeterministicAcrossParallelism is the harness's core contract: the
+// same config and seed produce byte-identical report JSON whether trials run
+// sequentially or across eight workers. Run under -race by `make race`.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	encode := func(workers int) []byte {
+		var raw []byte
+		withParallelism(t, workers, func() {
+			rep, err := Run(detTestConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err = EncodeReport(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return raw
+	}
+	seq := encode(1)
+	par := encode(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("report bytes differ between Parallelism 1 (%d bytes) and 8 (%d bytes)",
+			len(seq), len(par))
+	}
+	if !bytes.Equal(par, encode(8)) {
+		t.Fatal("report bytes differ between two identical runs")
+	}
+}
+
+// TestHarnessMeasuresDetection pins the live operating point on an easy grid:
+// a full-contrast wiretap must always be caught quickly with no false alarms,
+// and the tamper ROC must be perfect.
+func TestHarnessMeasuresDetection(t *testing.T) {
+	cfg := Config{
+		Name: "easy", Seed: 5,
+		Attacks:   []string{"wiretap"},
+		Seeds:     2,
+		PreRounds: 3, PostRounds: 6,
+	}
+	var rep *Report
+	withParallelism(t, 4, func() {
+		var err error
+		rep, err = Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(rep.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(rep.Cells))
+	}
+	c := rep.Cells[0]
+	if c.TPR != 1 || c.FPR != 0 {
+		t.Errorf("wiretap cell TPR=%v FPR=%v, want 1/0", c.TPR, c.FPR)
+	}
+	if c.LatencyP50 < 1 || c.LatencyMax > cfg.PostRounds {
+		t.Errorf("latency p50=%d max=%d out of range", c.LatencyP50, c.LatencyMax)
+	}
+	for _, curve := range rep.ROC {
+		if curve.Channel == ChannelTamperRatio && curve.AUC != 1 {
+			t.Errorf("tamper ROC AUC = %v, want 1", curve.AUC)
+		}
+	}
+	if rep.Tuning.AchievedFPR > cfg.TargetFPR {
+		t.Errorf("tuned FPR %v exceeds target %v", rep.Tuning.AchievedFPR, rep.Tuning.TargetFPR)
+	}
+}
+
+// TestGuardCatchesDetectorNerf is the quality gate's acceptance criterion: a
+// deliberately desensitized detector (tamper threshold scaled 10x, auth
+// threshold dropped to 0.05) must register as a TPR regression against the
+// healthy baseline, while comparing the baseline to itself stays green.
+func TestGuardCatchesDetectorNerf(t *testing.T) {
+	cfg := Config{
+		Name: "guard", Seed: 11,
+		Attacks:   []string{"probe"},
+		Seeds:     2,
+		PreRounds: 3, PostRounds: 6,
+	}
+	nerfed := cfg
+	nerfed.Detector = DetectorConfig{AuthThreshold: 0.05, TamperThresholdScale: 10}
+
+	var base, cur *Report
+	withParallelism(t, 4, func() {
+		var err error
+		if base, err = Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if cur, err = Run(nerfed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if v := CompareReports(base, base, Tolerances{}); len(v) != 0 {
+		t.Fatalf("baseline vs itself reported violations: %v", v)
+	}
+	violations := CompareReports(base, cur, Tolerances{})
+	if len(violations) == 0 {
+		t.Fatal("nerfed detector passed the quality gate")
+	}
+	found := false
+	for _, v := range violations {
+		if strings.Contains(v, "TPR regressed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations carry no TPR regression: %v", violations)
+	}
+
+	// A shrunken current report must not pass by omission.
+	trimmed := *cur
+	trimmed.Cells = nil
+	trimmed.ROC = nil
+	v := CompareReports(base, &trimmed, Tolerances{})
+	if len(v) != len(base.Cells)+len(base.ROC) {
+		t.Errorf("empty report yields %d violations, want %d", len(v), len(base.Cells)+len(base.ROC))
+	}
+
+	// Version mismatches short-circuit with a single explicit violation.
+	stale := *base
+	stale.Version = 99
+	if v := CompareReports(&stale, cur, Tolerances{}); len(v) != 1 || !strings.Contains(v[0], "version") {
+		t.Errorf("version mismatch violations = %v", v)
+	}
+}
+
+func TestSpliceMarkdown(t *testing.T) {
+	rep := &Report{Version: reportVersion, Name: "splice", Config: Config{}.WithDefaults()}
+
+	// Existing markers: the block between them is replaced, text outside
+	// survives.
+	doc := "# Title\n\nintro\n\n" + beginMarker + "\nSTALE-BLOCK\n" + endMarker + "\n\ntrailer\n"
+	path := writeFile(t, "doc.md", doc)
+	out, err := rep.SpliceMarkdown(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "intro") || !strings.Contains(out, "trailer") {
+		t.Error("text outside the markers was lost")
+	}
+	if strings.Contains(out, "STALE-BLOCK") {
+		t.Error("stale generated block survived the splice")
+	}
+	if !strings.Contains(out, "Grid `splice`") {
+		t.Error("fresh render missing from spliced document")
+	}
+
+	// No markers: a fresh block is appended.
+	out, err = rep.SpliceMarkdown(writeFile(t, "plain.md", "# Plain\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, beginMarker) || !strings.Contains(out, endMarker) {
+		t.Error("markers not appended to marker-less document")
+	}
+
+	// Damaged markers: refuse rather than corrupt.
+	if _, err := rep.SpliceMarkdown(writeFile(t, "broken.md", beginMarker+"\nno end\n")); err == nil {
+		t.Error("damaged markers spliced without error")
+	}
+}
+
+// TestAggregateSweepsAndTunes drives the aggregation math on synthetic
+// traces: clearly separated score populations must yield a perfect auth ROC
+// and a tuned threshold sitting just under the negative population.
+func TestAggregateSweepsAndTunes(t *testing.T) {
+	cfg := Config{
+		Name: "synthetic", Seed: 1,
+		Attacks: []string{"probe"}, Seeds: 2,
+		PreRounds: 1, PostRounds: 1,
+	}.WithDefaults()
+	mk := func(class string, idx int, score float64) TrialResult {
+		cell := cfg.Cells()[0]
+		if class == classClean {
+			cell = envKey(cell)
+		}
+		return TrialResult{
+			Cell: cell, Class: class, Index: idx,
+			Rounds: []RoundRecord{
+				{Round: 1, VictimScore: 0.99, MinScore: 0.99},
+				{Round: 2, VictimScore: score, MinScore: score},
+			},
+		}
+	}
+	trials := []TrialResult{
+		mk(classAttacked, 0, 0.20), mk(classAttacked, 1, 0.25),
+		mk(classClean, 0, 0.90), mk(classClean, 1, 0.92),
+	}
+	rep := aggregate(cfg, trials)
+
+	var authAUC float64
+	for _, c := range rep.ROC {
+		if c.Attack == "probe" && c.Channel == ChannelAuthScore {
+			authAUC = c.AUC
+		}
+	}
+	if authAUC != 1 {
+		t.Errorf("separable populations give auth AUC %v, want 1", authAUC)
+	}
+	if got := rep.Tuning.AuthThreshold; got != 0.90 {
+		t.Errorf("tuned threshold = %v, want 0.90 (just under the negative floor)", got)
+	}
+	if rep.Tuning.TPRByAttack["probe"] != 1 {
+		t.Errorf("TPR at tuned threshold = %v, want 1", rep.Tuning.TPRByAttack["probe"])
+	}
+}

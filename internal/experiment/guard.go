@@ -1,0 +1,68 @@
+package experiment
+
+import "fmt"
+
+// Tolerances sets how much a current report may deviate from the baseline
+// before the quality guard fails. The zero value is the strict gate: any TPR
+// drop, FPR rise, or AUC loss on a fixed-seed grid is a regression, because
+// the fixed seed makes the comparison exact, not statistical.
+type Tolerances struct {
+	// TPR is the largest allowed per-cell true-positive-rate drop.
+	TPR float64
+	// FPR is the largest allowed per-cell false-positive-rate rise.
+	FPR float64
+	// AUC is the largest allowed per-curve area-under-curve loss.
+	AUC float64
+}
+
+// CompareReports checks the current report against the baseline and returns
+// one message per violation (empty means the gate passes). Baseline cells and
+// curves missing from the current report are violations — a shrunken grid
+// must not pass by omission.
+func CompareReports(baseline, current *Report, tol Tolerances) []string {
+	var bad []string
+	if baseline.Version != current.Version {
+		return []string{fmt.Sprintf(
+			"report version changed %d -> %d; regenerate the baseline deliberately",
+			baseline.Version, current.Version)}
+	}
+
+	cells := map[Cell]CellResult{}
+	for _, c := range current.Cells {
+		cells[c.Cell] = c
+	}
+	for _, base := range baseline.Cells {
+		cur, ok := cells[base.Cell]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("cell %s missing from current report", base.Label()))
+			continue
+		}
+		if cur.TPR < base.TPR-tol.TPR {
+			bad = append(bad, fmt.Sprintf("cell %s: TPR regressed %.3f -> %.3f",
+				base.Label(), base.TPR, cur.TPR))
+		}
+		if cur.FPR > base.FPR+tol.FPR {
+			bad = append(bad, fmt.Sprintf("cell %s: FPR regressed %.3f -> %.3f",
+				base.Label(), base.FPR, cur.FPR))
+		}
+	}
+
+	type curveKey struct{ attack, channel string }
+	curves := map[curveKey]ROCCurve{}
+	for _, c := range current.ROC {
+		curves[curveKey{c.Attack, c.Channel}] = c
+	}
+	for _, base := range baseline.ROC {
+		cur, ok := curves[curveKey{base.Attack, base.Channel}]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("ROC curve %s/%s missing from current report",
+				base.Attack, base.Channel))
+			continue
+		}
+		if cur.AUC < base.AUC-tol.AUC {
+			bad = append(bad, fmt.Sprintf("ROC %s/%s: AUC regressed %.4f -> %.4f",
+				base.Attack, base.Channel, base.AUC, cur.AUC))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Splice markers bounding the generated block in EXPERIMENTS.md. Everything
+// between them is owned by `make experiments`; hand edits there are lost.
+const (
+	beginMarker = "<!-- divotlab:begin -->"
+	endMarker   = "<!-- divotlab:end -->"
+)
+
+// Markdown renders the report as the generated EXPERIMENTS.md section:
+// per-cell quality at the live operating point, per-attack AUC, and the
+// auto-tuned threshold.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Grid `%s` (seed %d, %d attacked + shared clean trials per cell).\n\n",
+		r.Name, r.Config.Seed, r.Config.Seeds)
+
+	b.WriteString("| attack | contrast | temp °C | noise× | dead bins | fleet | TPR | FPR | latency p50/p90/max |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "| %s | %g | %g | %g | %g | %d | %.2f | %.2f | %d/%d/%d |\n",
+			c.Attack, c.Contrast, c.TempC, c.NoiseScale, c.DeadBinFrac, c.FleetSize,
+			c.TPR, c.FPR, c.LatencyP50, c.LatencyP90, c.LatencyMax)
+	}
+
+	b.WriteString("\nROC area under curve per attack and detection channel:\n\n")
+	b.WriteString("| attack | channel | AUC |\n|---|---|---|\n")
+	for _, c := range r.ROC {
+		fmt.Fprintf(&b, "| %s | %s | %.3f |\n", c.Attack, c.Channel, c.AUC)
+	}
+
+	t := r.Tuning
+	fmt.Fprintf(&b, "\nAuto-tuned operating point: auth threshold **%.2f** holds pooled FPR at "+
+		"%.3f (target %g). Pooled auth-channel TPR there:\n\n", t.AuthThreshold, t.AchievedFPR, t.TargetFPR)
+	b.WriteString("| attack | TPR at tuned θ |\n|---|---|\n")
+	for _, atk := range r.Config.Attacks {
+		fmt.Fprintf(&b, "| %s | %.2f |\n", atk, t.TPRByAttack[atk])
+	}
+	return b.String()
+}
+
+// SpliceMarkdown replaces the marker-delimited block of the file with the
+// report's rendering (appending a fresh block when no markers exist yet) and
+// returns the new file content.
+func (r *Report) SpliceMarkdown(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("reading %s: %w", path, err)
+	}
+	doc := string(raw)
+	block := beginMarker + "\n" + r.Markdown() + endMarker
+	begin := strings.Index(doc, beginMarker)
+	end := strings.Index(doc, endMarker)
+	switch {
+	case begin >= 0 && end > begin:
+		return doc[:begin] + block + doc[end+len(endMarker):], nil
+	case begin < 0 && end < 0:
+		if !strings.HasSuffix(doc, "\n") {
+			doc += "\n"
+		}
+		return doc + "\n" + block + "\n", nil
+	default:
+		return "", fmt.Errorf("%s: splice markers are damaged (begin at %d, end at %d)", path, begin, end)
+	}
+}

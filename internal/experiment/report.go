@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// EncodeReport marshals the report to its canonical byte form: indented JSON,
+// sorted map keys (the encoder's default), trailing newline. Two runs of the
+// same config produce the same bytes, so `cmp` and git diffs are meaningful.
+func EncodeReport(r *Report) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, fmt.Errorf("encoding report: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadReport reads a report artifact back (for the guard's baseline and the
+// report/tune subcommands).
+func LoadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("parsing report %s: %w", path, err)
+	}
+	if r.Version != reportVersion {
+		return nil, fmt.Errorf("report %s: version %d, this build writes %d — regenerate it",
+			path, r.Version, reportVersion)
+	}
+	return &r, nil
+}

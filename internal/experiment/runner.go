@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"divot/internal/exper"
+	"divot/internal/pool"
+)
+
+// envKey strips a cell down to its environmental axes. Clean trials (the
+// false-positive side) do not depend on which attack a cell would have
+// mounted, so cells differing only by attack kind or contrast share one set
+// of clean trials.
+func envKey(c Cell) Cell {
+	c.Attack = "none"
+	c.Contrast = 1
+	return c
+}
+
+// job is one trial to run.
+type job struct {
+	cell  Cell
+	class string
+	idx   int
+}
+
+// Run executes the whole grid and aggregates the report. Trials fan out
+// across exper.Parallelism workers; every trial seeds its own labelled rng
+// universe, so the report is byte-identical at any worker count.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cells := cfg.Cells()
+
+	// Deterministic job order: attacked trials in grid order, then clean
+	// trials per distinct environment in first-appearance order.
+	var jobs []job
+	for _, cell := range cells {
+		for i := 0; i < cfg.Seeds; i++ {
+			jobs = append(jobs, job{cell, classAttacked, i})
+		}
+	}
+	seen := map[Cell]bool{}
+	for _, cell := range cells {
+		ek := envKey(cell)
+		if seen[ek] {
+			continue
+		}
+		seen[ek] = true
+		for i := 0; i < cfg.Seeds; i++ {
+			jobs = append(jobs, job{ek, classClean, i})
+		}
+	}
+
+	results := make([]TrialResult, len(jobs))
+	errs := make([]error, len(jobs))
+	pool.Run(len(jobs), pool.Workers(exper.Parallelism), func(_, i int) {
+		results[i], errs[i] = runTrial(cfg, jobs[i].cell, jobs[i].class, jobs[i].idx)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return aggregate(cfg, results), nil
+}

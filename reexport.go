@@ -201,6 +201,12 @@ type (
 	TraceMill = attack.TraceMill
 	// Interposer is a data-transparent man-in-the-middle insertion.
 	Interposer = attack.Interposer
+	// AdaptiveTap is a tap whose loading drifts slowly between rounds,
+	// trying to hide inside the re-enrollment window.
+	AdaptiveTap = attack.AdaptiveTap
+	// AttackStepper is implemented by attacks that evolve one step per
+	// monitoring round (adaptive adversaries).
+	AttackStepper = attack.Stepper
 )
 
 // Attack constructors.
@@ -211,6 +217,7 @@ var (
 	NewColdBootSwap  = attack.NewColdBootSwap
 	NewModuleSwap    = attack.NewModuleSwap
 	NewInterposer    = attack.DefaultInterposer
+	NewAdaptiveTap   = attack.DefaultAdaptiveTap
 )
 
 // ResourceModel returns the iTDR utilization for a configuration.
