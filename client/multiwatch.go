@@ -1,0 +1,504 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"divot/internal/wire"
+)
+
+// Stream transport modes, negotiated once per Client and cached: the first
+// WatchMulti/Watch probes GET /v1/stream, and a daemon that predates it (a
+// bare, non-envelope 404/405/501) downgrades every later watch on this Client
+// to the legacy per-link SSE feed.
+const (
+	streamModeUnknown = int32(iota)
+	streamModeBinary
+	streamModeLegacy
+)
+
+// errStreamUnsupported marks a daemon that does not serve GET /v1/stream.
+var errStreamUnsupported = errors.New("client: daemon does not serve /v1/stream")
+
+// MultiWatch is a live subscription to many buses' event feeds over one
+// logical stream. Events from every subscribed link arrive interleaved on
+// Events(), each link's events in its own sequence order, deduplicated, with
+// the same exactly-once-across-reconnects guarantee Watch documents — per
+// link, keyed by the per-link cursors LastSeq exposes.
+//
+// Transport is negotiated: against a current daemon the subscription is one
+// multiplexed binary connection (GET /v1/stream, internal/wire framing);
+// against a daemon that predates the endpoint it degrades transparently to
+// one legacy SSE connection per link, same events, same guarantees. The
+// negotiated mode is cached on the Client.
+type MultiWatch struct {
+	ch     chan Event
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	err     error
+	links   []string
+	cursors map[string]uint64
+}
+
+// Events is the delivery channel, shared by every subscribed link. Closed
+// when the subscription ends.
+func (mw *MultiWatch) Events() <-chan Event { return mw.ch }
+
+// LastSeq returns the sequence number of link id's newest delivered event —
+// the per-link resume cursor for a future WatchMulti (via
+// WatchOptions.AfterByLink). Zero for a link with no deliveries yet.
+func (mw *MultiWatch) LastSeq(id string) uint64 {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	return mw.cursors[id]
+}
+
+// LastSeqs copies every link's resume cursor — the durable state a consumer
+// persists to continue a multi-link subscription in a new process.
+func (mw *MultiWatch) LastSeqs() map[string]uint64 {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	out := make(map[string]uint64, len(mw.cursors))
+	for id, seq := range mw.cursors {
+		out[id] = seq
+	}
+	return out
+}
+
+// Links returns the resolved subscription set: the requested links, or — for
+// a fleet-wide subscription — what the server expanded it to.
+func (mw *MultiWatch) Links() []string {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	return append([]string(nil), mw.links...)
+}
+
+// Close tears the subscription down. Events() closes shortly after; safe to
+// call more than once and concurrently with receives.
+func (mw *MultiWatch) Close() { mw.cancel() }
+
+// Err reports why the subscription ended: nil until Events() closes, then
+// the caller's context error for cancellation, an *APIError for a server
+// refusal, a *ResumeGapError for an evicted resume point, or the transport
+// fault that exhausted the retry policy. The first terminal cause wins — a
+// legacy-mode subscription runs one connection per link, and one link's
+// terminal failure ends the whole subscription.
+func (mw *MultiWatch) Err() error {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	return mw.err
+}
+
+func (mw *MultiWatch) setErr(err error) {
+	mw.mu.Lock()
+	if mw.err == nil {
+		mw.err = err
+	}
+	mw.mu.Unlock()
+}
+
+func (mw *MultiWatch) cursor(id string) uint64 {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	return mw.cursors[id]
+}
+
+func (mw *MultiWatch) setCursor(id string, seq uint64) {
+	mw.mu.Lock()
+	mw.cursors[id] = seq
+	mw.mu.Unlock()
+}
+
+func (mw *MultiWatch) cursorsCopy() map[string]uint64 { return mw.LastSeqs() }
+
+func (mw *MultiWatch) setLinks(links []string) {
+	mw.mu.Lock()
+	mw.links = append([]string(nil), links...)
+	mw.mu.Unlock()
+}
+
+// WatchMulti opens a live event subscription over many buses: the links named
+// in opts.Links, or the whole fleet when none are. Events of every subscribed
+// link arrive interleaved on one channel; opts.Kinds narrows them to the
+// named event kinds, and opts.AfterByLink resumes each link past events a
+// previous subscription already delivered (with the same continuity guarantee
+// Watch documents — an evicted resume point ends the subscription with a
+// *ResumeGapError naming the link, never a silent skip).
+//
+// The first connection is established synchronously — an unknown bus or
+// unreachable daemon reports here, not on the channel. Transport (binary
+// multiplexed stream vs legacy per-link SSE) is negotiated and cached on the
+// Client; see MultiWatch.
+func (c *Client) WatchMulti(ctx context.Context, opts WatchOptions) (*MultiWatch, error) {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 16
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	mw := &MultiWatch{
+		ch: make(chan Event, opts.Buffer), cancel: cancel,
+		cursors: make(map[string]uint64, len(opts.AfterByLink)),
+	}
+	for id, seq := range opts.AfterByLink {
+		mw.cursors[id] = seq
+	}
+	mw.setLinks(opts.Links)
+
+	if c.streamMode.Load() != streamModeLegacy {
+		resp, err := c.connectMulti(wctx, opts.Links, opts.Kinds, mw.cursorsCopy())
+		switch {
+		case err == nil:
+			c.streamMode.Store(streamModeBinary)
+			go mw.runBinary(wctx, c, opts, resp)
+			return mw, nil
+		case errors.Is(err, errStreamUnsupported):
+			c.streamMode.Store(streamModeLegacy)
+		default:
+			cancel()
+			return nil, err
+		}
+	}
+	if err := mw.startLegacy(wctx, c, opts); err != nil {
+		cancel()
+		return nil, err
+	}
+	return mw, nil
+}
+
+// streamURL renders the /v1/stream query form of a Subscribe handshake.
+// Cursors are sorted so the URL (and any log of it) is deterministic.
+func (c *Client) streamURL(links, kinds []string, after map[string]uint64) string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if len(links) > 0 {
+		add("links", strings.Join(links, ","))
+	}
+	if len(kinds) > 0 {
+		add("kinds", strings.Join(kinds, ","))
+	}
+	if len(after) > 0 {
+		entries := make([]string, 0, len(after))
+		for id, seq := range after {
+			if seq > 0 {
+				entries = append(entries, id+":"+strconv.FormatUint(seq, 10))
+			}
+		}
+		if len(entries) > 0 {
+			sort.Strings(entries)
+			add("after", strings.Join(entries, ","))
+		}
+	}
+	u := c.base + "/v1/stream"
+	if len(parts) > 0 {
+		u += "?" + strings.Join(parts, "&")
+	}
+	return u
+}
+
+// connectMulti dials the binary stream, retrying transport faults and 5xx
+// answers under the client's policy. errStreamUnsupported (the daemon
+// predates the endpoint) is terminal here — the caller falls back to SSE.
+func (c *Client) connectMulti(ctx context.Context, links, kinds []string, after map[string]uint64) (*http.Response, error) {
+	u := c.streamURL(links, kinds, after)
+	var lastErr error
+	var spent int64
+	for attempt := 0; ; attempt++ {
+		resp, err := c.dialMulti(ctx, u)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !c.shouldRetry(ctx, err) || attempt+1 >= c.retry.MaxAttempts {
+			return nil, lastErr
+		}
+		d := c.backoff(attempt)
+		if c.retry.Budget > 0 && spent+int64(d) > int64(c.retry.Budget) {
+			return nil, lastErr
+		}
+		spent += int64(d)
+		if err := c.sleep(ctx, d); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+func (c *Client) dialMulti(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building stream request: %w", err)
+	}
+	req.Header.Set("User-Agent", c.ua)
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: opening stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		raw := make([]byte, 4096)
+		n, _ := resp.Body.Read(raw)
+		derr := decodeResponse(resp.StatusCode, raw[:n], nil)
+		if streamUnsupported(resp.StatusCode, derr) {
+			return nil, errStreamUnsupported
+		}
+		return nil, derr
+	}
+	return resp, nil
+}
+
+// streamUnsupported recognizes the version-negotiation signal: a daemon that
+// predates GET /v1/stream answers its mux's bare 404 (or a proxy's 405/501) —
+// a non-envelope body, which decodeResponse maps to a synthetic internal
+// error. An *envelope* error on the same statuses is a current daemon
+// refusing the subscription (unknown link) and stays terminal.
+func streamUnsupported(status int, err error) bool {
+	switch status {
+	case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusNotImplemented:
+	default:
+		return false
+	}
+	var aerr *APIError
+	return errors.As(err, &aerr) && aerr.Code == CodeInternal &&
+		strings.HasPrefix(aerr.Message, "non-envelope answer")
+}
+
+// runBinary consumes binary stream connections until the context ends, a
+// reconnect fails terminally, or the server reports a gap or error frame.
+// Each reconnect resumes every link from its last delivered sequence number.
+func (mw *MultiWatch) runBinary(ctx context.Context, c *Client, opts WatchOptions, resp *http.Response) {
+	defer close(mw.ch)
+	for {
+		if err := mw.consumeBinary(ctx, resp, opts); err != nil {
+			mw.setErr(err)
+			return
+		}
+		if ctx.Err() != nil {
+			mw.setErr(ctx.Err())
+			return
+		}
+		next, err := c.connectMulti(ctx, opts.Links, opts.Kinds, mw.cursorsCopy())
+		if err != nil {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+			}
+			mw.setErr(err)
+			return
+		}
+		resp = next
+	}
+}
+
+// consumeBinary reads one binary stream connection until it ends. A nil
+// return means reconnect (clean EOF, torn stream, server shutdown frame); an
+// error is terminal.
+//
+// Per-link continuity: the first delivered event of a link whose resume
+// cursor was R > 0 must be R+1 — anything later means the retention ring
+// evicted part of the feed, reported as *ResumeGapError. The check only runs
+// for unfiltered subscriptions (a kind filter legitimately skips sequence
+// numbers); a filtered subscription still gets the server's eager Gap frame,
+// which checks the same claim against the ring before replay.
+func (mw *MultiWatch) consumeBinary(ctx context.Context, resp *http.Response, opts WatchOptions) error {
+	defer resp.Body.Close()
+	rd := wire.NewReader(resp.Body)
+	resume := mw.cursorsCopy()
+	checked := make(map[string]bool, len(resume))
+	filtered := len(opts.Kinds) > 0
+	for {
+		typ, payload, err := rd.Next()
+		if err != nil {
+			return nil // clean EOF or torn stream: reconnect with the cursors
+		}
+		switch typ {
+		case wire.FrameHello:
+			var h wire.Hello
+			if err := json.Unmarshal(payload, &h); err != nil {
+				return fmt.Errorf("client: bad hello frame: %w", err)
+			}
+			mw.setLinks(h.Links)
+		case wire.FrameHeartbeat:
+		case wire.FrameShutdown:
+			return nil // server shutting down: reconnect (under retry policy)
+		case wire.FrameGap:
+			var g wire.Gap
+			if err := json.Unmarshal(payload, &g); err != nil {
+				return fmt.Errorf("client: bad gap frame: %w", err)
+			}
+			return &ResumeGapError{Link: g.Link, Resume: g.Resume, Oldest: g.Oldest}
+		case wire.FrameError:
+			var e wire.ErrorInfo
+			if err := json.Unmarshal(payload, &e); err != nil {
+				return fmt.Errorf("client: bad error frame: %w", err)
+			}
+			return &APIError{Status: http.StatusOK, Code: e.Code, Message: e.Message}
+		case wire.FrameEvent:
+			ev, err := wire.DecodeEvent(payload)
+			if err != nil {
+				return fmt.Errorf("client: bad event frame: %w", err)
+			}
+			if ev.Seq <= mw.cursor(ev.Link) {
+				continue // replay/live overlap: already delivered
+			}
+			if !checked[ev.Link] {
+				checked[ev.Link] = true
+				if r := resume[ev.Link]; r > 0 && !filtered && ev.Seq > r+1 {
+					return &ResumeGapError{Link: ev.Link, Resume: r, Oldest: ev.Seq}
+				}
+			}
+			select {
+			case mw.ch <- ev:
+				mw.setCursor(ev.Link, ev.Seq)
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	}
+}
+
+// startLegacy opens the legacy per-link SSE fan-out: one /v1/links/{id}/events
+// connection per subscribed link, all delivering into the shared channel with
+// client-side kind filtering. Every first connection is established
+// synchronously so unknown links report from WatchMulti itself.
+func (mw *MultiWatch) startLegacy(ctx context.Context, c *Client, opts WatchOptions) error {
+	links := opts.Links
+	if len(links) == 0 {
+		// The legacy transport has no fleet-wide subscription: expand it
+		// through the links listing, like a binary Hello would.
+		sums, err := c.Links(ctx)
+		if err != nil {
+			return err
+		}
+		links = make([]string, 0, len(sums))
+		for _, s := range sums {
+			links = append(links, s.ID)
+		}
+	}
+	seen := make(map[string]bool, len(links))
+	uniq := links[:0:0]
+	for _, id := range links {
+		if !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, id)
+		}
+	}
+	links = uniq
+	mw.setLinks(links)
+	kinds := make(map[string]bool, len(opts.Kinds))
+	for _, k := range opts.Kinds {
+		kinds[k] = true
+	}
+
+	conns := make([]*http.Response, len(links))
+	for i, id := range links {
+		resp, err := c.connectStream(ctx, id, mw.cursor(id))
+		if err != nil {
+			for _, open := range conns[:i] {
+				open.Body.Close()
+			}
+			return err
+		}
+		conns[i] = resp
+	}
+	var wg sync.WaitGroup
+	for i, id := range links {
+		wg.Add(1)
+		go func(id string, resp *http.Response) {
+			defer wg.Done()
+			mw.runLegacyLink(ctx, c, id, kinds, resp)
+		}(id, conns[i])
+	}
+	go func() {
+		wg.Wait()
+		close(mw.ch)
+	}()
+	return nil
+}
+
+// runLegacyLink consumes one link's SSE connections until the context ends or
+// a terminal failure. A terminal failure on any link ends the whole
+// subscription: the error is recorded (first cause wins) and the shared
+// context cancelled so sibling links stop too.
+func (mw *MultiWatch) runLegacyLink(ctx context.Context, c *Client, id string, kinds map[string]bool, resp *http.Response) {
+	for {
+		if err := mw.consumeSSE(ctx, resp, id, kinds); err != nil {
+			mw.setErr(err)
+			mw.cancel()
+			return
+		}
+		if ctx.Err() != nil {
+			mw.setErr(ctx.Err())
+			return
+		}
+		next, err := c.connectStream(ctx, id, mw.cursor(id))
+		if err != nil {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+			}
+			mw.setErr(err)
+			mw.cancel()
+			return
+		}
+		resp = next
+	}
+}
+
+// consumeSSE parses one legacy SSE connection until it ends. Frames are
+// "id:/event:/data:" blocks separated by blank lines; comment lines (": hb"
+// heartbeats, ": shutdown") keep the connection warm and are skipped. Events
+// at or below the link's cursor are dropped — the replay window and the live
+// queue may overlap.
+//
+// The first event on a resumed connection is the continuity check: a
+// connection opened with ?after=R (R > 0) must see R+1 first — anything later
+// means the ring evicted part of the feed, reported as *ResumeGapError. The
+// legacy feed is unfiltered on the wire, so the check is valid even under a
+// kind filter; filtering happens after it, client-side.
+func (mw *MultiWatch) consumeSSE(ctx context.Context, resp *http.Response, id string, kinds map[string]bool) error {
+	defer resp.Body.Close()
+	resume := mw.cursor(id)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var data string
+	first := true
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data == "" {
+				continue // end of a comment-only block
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err == nil && ev.Seq > mw.cursor(id) {
+				if first {
+					first = false
+					if resume > 0 && ev.Seq > resume+1 {
+						return &ResumeGapError{Link: id, Resume: resume, Oldest: ev.Seq}
+					}
+				}
+				if len(kinds) == 0 || kinds[ev.Kind] {
+					select {
+					case mw.ch <- ev:
+						mw.setCursor(id, ev.Seq)
+					case <-ctx.Done():
+						return nil
+					}
+				}
+			}
+			data = ""
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		default:
+			// "id:" and "event:" lines duplicate fields already inside the
+			// data payload; comments (":") are keep-alives.
+		}
+	}
+	return nil
+}

@@ -1,30 +1,41 @@
 package client
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/url"
 	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
 )
 
-// WatchOptions configures a Watch.
+// WatchOptions configures a Watch or WatchMulti.
 type WatchOptions struct {
-	// After resumes the feed past events the caller has already seen: only
-	// events with Seq > After are delivered. 0 replays the server's whole
-	// retention ring. A non-zero After is a continuity claim — if the server
-	// has already evicted event After+1 from its retention ring, the watch
-	// ends with a *ResumeGapError instead of silently skipping ahead.
+	// After resumes a single-link Watch past events the caller has already
+	// seen: only events with Seq > After are delivered. 0 replays the
+	// server's whole retention ring. A non-zero After is a continuity claim —
+	// if the server has already evicted event After+1 from its retention
+	// ring, the watch ends with a *ResumeGapError instead of silently
+	// skipping ahead. WatchMulti ignores it; use AfterByLink.
 	After uint64
 	// Buffer is the delivery channel's capacity (default 16). A full buffer
 	// back-pressures the reader goroutine, not the server — the server drops
-	// events for slow subscribers, and the Watch re-syncs by resuming.
+	// events for slow subscribers, and the watch re-syncs by resuming.
 	Buffer int
+	// Links names the buses a WatchMulti subscribes to; empty means the
+	// whole fleet. Watch ignores it (the watched bus is its id argument).
+	Links []string
+	// Kinds narrows delivery to the named event kinds (attest.Event.Kind
+	// strings: "alert", "gate", "health", ...); empty delivers every kind the
+	// feed carries. On the binary stream the filter is applied server-side;
+	// on the legacy SSE fallback the client filters, so the wire still
+	// carries every kind. An unknown kind name is a bad_request on the binary
+	// stream and silently matches nothing on the fallback.
+	Kinds []string
+	// AfterByLink is WatchMulti's per-link resume map: each named link
+	// resumes past its cursor (see After for the continuity semantics; the
+	// gap error then names the link). Links absent from the map start from
+	// the server's whole retention ring.
+	AfterByLink map[string]uint64
 }
 
 // ResumeGapError reports a broken resume: the watch asked the server to
@@ -35,6 +46,9 @@ type WatchOptions struct {
 // decides whether to re-Watch with After 0 (accepting the hole) or to
 // rebuild its state from GET /v1/links/{id}/alerts first.
 type ResumeGapError struct {
+	// Link is the bus whose feed gapped ("" only on legacy single-link
+	// streams from daemons that predate link attribution).
+	Link string
 	// Resume is the sequence number the watch tried to continue past.
 	Resume uint64
 	// Oldest is the first sequence number the server still had.
@@ -43,6 +57,10 @@ type ResumeGapError struct {
 
 // Error implements the error interface.
 func (e *ResumeGapError) Error() string {
+	if e.Link != "" {
+		return fmt.Sprintf("client: resume gap on %s: events %d..%d evicted from the server's retention ring",
+			e.Link, e.Resume+1, e.Oldest-1)
+	}
 	return fmt.Sprintf("client: resume gap: events %d..%d evicted from the server's retention ring",
 		e.Resume+1, e.Oldest-1)
 }
@@ -51,23 +69,30 @@ func (e *ResumeGapError) Error() string {
 // Events() in sequence order, deduplicated; the channel closes when the
 // subscription ends, after which Err reports why.
 //
+// Watch is a single-link view over the same machinery as WatchMulti: against
+// a current daemon it rides the multiplexed binary stream, against an older
+// one the legacy SSE feed — negotiated once and cached on the Client.
+//
 // # Resume semantics
 //
 // The Watch owns reconnection: a dropped stream (daemon restart, network
-// fault) is redialed under the client's retry policy with ?after set to the
-// last delivered sequence number, and the server replays its retention ring
-// past that point before switching to live delivery. Replay and live feed
-// may overlap; the Watch deduplicates by sequence number. The guarantee is
-// exactly-once delivery across the Watch's own reconnects: a consumer that
-// reads Events() to completion observes each retained event at most once, in
-// order, with no event skipped silently.
+// fault) is redialed under the client's retry policy with the resume cursor
+// set to the last delivered sequence number, and the server replays its
+// retention ring past that point before switching to live delivery. Replay
+// and live feed may overlap; the Watch deduplicates by sequence number. The
+// guarantee is exactly-once delivery across the Watch's own reconnects: a
+// consumer that reads Events() to completion observes each retained event at
+// most once, in order, with no event skipped silently.
 //
 // Two bounded buffers qualify that guarantee, detectably:
 //
-//   - Under sustained overload the daemon drops events for subscribers that
-//     cannot keep up (its per-subscriber queues are bounded and never block
-//     the measurement hot path). Such a drop is visible as a sequence jump
-//     between consecutive delivered events within one connection.
+//   - Under sustained overload the daemon degrades delivery for subscribers
+//     that cannot keep up: its per-subscriber queues are bounded and never
+//     block the measurement hot path, so periodic events (health, round,
+//     measurement) are coalesced to their newest value and, past that,
+//     events are dropped — both counted in the daemon's metrics. A drop is
+//     visible as a sequence jump between consecutive delivered events within
+//     one connection.
 //   - Across a disconnect, events older than the daemon's retention ring
 //     cannot be replayed. When the resume point has been evicted the watch
 //     ends with *ResumeGapError rather than skipping the hole — the caller
@@ -77,65 +102,49 @@ func (e *ResumeGapError) Error() string {
 // lets a future Watch (even in a new process) continue with
 // WatchOptions.After and keep the same guarantee.
 type Watch struct {
-	ch     chan Event
-	cancel context.CancelFunc
-	last   atomic.Uint64
-
-	mu  sync.Mutex
-	err error
+	mw *MultiWatch
+	id string
 }
 
 // Events is the delivery channel. Closed when the watch ends.
-func (w *Watch) Events() <-chan Event { return w.ch }
+func (w *Watch) Events() <-chan Event { return w.mw.Events() }
 
 // LastSeq returns the sequence number of the newest delivered event (the
 // resume point for a future Watch).
-func (w *Watch) LastSeq() uint64 { return w.last.Load() }
+func (w *Watch) LastSeq() uint64 { return w.mw.LastSeq(w.id) }
 
 // Close tears the watch down. Events() closes shortly after; safe to call
 // more than once and concurrently with receives.
-func (w *Watch) Close() { w.cancel() }
+func (w *Watch) Close() { w.mw.Close() }
 
 // Err reports why the watch ended: nil until Events() closes, then the
 // caller's context error for cancellation, an *APIError for a server
 // refusal, a *ResumeGapError for an evicted resume point, or the transport
 // fault that exhausted the retry policy.
-func (w *Watch) Err() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.err
-}
-
-func (w *Watch) setErr(err error) {
-	w.mu.Lock()
-	w.err = err
-	w.mu.Unlock()
-}
+func (w *Watch) Err() error { return w.mw.Err() }
 
 // Watch opens a live event subscription for one bus. The first connection is
 // established synchronously — an unknown bus or unreachable daemon reports
 // here, not on the channel — and the feed then runs until ctx is done, Close
-// is called, or reconnection fails terminally.
+// is called, or reconnection fails terminally. opts.Kinds filters the feed;
+// opts.Links and opts.AfterByLink are WatchMulti concerns and are ignored.
 func (c *Client) Watch(ctx context.Context, id string, opts WatchOptions) (*Watch, error) {
-	if opts.Buffer <= 0 {
-		opts.Buffer = 16
+	opts.Links = []string{id}
+	opts.AfterByLink = nil
+	if opts.After > 0 {
+		opts.AfterByLink = map[string]uint64{id: opts.After}
 	}
-	wctx, cancel := context.WithCancel(ctx)
-	resp, err := c.connectStream(wctx, id, opts.After)
+	mw, err := c.WatchMulti(ctx, opts)
 	if err != nil {
-		cancel()
 		return nil, err
 	}
-	w := &Watch{ch: make(chan Event, opts.Buffer), cancel: cancel}
-	w.last.Store(opts.After)
-	go w.run(wctx, c, id, resp)
-	return w, nil
+	return &Watch{mw: mw, id: id}, nil
 }
 
-// connectStream dials the event feed once per attempt, retrying transport
-// faults and 5xx answers under the client's policy. On success the response
-// body is the open stream (no per-attempt timeout — streams live until
-// closed).
+// connectStream dials the legacy SSE event feed once per attempt, retrying
+// transport faults and 5xx answers under the client's policy. On success the
+// response body is the open stream (no per-attempt timeout — streams live
+// until closed).
 func (c *Client) connectStream(ctx context.Context, id string, after uint64) (*http.Response, error) {
 	path := c.base + "/v1/links/" + url.PathEscape(id) + "/events"
 	if after > 0 {
@@ -181,84 +190,4 @@ func (c *Client) dialStream(ctx context.Context, url string) (*http.Response, er
 		return nil, decodeResponse(resp.StatusCode, raw[:n], nil)
 	}
 	return resp, nil
-}
-
-// run consumes stream connections until the context ends, a reconnect fails
-// terminally, or a resume gap is detected. Each reconnect resumes from the
-// last delivered sequence number.
-func (w *Watch) run(ctx context.Context, c *Client, id string, resp *http.Response) {
-	defer close(w.ch)
-	for {
-		if err := w.consume(ctx, resp); err != nil {
-			w.setErr(err)
-			return
-		}
-		if ctx.Err() != nil {
-			w.setErr(ctx.Err())
-			return
-		}
-		// The stream dropped mid-flight (daemon restart, network fault):
-		// resume past everything already delivered.
-		next, err := c.connectStream(ctx, id, w.last.Load())
-		if err != nil {
-			if ctx.Err() != nil {
-				err = ctx.Err()
-			}
-			w.setErr(err)
-			return
-		}
-		resp = next
-	}
-}
-
-// consume parses one stream connection's SSE frames until it ends. Frames
-// are "id:/event:/data:" blocks separated by blank lines; comment lines
-// (": hb" heartbeats, ": shutdown") keep the connection warm and are
-// skipped. Events at or below the resume point are dropped — the replay
-// window and the live queue may overlap.
-//
-// The first event delivered on a resumed connection is the continuity
-// check: when the connection was opened with ?after=R (R > 0), the server's
-// replay must still hold event R+1 — a first event beyond R+1 means the
-// ring evicted part of the feed, and consume reports it as *ResumeGapError
-// instead of delivering across the hole. R == 0 claims nothing, so the
-// first connection of an After-less watch starts wherever the ring starts.
-func (w *Watch) consume(ctx context.Context, resp *http.Response) error {
-	defer resp.Body.Close()
-	resume := w.last.Load()
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 4096), 1<<20)
-	var data string
-	first := true
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case line == "":
-			if data == "" {
-				continue // end of a comment-only block
-			}
-			var ev Event
-			if err := json.Unmarshal([]byte(data), &ev); err == nil && ev.Seq > w.last.Load() {
-				if first {
-					first = false
-					if resume > 0 && ev.Seq > resume+1 {
-						return &ResumeGapError{Resume: resume, Oldest: ev.Seq}
-					}
-				}
-				select {
-				case w.ch <- ev:
-					w.last.Store(ev.Seq)
-				case <-ctx.Done():
-					return nil
-				}
-			}
-			data = ""
-		case strings.HasPrefix(line, "data:"):
-			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
-		default:
-			// "id:" and "event:" lines duplicate fields already inside the
-			// data payload; comments (":") are keep-alives.
-		}
-	}
-	return nil
 }

@@ -37,6 +37,12 @@ func newStreamScript(t *testing.T, script func(conn int) ([]Event, bool)) *strea
 }
 
 func (ss *streamScript) serve(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/stream" {
+		// This fake daemon predates the binary stream: the client's probe
+		// gets a bare 404 and falls back to SSE. Not counted as a connection.
+		http.NotFound(w, r)
+		return
+	}
 	after := uint64(0)
 	if raw := r.URL.Query().Get("after"); raw != "" {
 		n, err := strconv.ParseUint(raw, 10, 64)
@@ -213,6 +219,10 @@ func TestWatchConnectRetriesThrough5xx(t *testing.T) {
 	})
 	inner := ss.srv.Config.Handler
 	ss.srv.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/stream" {
+			http.NotFound(w, r) // probe falls back to SSE; not a counted connection
+			return
+		}
 		mu.Lock()
 		n := conns
 		conns++
@@ -249,6 +259,10 @@ func TestWatchGivesUpWhenReconnectExhausts(t *testing.T) {
 	})
 	inner := ss.srv.Config.Handler
 	ss.srv.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/stream" {
+			http.NotFound(w, r) // probe falls back to SSE; not a counted connection
+			return
+		}
 		mu.Lock()
 		d := down
 		down = true // first connection streams, everything after is down

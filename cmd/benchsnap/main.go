@@ -46,6 +46,10 @@ type result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 
+	// Metrics holds any custom b.ReportMetric units on the line (e.g.
+	// BenchmarkEventFanout's "cores" and "frames/s"), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
 	// hasMem records whether the line actually carried B/op and allocs/op
 	// (false means the run forgot -benchmem and zeros would be lies).
 	hasMem bool
@@ -165,9 +169,9 @@ func parse(r io.Reader) ([]result, error) {
 //
 //	BenchmarkName-8   100   11897940 ns/op   5374858 B/op   200 allocs/op
 //
-// and reports whether the line was a benchmark result. Trailing custom
-// metrics are ignored; a line without both B/op and allocs/op is parsed but
-// flagged, so run can reject snapshots taken without -benchmem.
+// and reports whether the line was a benchmark result. Custom b.ReportMetric
+// units land in Metrics verbatim; a line without both B/op and allocs/op is
+// parsed but flagged, so run can reject snapshots taken without -benchmem.
 func parseLine(line string) (result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -204,6 +208,15 @@ func parseLine(line string) (result, bool) {
 		case "allocs/op":
 			res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
 			seenAllocs = true
+		default:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = f
 		}
 	}
 	res.hasMem = seenB && seenAllocs

@@ -41,6 +41,32 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseRecordsCustomMetrics(t *testing.T) {
+	line := "BenchmarkEventFanout/watchers=10000-8 \t 5391 \t 401857 ns/op \t " +
+		"0.9778 cores \t 626.3 deliveries/op \t 1558646 frames/s \t 406 B/op \t 0 allocs/op"
+	res, ok := parseLine(line)
+	if !ok {
+		t.Fatalf("line did not parse: %q", line)
+	}
+	if res.Name != "EventFanout/watchers=10000" || !res.hasMem {
+		t.Fatalf("mis-parsed: %+v", res)
+	}
+	want := map[string]float64{"cores": 0.9778, "deliveries/op": 626.3, "frames/s": 1558646}
+	if len(res.Metrics) != len(want) {
+		t.Fatalf("metrics = %v, want %v", res.Metrics, want)
+	}
+	for unit, v := range want {
+		if res.Metrics[unit] != v {
+			t.Errorf("metric %q = %v, want %v", unit, res.Metrics[unit], v)
+		}
+	}
+	// Plain lines must not grow a metrics map (and must omit it from JSON).
+	plain, _ := parseLine(sampleOutput[strings.Index(sampleOutput, "BenchmarkSimilarity"):])
+	if plain.Metrics != nil {
+		t.Errorf("plain line grew metrics: %v", plain.Metrics)
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	for _, line := range []string{
 		"PASS",

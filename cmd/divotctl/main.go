@@ -9,11 +9,12 @@
 //	                                     (survives restarts on a stateful daemon)
 //	divotctl [flags] attest [bus ...]    batch attestation (whole fleet bare);
 //	                                     exit 1 unless every bus is accepted
-//	divotctl [flags] watch <bus>         live event feed, resumes across drops
+//	divotctl [flags] watch <bus> [bus ...]   live event feed, resumes across drops
+//	divotctl [flags] -all watch              the whole fleet on one connection
 //
 // Flags: -addr (or $DIVOTD_ADDR), -json, -timeout, -retries, and for watch
-// -after / -max. Exit codes: 0 success/accepted, 1 rejected or fleet not ok,
-// 2 usage, 3 transport or daemon failure.
+// -after / -max / -all / -kinds. Exit codes: 0 success/accepted, 1 rejected
+// or fleet not ok, 2 usage, 3 transport or daemon failure.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,10 +57,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit raw JSON instead of text")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-attempt timeout")
 	retries := fs.Int("retries", 4, "max attempts per idempotent call")
-	after := fs.Uint64("after", 0, "watch: resume past this sequence number")
+	after := fs.Uint64("after", 0, "watch: resume past this sequence number (single bus only)")
 	maxEvents := fs.Int("max", 0, "watch: exit 0 after this many events (0 = forever)")
+	all := fs.Bool("all", false, "watch: subscribe to every bus in the fleet")
+	kinds := fs.String("kinds", "", "watch: comma-separated event kinds to deliver (empty = all)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: divotctl [flags] {health|links|alerts <bus>|history <bus>|attest [bus ...]|watch <bus>}")
+		fmt.Fprintln(stderr, "usage: divotctl [flags] {health|links|alerts <bus>|history <bus>|attest [bus ...]|watch <bus> [bus ...]}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -99,11 +103,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case "attest":
 		return cmdAttest(ctx, c, rest, *jsonOut, stdout, stderr)
 	case "watch":
-		if len(rest) != 1 {
-			fmt.Fprintln(stderr, "usage: divotctl watch <bus>")
+		if *all != (len(rest) == 0) {
+			fmt.Fprintln(stderr, "usage: divotctl watch <bus> [bus ...]  (or: divotctl -all watch)")
 			return exitUsage
 		}
-		return cmdWatch(ctx, c, rest[0], *after, *maxEvents, *jsonOut, stdout, stderr)
+		if *after > 0 && len(rest) != 1 {
+			fmt.Fprintln(stderr, "divotctl: -after needs exactly one bus (the cursor is per-bus)")
+			return exitUsage
+		}
+		return cmdWatch(ctx, c, rest, *after, *maxEvents, splitKinds(*kinds), *jsonOut, stdout, stderr)
 	default:
 		fs.Usage()
 		return exitUsage
@@ -223,10 +231,18 @@ func cmdAttest(ctx context.Context, c *client.Client, ids []string, jsonOut bool
 	return exitOK
 }
 
-func cmdWatch(ctx context.Context, c *client.Client, id string, after uint64, maxEvents int, jsonOut bool, stdout, stderr io.Writer) int {
-	w, err := c.Watch(ctx, id, client.WatchOptions{After: after})
+func cmdWatch(ctx context.Context, c *client.Client, ids []string, after uint64, maxEvents int, kinds []string, jsonOut bool, stdout, stderr io.Writer) int {
+	what := "watch " + strings.Join(ids, ",")
+	if len(ids) == 0 {
+		what = "watch (fleet)"
+	}
+	opts := client.WatchOptions{Links: ids, Kinds: kinds}
+	if after > 0 && len(ids) == 1 {
+		opts.AfterByLink = map[string]uint64{ids[0]: after}
+	}
+	w, err := c.WatchMulti(ctx, opts)
 	if err != nil {
-		return transportFail(stderr, "watch "+id, err)
+		return transportFail(stderr, what, err)
 	}
 	defer w.Close()
 	seen := 0
@@ -244,9 +260,23 @@ func cmdWatch(ctx context.Context, c *client.Client, id string, after uint64, ma
 	// The feed ended on its own: a cancelled context (ctrl-C) is a normal
 	// exit, anything else means the daemon became unreachable.
 	if err := w.Err(); err != nil && !errors.Is(err, context.Canceled) {
-		return transportFail(stderr, "watch "+id, err)
+		return transportFail(stderr, what, err)
 	}
 	return exitOK
+}
+
+// splitKinds parses the -kinds flag ("alert,gate" → ["alert","gate"]).
+func splitKinds(raw string) []string {
+	if raw == "" {
+		return nil
+	}
+	var out []string
+	for _, k := range strings.Split(raw, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // eventLine renders one event for humans; the JSON twin is the Event DTO.

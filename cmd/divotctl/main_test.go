@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"testing"
 
 	"divot/internal/attest"
+	"divot/internal/wire"
 )
 
 // stubDaemon serves a fixed fleet: clean0 accepted, victim interposed and
@@ -47,6 +49,57 @@ func stubDaemon(t *testing.T) *httptest.Server {
 			{Round: 2, Score: 0.9981, Health: "ok", Reaction: "normal", Verdict: "ok"},
 			{Round: 3, Score: 0.41, Health: "failed", Reaction: "alert_and_block", Verdict: "auth-failure"},
 		}})
+	})
+	// The binary multiplexed stream, serving the same events as the SSE
+	// route below — divotctl negotiates this one first.
+	mux.HandleFunc("GET /v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		sub, err := wire.ParseSubscribeRequest(r)
+		if err != nil {
+			attest.WriteError(w, attest.CodeBadRequest, "%v", err)
+			return
+		}
+		events := map[string][]attest.Event{
+			"clean0": {{Seq: 1, Kind: "health", Link: "clean0", Side: "cpu", Round: 40}},
+			"victim": {
+				{Seq: 5, Kind: "alert", Link: "victim", Side: "cpu", Round: 3, Score: 0.41},
+				{Seq: 6, Kind: "gate", Link: "victim", Side: "cpu", Round: 3, From: "open", To: "closed"},
+			},
+		}
+		links := sub.Links
+		if len(links) == 0 {
+			links = []string{"clean0", "victim"}
+		}
+		for _, id := range links {
+			if _, ok := events[id]; !ok {
+				attest.WriteError(w, attest.CodeUnknownLink, "unknown bus %q", id)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusOK)
+		hello, _ := json.Marshal(wire.Hello{Links: links})
+		buf := wire.AppendFrame(nil, wire.FrameHello, hello)
+		kindOK := func(kind string) bool {
+			if len(sub.Kinds) == 0 {
+				return true
+			}
+			for _, k := range sub.Kinds {
+				if k == kind {
+					return true
+				}
+			}
+			return false
+		}
+		for _, id := range links {
+			for _, ev := range events[id] {
+				if ev.Seq > sub.After[id] && kindOK(ev.Kind) {
+					buf = wire.AppendEventFrame(buf, ev)
+				}
+			}
+		}
+		w.Write(buf) //nolint:errcheck // test server
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
 	})
 	mux.HandleFunc("GET /v1/links/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		if r.PathValue("id") != "victim" {
@@ -170,6 +223,65 @@ func TestWatchMaxEvents(t *testing.T) {
 	}
 }
 
+// TestWatchMultiLinks subscribes several buses over one connection: the
+// victim's two events and clean0's health event all arrive, each attributed
+// to its bus.
+func TestWatchMultiLinks(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, errOut := runCtl(t, "-addr", srv.URL, "-max", "3", "watch", "victim", "clean0")
+	if code != exitOK {
+		t.Fatalf("multi watch exit = %d, stderr: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("multi watch printed %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "victim") || !strings.Contains(out, "clean0") {
+		t.Errorf("multi watch output missing a bus:\n%s", out)
+	}
+}
+
+// TestWatchAllFlag streams the whole fleet without naming it.
+func TestWatchAllFlag(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, errOut := runCtl(t, "-addr", srv.URL, "-all", "-max", "3", "watch")
+	if code != exitOK {
+		t.Fatalf("-all watch exit = %d, stderr: %s", code, errOut)
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 3 {
+		t.Fatalf("-all watch printed %d lines, want 3:\n%s", len(lines), out)
+	}
+}
+
+// TestWatchKindsFilter narrows the feed server-side.
+func TestWatchKindsFilter(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, errOut := runCtl(t, "-addr", srv.URL, "-kinds", "gate", "-max", "1", "watch", "victim")
+	if code != exitOK {
+		t.Fatalf("kinds watch exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "[6] gate") || strings.Contains(out, "alert") {
+		t.Errorf("kinds filter output:\n%s", out)
+	}
+}
+
+// TestWatchJSONGolden pins the machine-readable watch output byte-for-byte —
+// scripts parse this.
+func TestWatchJSONGolden(t *testing.T) {
+	srv := stubDaemon(t)
+	code, out, errOut := runCtl(t, "-addr", srv.URL, "-json", "-max", "2", "watch", "victim")
+	if code != exitOK {
+		t.Fatalf("json watch exit = %d, stderr: %s", code, errOut)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "watch_json.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Errorf("--json watch output drifted from golden.\ngot:\n%s\nwant:\n%s", out, golden)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	srv := stubDaemon(t)
 	for _, args := range [][]string{
@@ -177,6 +289,8 @@ func TestUsageErrors(t *testing.T) {
 		{"-addr", srv.URL, "frobnicate"},
 		{"-addr", srv.URL, "alerts"},
 		{"-addr", srv.URL, "watch"},
+		{"-addr", srv.URL, "-all", "watch", "victim"},
+		{"-addr", srv.URL, "-after", "2", "watch", "victim", "clean0"},
 		{"-addr", "ftp://nope", "health"},
 	} {
 		if code, _, _ := runCtl(t, args...); code != exitUsage {

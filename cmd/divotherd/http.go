@@ -19,6 +19,7 @@ func (h *Herd) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/health", h.handleHerdHealth)
 	mux.HandleFunc("GET /v1/daemons", h.handleDaemons)
 	mux.HandleFunc("POST /v1/attest", h.handleAttest)
+	mux.HandleFunc("GET /v1/stream", h.handleStream)
 	mux.HandleFunc("GET /v1/links/{id}/history", h.handleHistory)
 	return mux
 }

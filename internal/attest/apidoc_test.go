@@ -201,6 +201,7 @@ func TestAPIDocCoversEndpoints(t *testing.T) {
 		"GET /v1/links",
 		"GET /v1/links/{id}/alerts",
 		"GET /v1/links/{id}/events",
+		"GET /v1/stream",
 		"POST /v1/links/{id}/authenticate",
 		"POST /v1/attest",
 		// divotherd
@@ -212,7 +213,12 @@ func TestAPIDocCoversEndpoints(t *testing.T) {
 		}
 	}
 	// The SSE resume protocol and the cache marker must be covered.
-	for _, needle := range []string{"?after=", `"cached": true`, "text/event-stream"} {
+	for _, needle := range []string{
+		"?after=", `"cached": true`, "text/event-stream",
+		// The binary stream: content type, the shell-client handshake form,
+		// and the degradation metrics must all be covered.
+		"application/x-divot-stream", "link:seq", "divot_stream_dropped_total",
+	} {
 		if !strings.Contains(doc, needle) {
 			t.Errorf("API.md does not mention %q", needle)
 		}

@@ -11,12 +11,14 @@ import (
 	"time"
 
 	"divot/client"
+	"divot/internal/wire"
 )
 
 // flakyFront is a fault-injecting front for the daemon's handler: every
 // second unary request is severed without an answer, and the first event
-// stream is cut after two frames. The SDK behind it must see exactly the
-// same fleet state a direct client would.
+// stream — binary or SSE, whichever the client negotiates — is cut after two
+// event frames. The SDK behind it must see exactly the same fleet state a
+// direct client would.
 type flakyFront struct {
 	inner http.Handler
 
@@ -27,7 +29,7 @@ type flakyFront struct {
 }
 
 func (f *flakyFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if strings.HasSuffix(r.URL.Path, "/events") {
+	if strings.HasSuffix(r.URL.Path, "/events") || r.URL.Path == "/v1/stream" {
 		f.mu.Lock()
 		cut := f.streamsCut == 0
 		if cut {
@@ -35,7 +37,11 @@ func (f *flakyFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		f.mu.Unlock()
 		if cut {
-			w = &cuttingWriter{ResponseWriter: w, framesLeft: 2}
+			if r.URL.Path == "/v1/stream" {
+				w = &binaryCuttingWriter{ResponseWriter: w, eventsLeft: 2}
+			} else {
+				w = &cuttingWriter{ResponseWriter: w, framesLeft: 2}
+			}
 		}
 		f.inner.ServeHTTP(w, r)
 		return
@@ -71,6 +77,37 @@ func (c *cuttingWriter) Write(p []byte) (int, error) {
 }
 
 func (c *cuttingWriter) Flush() {
+	if fl, ok := c.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// binaryCuttingWriter is the wire-frame analogue: it lets eventsLeft event
+// frames through (hello/heartbeat/control frames pass freely), then severs
+// the connection before the next event-bearing write.
+type binaryCuttingWriter struct {
+	http.ResponseWriter
+	eventsLeft int
+}
+
+func (c *binaryCuttingWriter) Write(p []byte) (int, error) {
+	for buf := p; len(buf) > 0; {
+		typ, _, n, err := wire.DecodeFrame(buf)
+		if err != nil {
+			break // partial frame in this write; let it pass
+		}
+		if typ == wire.FrameEvent {
+			if c.eventsLeft == 0 {
+				panic(http.ErrAbortHandler)
+			}
+			c.eventsLeft--
+		}
+		buf = buf[n:]
+	}
+	return c.ResponseWriter.Write(p)
+}
+
+func (c *binaryCuttingWriter) Flush() {
 	if fl, ok := c.ResponseWriter.(http.Flusher); ok {
 		fl.Flush()
 	}

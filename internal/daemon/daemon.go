@@ -65,6 +65,13 @@ type Daemon struct {
 	cacheMiss  *telemetry.CounterVec
 	storeErrs  *telemetry.CounterVec
 
+	// Stream-subscriber accounting, shared by the binary /v1/stream and the
+	// legacy SSE per-link feeds: live subscriber count, and how the bounded
+	// per-subscriber queues degraded under overload.
+	streamSubs      *telemetry.Gauge
+	streamCoalesced *telemetry.Counter
+	streamDropped   *telemetry.Counter
+
 	// backend persists enrollment snapshots, the score-history WAL, and the
 	// segmented audit log when the spec names a state_dir (nil otherwise —
 	// the daemon is then fully in-memory, the original semantics). specHash
@@ -350,6 +357,12 @@ func newDaemon(spec Spec, cfg divot.Config, backend store.Backend) (*Daemon, err
 		"Attestation requests that re-measured the bus.", "link")
 	d.storeErrs = d.reg.Counter("divot_store_errors_total",
 		"Durable-state operations that failed (by operation); the daemon keeps running.", "op")
+	d.streamSubs = d.reg.Gauge("divot_stream_subscribers",
+		"Live event-stream subscribers (binary /v1/stream and legacy SSE).").With()
+	d.streamCoalesced = d.reg.Counter("divot_stream_coalesced_total",
+		"Periodic events folded into a fresher pending one on a full subscriber queue.").With()
+	d.streamDropped = d.reg.Counter("divot_stream_dropped_total",
+		"Events lost outright to a full subscriber queue.").With()
 	d.maxStale = time.Duration(spec.MaxStalenessMS) * time.Millisecond
 
 	for _, b := range spec.Buses {
@@ -417,7 +430,7 @@ func (d *Daemon) monitorOnce(ls *linkState) {
 	// (re-enrollment, gate move, health transition, reaction) — still under
 	// ls.mu, so the written state is exactly the round's outcome.
 	if d.backend != nil && ls.dirty.Swap(false) {
-		d.saveSnapshot(ls)
+		d.saveSnapshot(ls, false)
 	}
 	ls.rounds.Add(1)
 }

@@ -1,0 +1,204 @@
+package daemon
+
+// The binary multiplexed stream and the legacy per-link SSE feed are two
+// transports for the same contract: every retained event, per link, in
+// sequence order, exactly once across the client's own reconnects. These
+// tests run the real SDK against the real daemon over both transports and
+// require the delivered feeds to be identical — the SSE path is forced by
+// fronting the daemon with a handler that answers /v1/stream with a bare
+// 404, exactly what a pre-stream daemon does, so the negotiation fallback
+// is exercised rather than stubbed.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	client "divot/client"
+	"divot/internal/telemetry"
+)
+
+// legacyFront wraps a daemon handler so it looks like a daemon that predates
+// the binary stream: /v1/stream is a bare 404, everything else passes through.
+func legacyFront(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/stream" {
+			http.NotFound(w, r)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// drainMulti reads events off mw until every link in want has yielded its
+// expected count, failing on a stalled feed or an early close.
+func drainMulti(t *testing.T, mw *client.MultiWatch, want map[string]int) map[string][]client.Event {
+	t.Helper()
+	got := map[string][]client.Event{}
+	need := 0
+	for _, n := range want {
+		need += n
+	}
+	deadline := time.After(15 * time.Second)
+	for need > 0 {
+		select {
+		case ev, ok := <-mw.Events():
+			if !ok {
+				t.Fatalf("feed closed early (err=%v), still needed %d events; got %v", mw.Err(), need, got)
+			}
+			got[ev.Link] = append(got[ev.Link], ev)
+			need--
+		case <-deadline:
+			t.Fatalf("feed stalled, still needed %d events; got %v", need, got)
+		}
+	}
+	return got
+}
+
+// eventKey projects the fields both transports must agree on. (The binary
+// frame carries the same fields as the SSE JSON; comparing whole structs
+// keeps the two encoders honest.)
+func normalize(evs []client.Event) []client.Event {
+	out := make([]client.Event, len(evs))
+	copy(out, evs)
+	return out
+}
+
+func TestBinaryAndSSEWatchersSeeIdenticalFeeds(t *testing.T) {
+	d := newTestDaemon(t, `{
+		"seed": 31, "listen": "127.0.0.1:0",
+		"buses": [{"id": "a"}, {"id": "b"}]
+	}`)
+	la, lb := d.byID["a"], d.byID["b"]
+
+	// Retained history before anyone subscribes: the replay window.
+	for i := 1; i <= 5; i++ {
+		la.record(telemetry.Event{Kind: telemetry.EventAlert, Link: "a", Round: uint64(i)})
+		lb.record(telemetry.Event{Kind: telemetry.EventGate, Link: "b", Round: uint64(i)})
+	}
+
+	srvBin := httptest.NewServer(d.Handler())
+	defer srvBin.Close()
+	srvSSE := httptest.NewServer(legacyFront(d.Handler()))
+	defer srvSSE.Close()
+
+	retry := client.RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	cBin, err := client.New(srvBin.URL, client.WithRetryPolicy(retry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cSSE, err := client.New(srvSSE.URL, client.WithRetryPolicy(retry))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := client.WatchOptions{Links: []string{"a", "b"}, Buffer: 64}
+	mwBin, err := cBin.WatchMulti(ctx, opts)
+	if err != nil {
+		t.Fatalf("binary WatchMulti: %v", err)
+	}
+	defer mwBin.Close()
+	mwSSE, err := cSSE.WatchMulti(ctx, opts)
+	if err != nil {
+		t.Fatalf("legacy WatchMulti: %v", err)
+	}
+	defer mwSSE.Close()
+
+	// Phase 1: replay + a burst of live events.
+	for i := 6; i <= 9; i++ {
+		la.record(telemetry.Event{Kind: telemetry.EventAlert, Link: "a", Round: uint64(i)})
+		lb.record(telemetry.Event{Kind: telemetry.EventGate, Link: "b", Round: uint64(i)})
+	}
+	gotBin := drainMulti(t, mwBin, map[string]int{"a": 9, "b": 9})
+	gotSSE := drainMulti(t, mwSSE, map[string]int{"a": 9, "b": 9})
+
+	// Phase 2: tear every TCP connection down mid-stream. Both watchers must
+	// reconnect with their cursors and pick up exactly where they left off —
+	// no duplicates, no silent skip — including events recorded while down.
+	srvBin.CloseClientConnections()
+	srvSSE.CloseClientConnections()
+	for i := 10; i <= 13; i++ {
+		la.record(telemetry.Event{Kind: telemetry.EventAlert, Link: "a", Round: uint64(i)})
+		lb.record(telemetry.Event{Kind: telemetry.EventGate, Link: "b", Round: uint64(i)})
+	}
+	for link, evs := range drainMulti(t, mwBin, map[string]int{"a": 4, "b": 4}) {
+		gotBin[link] = append(gotBin[link], evs...)
+	}
+	for link, evs := range drainMulti(t, mwSSE, map[string]int{"a": 4, "b": 4}) {
+		gotSSE[link] = append(gotSSE[link], evs...)
+	}
+
+	for _, link := range []string{"a", "b"} {
+		bin, sse := normalize(gotBin[link]), normalize(gotSSE[link])
+		if !reflect.DeepEqual(bin, sse) {
+			t.Fatalf("link %s: binary and SSE feeds differ:\n binary: %v\n    sse: %v", link, bin, sse)
+		}
+		for i, ev := range bin {
+			if want := uint64(i + 1); ev.Seq != want {
+				t.Fatalf("link %s event %d: seq = %d, want %d (exactly-once violated)", link, i, ev.Seq, want)
+			}
+		}
+	}
+	if la.events.Published() != 13 || lb.events.Published() != 13 {
+		t.Fatalf("published = %d/%d, want 13/13", la.events.Published(), lb.events.Published())
+	}
+}
+
+func TestKindFilterEquivalentAcrossTransports(t *testing.T) {
+	d := newTestDaemon(t, `{
+		"seed": 32, "listen": "127.0.0.1:0",
+		"buses": [{"id": "a"}]
+	}`)
+	ls := d.byID["a"]
+	kinds := []telemetry.EventKind{
+		telemetry.EventAlert, telemetry.EventGate, telemetry.EventAlert,
+		telemetry.EventHealth, telemetry.EventGate, telemetry.EventAlert,
+	}
+	for i, k := range kinds {
+		ls.record(telemetry.Event{Kind: k, Link: "a", Round: uint64(i + 1)})
+	}
+
+	srvBin := httptest.NewServer(d.Handler())
+	defer srvBin.Close()
+	srvSSE := httptest.NewServer(legacyFront(d.Handler()))
+	defer srvSSE.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := client.WatchOptions{Links: []string{"a"}, Kinds: []string{"alert"}, Buffer: 16}
+
+	var feeds []map[string][]client.Event
+	for _, base := range []string{srvBin.URL, srvSSE.URL} {
+		c, err := client.New(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw, err := c.WatchMulti(ctx, opts)
+		if err != nil {
+			t.Fatalf("WatchMulti(%s): %v", base, err)
+		}
+		feeds = append(feeds, drainMulti(t, mw, map[string]int{"a": 3}))
+		mw.Close()
+	}
+	// The binary stream filters server-side, SSE filters in the client —
+	// the surviving events (and their original seqs) must be identical.
+	if !reflect.DeepEqual(feeds[0]["a"], feeds[1]["a"]) {
+		t.Fatalf("kind-filtered feeds differ:\n binary: %v\n    sse: %v", feeds[0]["a"], feeds[1]["a"])
+	}
+	for i, ev := range feeds[0]["a"] {
+		if ev.Kind != "alert" {
+			t.Fatalf("event %d kind = %q, want alert", i, ev.Kind)
+		}
+	}
+	wantSeqs := []uint64{1, 3, 6}
+	for i, ev := range feeds[0]["a"] {
+		if ev.Seq != wantSeqs[i] {
+			t.Fatalf("filtered event %d seq = %d, want %d", i, ev.Seq, wantSeqs[i])
+		}
+	}
+}

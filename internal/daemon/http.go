@@ -39,6 +39,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/links/{id}/alerts", d.handleAlerts)
 	mux.HandleFunc("GET /v1/links/{id}/history", d.handleHistory)
 	mux.HandleFunc("GET /v1/links/{id}/events", d.handleEvents)
+	mux.HandleFunc("GET /v1/stream", d.handleStream)
 	mux.HandleFunc("POST /v1/links/{id}/authenticate", d.handleAuthenticate)
 	mux.HandleFunc("POST /v1/attest", d.handleAttest)
 	return d.gateReady(mux)

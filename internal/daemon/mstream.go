@@ -1,0 +1,186 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"divot/internal/attest"
+	"divot/internal/telemetry"
+	"divot/internal/wire"
+)
+
+// handleStream serves the multiplexed binary event stream: many links over
+// one connection, framed in the internal/wire format. The subscribe handshake
+// (query parameters or JSON body, see wire.ParseSubscribeRequest) selects the
+// link set (empty = whole fleet), an optional event-kind filter, and a
+// per-link resume cursor; the response is a Hello frame naming the resolved
+// links, a Gap frame for every link whose cursor fell off the retention ring,
+// ring replay, then live delivery.
+//
+// All subscribed links share one bounded coalescing queue (streamQueueCap),
+// so a slow subscriber's memory bound is per-connection, not per-link, and
+// overflow degrades by coalescing periodic updates before dropping anything
+// (counted in divot_stream_coalesced_total / divot_stream_dropped_total).
+// Handshake errors answer in the JSON envelope before the stream starts;
+// after the Hello frame all errors travel as frames.
+func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
+	sub, err := wire.ParseSubscribeRequest(r)
+	if err != nil {
+		attest.WriteError(w, attest.CodeBadRequest, "parsing subscribe request: %v", err)
+		return
+	}
+	var targets []*linkState
+	if len(sub.Links) == 0 {
+		targets = d.sortedLinks()
+	} else {
+		seen := make(map[string]bool, len(sub.Links))
+		targets = make([]*linkState, 0, len(sub.Links))
+		for _, id := range sub.Links {
+			ls, ok := d.byID[id]
+			if !ok {
+				attest.WriteError(w, attest.CodeUnknownLink, "unknown bus %q", id)
+				return
+			}
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			targets = append(targets, ls)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
+	}
+	kinds := make([]telemetry.EventKind, 0, len(sub.Kinds))
+	kindSet := map[string]bool{}
+	for _, name := range sub.Kinds {
+		k, ok := telemetry.KindByName(name)
+		if !ok {
+			attest.WriteError(w, attest.CodeBadRequest, "unknown event kind %q", name)
+			return
+		}
+		if !kindSet[name] {
+			kindSet[name] = true
+			kinds = append(kinds, k)
+		}
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		attest.WriteError(w, attest.CodeInternal, "response writer cannot stream")
+		return
+	}
+
+	d.streamSubs.Add(1)
+	defer d.streamSubs.Add(-1)
+
+	q := telemetry.NewQueue(streamQueueCap)
+	q.Instrument(d.streamCoalesced, d.streamDropped)
+	defer q.Close()
+
+	// Subscribe every link before snapshotting its ring: each event is then in
+	// the snapshot or on the queue (possibly both — deduplicated by seq, which
+	// the per-link `last` cursors below track).
+	ids := make([]string, len(targets))
+	last := make(map[string]uint64, len(targets))
+	type replaySet struct {
+		events []attest.Event
+		gap    *wire.Gap
+	}
+	replays := make([]replaySet, len(targets))
+	for i, ls := range targets {
+		ids[i] = ls.id
+		qs := ls.events.SubscribeQueue(q, kinds...)
+		defer qs.Close()
+		after := sub.After[ls.id]
+		last[ls.id] = after
+		ring := ls.snapshotAlerts()
+		rs := replaySet{}
+		// The resume window is the retention ring. A cursor older than the
+		// ring's tail means events were lost between connections: say so with
+		// a Gap frame — the client surfaces ResumeGapError, never a silent
+		// skip — then serve what is still retained.
+		oldest := ls.events.Published() + 1
+		if len(ring) > 0 {
+			oldest = ring[0].Seq
+		}
+		if after > 0 && after+1 < oldest {
+			rs.gap = &wire.Gap{Link: ls.id, Resume: after, Oldest: oldest}
+		}
+		for _, ev := range ring {
+			if ev.Seq <= after {
+				continue
+			}
+			if len(kindSet) > 0 && !kindSet[ev.Kind] {
+				continue
+			}
+			rs.events = append(rs.events, ev)
+		}
+		replays[i] = rs
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", wire.ContentType)
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	var buf []byte
+	hello, _ := json.Marshal(wire.Hello{Links: ids})
+	buf = wire.AppendFrame(buf, wire.FrameHello, hello)
+	for _, rs := range replays {
+		if rs.gap != nil {
+			raw, _ := json.Marshal(rs.gap)
+			buf = wire.AppendFrame(buf, wire.FrameGap, raw)
+		}
+		for _, ev := range rs.events {
+			buf = wire.AppendEventFrame(buf, ev)
+			last[ev.Link] = ev.Seq
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return
+	}
+	fl.Flush()
+
+	heartbeat := time.NewTicker(d.heartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-d.stop:
+			// Daemon shutting down; the client reconnects elsewhere (or later)
+			// with its per-link cursors.
+			buf = wire.AppendFrame(buf[:0], wire.FrameShutdown, nil)
+			w.Write(buf) //nolint:errcheck // already terminating
+			fl.Flush()
+			return
+		case <-heartbeat.C:
+			buf = wire.AppendFrame(buf[:0], wire.FrameHeartbeat, nil)
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-q.Ready():
+			buf = buf[:0]
+			for {
+				tev, ok := q.TryPop()
+				if !ok {
+					break
+				}
+				if tev.Seq <= last[tev.Link] {
+					continue
+				}
+				buf = wire.AppendEventFrame(buf, attest.EventFromTelemetry(tev))
+				last[tev.Link] = tev.Seq
+			}
+			if len(buf) == 0 {
+				continue
+			}
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -27,7 +27,23 @@ const histRingCap = 256
 type linkSnapshot struct {
 	Link    divot.LinkSnapshot    `json:"link"`
 	Reactor divot.ReactorSnapshot `json:"reactor"`
+	// StreamSeq is the bus's event-stream sequence counter at snapshot time,
+	// and CleanSeq whether the snapshot was a graceful-shutdown one (the
+	// counter is then exact). A restart seeds the rebuilt bus from these so
+	// resume cursors held by stream subscribers stay meaningful: exactly after
+	// a clean shutdown, and past a crash-slack margin otherwise — a crash may
+	// have published events after the last snapshot, and reissuing their
+	// sequence numbers would make subscribers silently skip new events.
+	StreamSeq uint64 `json:"stream_seq,omitempty"`
+	CleanSeq  bool   `json:"clean_seq,omitempty"`
 }
+
+// seqCrashSlack is how far past a non-clean snapshot's StreamSeq a restart
+// seeds the stream sequence space. It over-estimates how many events one bus
+// plausibly publishes between two snapshot writes; overshooting is safe (a
+// resuming subscriber sees an honest gap), undershooting would silently
+// replay sequence numbers.
+const seqCrashSlack = 64
 
 // histRecord is one history WAL record: a HistorySample tagged with its bus.
 type histRecord struct {
@@ -105,7 +121,7 @@ func (d *Daemon) warmup() error {
 		for i, ls := range d.links {
 			if !warm[i] {
 				ls.mu.Lock()
-				d.saveSnapshot(ls)
+				d.saveSnapshot(ls, false)
 				ls.mu.Unlock()
 			}
 		}
@@ -150,13 +166,25 @@ func (d *Daemon) tryRestore(ls *linkState) bool {
 		return false
 	}
 	ls.rounds.Store(snap.Link.Rounds)
+	// Continue the predecessor's stream sequence space. After a clean
+	// shutdown the persisted counter is exact, so resumed subscribers pick up
+	// with no gap; after a crash events may have been published beyond the
+	// snapshot, so jump the counter past a slack margin — a resuming
+	// subscriber then sees a visible sequence jump (an honest ResumeGapError)
+	// instead of silently skipping events whose numbers were reissued.
+	if snap.CleanSeq {
+		ls.events.SeedSeq(snap.StreamSeq)
+	} else if snap.StreamSeq > 0 {
+		ls.events.SeedSeq(snap.StreamSeq + seqCrashSlack)
+	}
 	return true
 }
 
-// saveSnapshot persists one bus's durable state. Caller holds ls.mu. Failures
-// are counted, not fatal: the daemon keeps monitoring and the next
-// state-changing round retries.
-func (d *Daemon) saveSnapshot(ls *linkState) {
+// saveSnapshot persists one bus's durable state. Caller holds ls.mu. clean
+// marks a graceful-shutdown snapshot whose stream sequence counter is final
+// (see linkSnapshot.CleanSeq). Failures are counted, not fatal: the daemon
+// keeps monitoring and the next state-changing round retries.
+func (d *Daemon) saveSnapshot(ls *linkState, clean bool) {
 	if d.backend == nil {
 		return
 	}
@@ -165,7 +193,10 @@ func (d *Daemon) saveSnapshot(ls *linkState) {
 		d.storeErrs.With("save_snapshot").Inc()
 		return
 	}
-	payload, err := json.Marshal(linkSnapshot{Link: link, Reactor: ls.reactor.Snapshot()})
+	payload, err := json.Marshal(linkSnapshot{
+		Link: link, Reactor: ls.reactor.Snapshot(),
+		StreamSeq: ls.events.Published(), CleanSeq: clean,
+	})
 	if err != nil {
 		d.storeErrs.With("save_snapshot").Inc()
 		return
@@ -177,10 +208,14 @@ func (d *Daemon) saveSnapshot(ls *linkState) {
 
 // persistFleet snapshots every bus (graceful-shutdown path, and the warm
 // restart e2e's stand-in for "the daemon had persisted before the kill").
+// Run calls it after the schedulers have drained and open streams were told
+// to finish, so the persisted stream sequence counters are final — the
+// snapshots are marked clean and the next boot resumes the sequence space
+// exactly.
 func (d *Daemon) persistFleet() {
 	for _, ls := range d.links {
 		ls.mu.Lock()
-		d.saveSnapshot(ls)
+		d.saveSnapshot(ls, true)
 		ls.mu.Unlock()
 	}
 }

@@ -80,6 +80,9 @@ func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	d.streamSubs.Add(1)
+	defer d.streamSubs.Add(-1)
+
 	// Subscribe before snapshotting the ring: every event is then either in
 	// the snapshot or on the queue (possibly both — deduplicated by seq).
 	sub := ls.events.Subscribe(streamQueueCap)

@@ -16,6 +16,7 @@ import (
 type Bus struct {
 	mu      sync.RWMutex
 	subs    []*Subscription
+	qsubs   []*QueueSub
 	seq     atomic.Uint64
 	dropped atomic.Uint64
 }
@@ -50,6 +51,49 @@ func (b *Bus) Subscribe(buffer int, kinds ...EventKind) *Subscription {
 	return s
 }
 
+// QueueSub ties a shared coalescing Queue to one bus. One Queue is typically
+// subscribed to many buses (one per watched link), so a multiplexed stream
+// subscriber pays one bounded buffer total; the coalescing drop policy lives
+// in the Queue itself.
+type QueueSub struct {
+	bus    *Bus
+	q      *Queue
+	filter uint64 // bitmask over EventKind; 0 = everything
+	closed atomic.Bool
+}
+
+// SubscribeQueue registers a coalescing queue as a subscriber. With no kinds
+// listed every event is delivered; otherwise only the listed kinds are.
+// Close the QueueSub to unregister (the queue itself stays usable — it may
+// serve other buses).
+func (b *Bus) SubscribeQueue(q *Queue, kinds ...EventKind) *QueueSub {
+	var filter uint64
+	for _, k := range kinds {
+		filter |= 1 << uint(k)
+	}
+	s := &QueueSub{bus: b, q: q, filter: filter}
+	b.mu.Lock()
+	b.qsubs = append(b.qsubs, s)
+	b.mu.Unlock()
+	return s
+}
+
+// Close unregisters the queue subscription. Safe to call more than once.
+func (s *QueueSub) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	b := s.bus
+	b.mu.Lock()
+	for i, sub := range b.qsubs {
+		if sub == s {
+			b.qsubs = append(b.qsubs[:i], b.qsubs[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+}
+
 // Emit implements Sink: it stamps the bus sequence number and offers the
 // event to every subscriber without blocking.
 func (b *Bus) Emit(ev Event) { b.Publish(ev) }
@@ -72,8 +116,27 @@ func (b *Bus) Publish(ev Event) uint64 {
 			b.dropped.Add(1)
 		}
 	}
+	for _, s := range b.qsubs {
+		if s.filter != 0 && s.filter&(1<<uint(ev.Kind)) == 0 {
+			continue
+		}
+		s.q.Push(ev)
+	}
 	b.mu.RUnlock()
 	return seq
+}
+
+// SeedSeq raises the bus's sequence counter to at least n, so a bus rebuilt
+// after a restart continues the sequence space its predecessor persisted
+// instead of reissuing numbers a subscriber may already hold as a resume
+// cursor. Lower values are ignored — the counter never moves backward.
+func (b *Bus) SeedSeq(n uint64) {
+	for {
+		cur := b.seq.Load()
+		if cur >= n || b.seq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // Published returns how many events have been emitted on the bus.

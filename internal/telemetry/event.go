@@ -54,6 +54,10 @@ const (
 	// EventRestored: a link's enrollment and robustness state were restored
 	// from a validated persistent snapshot instead of fresh calibration.
 	EventRestored
+
+	// EventKindCount is one past the last kind — the size of a dense table
+	// indexed by EventKind (the binary wire codec keys its kind codes on it).
+	EventKindCount
 )
 
 // String names the kind, matching its audit-log rendering.
@@ -87,6 +91,17 @@ func (k EventKind) String() string {
 		return "restored"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// KindByName resolves a kind's String() name back to the kind — the inverse
+// mapping stream subscribe handshakes use to validate kind filters.
+func KindByName(name string) (EventKind, bool) {
+	for k := EventKind(0); k < EventKindCount; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // Event is one telemetry record. The struct is flat and value-typed so the

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"divot/internal/attest"
+)
+
+// apiDocPath is the wire-protocol reference. The attest package pins the
+// JSON envelope examples (<!-- api-golden: ... --> tags); this test pins the
+// binary stream's examples under its own tag namespace — the wire types
+// cannot live in attest's golden table because wire imports attest.
+const apiDocPath = "../../docs/API.md"
+
+var wireGoldenTag = regexp.MustCompile(`<!--\s*wire-golden(-frame)?:\s*([a-z0-9-]+)\s*-->`)
+
+// extractWireBlocks returns name -> fenced block body for every wire-golden
+// tag. JSON-tagged blocks must be ```json fences, frame-tagged ones ```text.
+func extractWireBlocks(t *testing.T, doc string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < len(lines); i++ {
+		m := wireGoldenTag.FindStringSubmatch(lines[i])
+		if m == nil {
+			continue
+		}
+		name, fence := m[2], "```json"
+		if m[1] == "-frame" {
+			fence = "```text"
+		}
+		j := i + 1
+		for j < len(lines) && !strings.HasPrefix(lines[j], fence) {
+			j++
+		}
+		if j == len(lines) {
+			t.Fatalf("API.md: wire tag %q has no %s block after it", name, fence)
+		}
+		var body []string
+		for j++; j < len(lines) && !strings.HasPrefix(lines[j], "```"); j++ {
+			body = append(body, lines[j])
+		}
+		if _, dup := out[name]; dup {
+			t.Fatalf("API.md: wire tag %q appears twice", name)
+		}
+		out[name] = strings.Join(body, "\n")
+	}
+	return out
+}
+
+// docEvent is the example event the doc's frame hexdump encodes.
+var docEvent = attest.Event{
+	Seq: 17, Kind: "alert", Link: "dimm1", Side: "cpu", Round: 2204, Score: 0.41,
+}
+
+// TestAPIDocWireGolden pins every wire example in docs/API.md to the codec:
+// the JSON blocks must byte-match json.MarshalIndent of the wire structs,
+// and the frame hexdump must byte-match the actual encoder output for the
+// documented event. Changing the frame layout or a control payload field
+// fails here until the reference is updated.
+func TestAPIDocWireGolden(t *testing.T) {
+	raw, err := os.ReadFile(apiDocPath)
+	if err != nil {
+		t.Fatalf("reading %s: %v", apiDocPath, err)
+	}
+	blocks := extractWireBlocks(t, string(raw))
+
+	jsonExamples := map[string]any{
+		"stream-subscribe": Subscribe{
+			Links: []string{"dimm0", "dimm1"},
+			Kinds: []string{"alert", "gate"},
+			After: map[string]uint64{"dimm0": 41, "dimm1": 12},
+		},
+		"stream-hello": Hello{Links: []string{"dimm0", "dimm1"}},
+		"stream-gap":   Gap{Link: "dimm1", Resume: 12, Oldest: 172},
+		"stream-error": ErrorInfo{Code: "unavailable", Message: "daemon shutting down"},
+	}
+	for name, v := range jsonExamples {
+		block, ok := blocks[name]
+		if !ok {
+			t.Errorf("API.md is missing a block tagged <!-- wire-golden: %s -->", name)
+			continue
+		}
+		want, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatalf("marshalling example %q: %v", name, err)
+		}
+		if got := strings.TrimSpace(block); got != string(want) {
+			t.Errorf("API.md wire example %q drifted from the codec.\n--- doc:\n%s\n--- codec:\n%s",
+				name, got, want)
+		}
+	}
+
+	frame := AppendEventFrame(nil, docEvent)
+	block, ok := blocks["event-frame"]
+	if !ok {
+		t.Fatal("API.md is missing the <!-- wire-golden-frame: event-frame --> hexdump")
+	}
+	if got, want := strings.TrimSpace(block), strings.TrimSpace(hex.Dump(frame)); got != want {
+		t.Errorf("API.md frame hexdump drifted from the encoder.\n--- doc:\n%s\n--- encoder:\n%s",
+			got, want)
+	}
+	// And the doc's prose claim about the example's size must hold.
+	if !strings.Contains(string(raw), "encodes in 29 bytes") || len(frame) != 29 {
+		t.Errorf("documented frame size 29 vs encoder %d bytes — update the prose", len(frame))
+	}
+
+	// Round-trip the documented frame for good measure: what the doc shows
+	// must decode back to the documented event.
+	typ, payload, n, err := DecodeFrame(frame)
+	if err != nil || typ != FrameEvent || n != len(frame) {
+		t.Fatalf("documented frame does not decode: type=%v n=%d err=%v", typ, n, err)
+	}
+	ev, err := DecodeEvent(payload)
+	if err != nil || ev != docEvent {
+		t.Fatalf("documented frame decodes to %+v (%v), want %+v", ev, err, docEvent)
+	}
+}

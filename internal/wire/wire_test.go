@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"divot/internal/attest"
+)
+
+func sampleEvents() []attest.Event {
+	return []attest.Event{
+		{Seq: 1, Kind: "round", Link: "dimm0"},
+		{Seq: 17, Kind: "alert", Link: "dimm1", Side: "cpu", Round: 2204, Score: 0.41,
+			To: "auth_mismatch", Detail: "score 0.41 under threshold"},
+		{Seq: 18, Kind: "reactor", Link: "dimm1", Round: 2204, From: "normal", To: "quarantine"},
+		{Seq: math.MaxUint64, Kind: "health", Link: strings.Repeat("x", 300),
+			Score: math.Inf(-1), Detail: strings.Repeat("d", 1000)},
+		{Seq: 2, Kind: "from-the-future", Link: "a"}, // unknown kind → string escape
+		{Seq: 3, Kind: "gate", Link: ""},             // empty link id still round-trips
+	}
+}
+
+// TestEventRoundTrip: encode → frame-decode → event-decode reproduces every
+// field exactly, including extremes and unknown kinds.
+func TestEventRoundTrip(t *testing.T) {
+	for _, want := range sampleEvents() {
+		frame := AppendEventFrame(nil, want)
+		typ, payload, n, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%+v): %v", want, err)
+		}
+		if typ != FrameEvent || n != len(frame) {
+			t.Fatalf("DecodeFrame type=%v n=%d, want event/%d", typ, n, len(frame))
+		}
+		got, err := DecodeEvent(payload)
+		if err != nil {
+			t.Fatalf("DecodeEvent(%+v): %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestEventEncodingIsCompact: the binary form of a typical alert must be
+// several times smaller than its JSON rendering — that is the point.
+func TestEventEncodingIsCompact(t *testing.T) {
+	ev := attest.Event{Seq: 17, Kind: "alert", Link: "dimm1", Side: "cpu",
+		Round: 2204, Score: 0.41, To: "auth_mismatch"}
+	frame := AppendEventFrame(nil, ev)
+	if len(frame) > 64 {
+		t.Errorf("alert event frame is %d bytes, want <= 64", len(frame))
+	}
+}
+
+// TestDecodeFrameRejects covers the decoder's refusal paths: torn frames,
+// oversized length prefixes, bad versions, unknown types.
+func TestDecodeFrameRejects(t *testing.T) {
+	good := AppendFrame(nil, FrameHeartbeat, nil)
+
+	for i := 1; i < len(good); i++ {
+		if _, _, _, err := DecodeFrame(good[:i]); !errors.Is(err, ErrShortFrame) {
+			t.Errorf("truncated at %d: err = %v, want ErrShortFrame", i, err)
+		}
+	}
+
+	huge := binary.BigEndian.AppendUint32(nil, MaxFrameLen+1)
+	huge = append(huge, Version, byte(FrameEvent))
+	if _, _, _, err := DecodeFrame(huge); !errors.Is(err, ErrFrameTooLong) {
+		t.Errorf("oversized length: err = %v, want ErrFrameTooLong", err)
+	}
+
+	tiny := binary.BigEndian.AppendUint32(nil, 1) // length below version+type
+	tiny = append(tiny, Version)
+	if _, _, _, err := DecodeFrame(tiny); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Errorf("undersized length: err = %v, want terminal error", err)
+	}
+
+	badVer := append([]byte(nil), good...)
+	badVer[4] = Version + 1
+	if _, _, _, err := DecodeFrame(badVer); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: err = %v, want ErrBadVersion", err)
+	}
+
+	badType := append([]byte(nil), good...)
+	badType[5] = 0
+	if _, _, _, err := DecodeFrame(badType); !errors.Is(err, ErrBadFrameType) {
+		t.Errorf("bad type: err = %v, want ErrBadFrameType", err)
+	}
+}
+
+// TestReaderStream: a Reader consumes a back-to-back frame sequence and
+// distinguishes clean EOF from a mid-frame cut.
+func TestReaderStream(t *testing.T) {
+	events := sampleEvents()
+	var stream []byte
+	stream = AppendFrame(stream, FrameHello, []byte(`{"links":["a"]}`))
+	for _, ev := range events {
+		stream = AppendEventFrame(stream, ev)
+		stream = AppendFrame(stream, FrameHeartbeat, nil)
+	}
+	stream = AppendFrame(stream, FrameShutdown, nil)
+
+	rd := NewReader(bytes.NewReader(stream))
+	typ, payload, err := rd.Next()
+	if err != nil || typ != FrameHello || string(payload) != `{"links":["a"]}` {
+		t.Fatalf("first frame = %v %q %v, want hello", typ, payload, err)
+	}
+	var got []attest.Event
+	for {
+		typ, payload, err = rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ == FrameShutdown {
+			break
+		}
+		if typ == FrameHeartbeat {
+			continue
+		}
+		ev, err := DecodeEvent(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("streamed events drifted:\n got %+v\nwant %+v", got, events)
+	}
+	if _, _, err := rd.Next(); err != io.EOF {
+		t.Errorf("after shutdown: err = %v, want io.EOF", err)
+	}
+
+	// A stream cut mid-frame is not a clean end.
+	rd = NewReader(bytes.NewReader(stream[:len(stream)-3]))
+	for {
+		if _, _, err = rd.Next(); err != nil {
+			break
+		}
+	}
+	if err != io.ErrUnexpectedEOF {
+		t.Errorf("torn stream: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestParseSubscribeRequest covers both handshake forms and their precedence.
+func TestParseSubscribeRequest(t *testing.T) {
+	r := httptest.NewRequest("GET",
+		"/v1/stream?links=a,b&links=c&kinds=alert,gate&after=a:5&after=b:9", nil)
+	sub, err := ParseSubscribeRequest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Subscribe{Links: []string{"a", "b", "c"}, Kinds: []string{"alert", "gate"},
+		After: map[string]uint64{"a": 5, "b": 9}}
+	if !reflect.DeepEqual(sub, want) {
+		t.Errorf("query form = %+v, want %+v", sub, want)
+	}
+
+	// A JSON body replaces the query form wholesale.
+	body := `{"links":["x"],"after":{"x":3}}`
+	r = httptest.NewRequest("GET", "/v1/stream?links=a", strings.NewReader(body))
+	sub, err = ParseSubscribeRequest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = Subscribe{Links: []string{"x"}, After: map[string]uint64{"x": 3}}
+	if !reflect.DeepEqual(sub, want) {
+		t.Errorf("body form = %+v, want %+v", sub, want)
+	}
+
+	for _, bad := range []string{
+		"/v1/stream?after=a",    // no seq
+		"/v1/stream?after=a:",   // empty seq
+		"/v1/stream?after=:5",   // empty link
+		"/v1/stream?after=a:x9", // non-numeric
+		"/v1/stream?after=a:-1", // negative
+	} {
+		if _, err := ParseSubscribeRequest(httptest.NewRequest("GET", bad, nil)); err == nil {
+			t.Errorf("ParseSubscribeRequest(%q) accepted malformed input", bad)
+		}
+	}
+	r = httptest.NewRequest("GET", "/v1/stream", strings.NewReader("{bad json"))
+	if _, err := ParseSubscribeRequest(r); err == nil {
+		t.Error("malformed body accepted")
+	}
+}

@@ -9,7 +9,10 @@
 # kills one mid-fleet, and requires honest partial-failure reporting followed
 # by a re-balanced fleet-wide attest; phase 5 SIGKILLs a stateful daemon
 # mid-flight and requires a calibration-free warm restart with its history
-# and audit trail intact.
+# and audit trail intact; phase 6 attaches binary multi-link and legacy SSE
+# watchers to a 1000-bus fleet, restarts the daemon both ways (SIGTERM and
+# SIGKILL), and requires resume to be exact after the graceful stop and an
+# honest, typed resume-gap — never a silent skip — after the crash.
 # Used by CI's "daemon smoke" step; runnable locally as scripts/daemon_smoke.sh.
 set -euo pipefail
 
@@ -386,4 +389,144 @@ done
 kill -0 "$pid5" 2>/dev/null && { echo "stateful divotd did not exit after SIGTERM" >&2; kill -9 "$pid5"; exit 1; }
 wait "$pid5" || { echo "stateful divotd exited non-zero after SIGTERM" >&2; exit 1; }
 echo "ok: crash-restart durability"
+
+# Phase 6: event streaming at scale, across restarts. The phase-3 state
+# directory warm-restores the 1000 clean buses in seconds; two attacked buses
+# on a fast monitoring interval provide a continuous event feed (a tampered
+# round emits an alert every round). A binary multi-link watcher (divotctl
+# negotiates GET /v1/stream) and a legacy SSE watcher (curl) both follow the
+# feed; a graceful restart must resume a cursor exactly, and a SIGKILL must
+# surface as a typed resume gap — the stream protocol never skips silently.
+cat > "$workdir/fleet1000s.json" <<'EOF'
+{
+  "seed": 5,
+  "listen": "127.0.0.1:9726",
+  "interval_ms": 60000,
+  "scheduler_shards": 8,
+  "max_staleness_ms": 30000,
+  "buses": [
+EOF
+for i in $(seq 0 999); do
+  printf '  {"id": "dimm%04d"},\n' "$i" >> "$workdir/fleet1000s.json"
+done
+cat >> "$workdir/fleet1000s.json" <<'EOF'
+  {"id": "victimA", "interval_ms": 20, "attack": {"kind": "interposer", "after_rounds": 2, "position": 0.1}},
+  {"id": "victimB", "interval_ms": 20, "attack": {"kind": "interposer", "after_rounds": 2, "position": 0.2}}
+  ]
+}
+EOF
+
+"$workdir/divotd" -spec "$workdir/fleet1000s.json" -state-dir "$workdir/state1000" \
+  > "$workdir/divotd6.log" 2>&1 &
+pid6=$!
+trap 'kill -9 "$pid6" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+wait_ready 127.0.0.1:9726 "$pid6" "$workdir/divotd6.log" 300
+# Only the two new victims calibrate; the 1000-bus fleet comes back warm.
+grep -q '1002 buses ready (1000 restored warm, 2 calibrated)' "$workdir/divotd6.log"
+
+# The stream degradation metrics must be exported from the start.
+curl -sf http://127.0.0.1:9726/metrics > "$workdir/scrape6"
+for fam in divot_stream_subscribers divot_stream_coalesced_total divot_stream_dropped_total; do
+  grep -q "^$fam" "$workdir/scrape6" || { echo "metrics missing $fam" >&2; exit 1; }
+done
+
+ctl6="$workdir/divotctl -addr http://127.0.0.1:9726"
+# Binary multi-link watch: both victims' events over one connection. The
+# subscribe replays each link's retained ring (up to 128 events) before the
+# live tail, so the cap must clear both backlogs to prove interleaving.
+for attempt in 1 2 3; do
+  timeout 120 $ctl6 -json -max 400 watch victimA victimB > "$workdir/watch6.out"
+  grep -q '"link": "victimA"' "$workdir/watch6.out" && \
+    grep -q '"link": "victimB"' "$workdir/watch6.out" && break
+  if [ "$attempt" = 3 ]; then
+    echo "multi-link watch never interleaved both victims:" >&2
+    cat "$workdir/watch6.out" >&2
+    exit 1
+  fi
+done
+echo "ok: binary multi-link watch carries both victims"
+
+# Legacy SSE watcher on the same daemon: the old route still serves.
+timeout 30 bash -c \
+  "curl -sN http://127.0.0.1:9726/v1/links/victimA/events | grep -m1 '^data:'" \
+  > "$workdir/sse6.out"
+test -s "$workdir/sse6.out"
+echo "ok: legacy SSE watch still streams"
+
+# Graceful restart: a watcher follows victimB to the shutdown frame, so its
+# last seq IS the persisted stream cursor; after the restart, resuming past
+# it must deliver exactly the next event — no gap, no duplicate.
+$ctl6 -retries 2 -json watch victimB > "$workdir/graceful6.out" 2> /dev/null &
+wpid=$!
+sleep 2
+kill -TERM "$pid6"
+for _ in $(seq 1 100); do kill -0 "$pid6" 2>/dev/null || break; sleep 0.2; done
+kill -0 "$pid6" 2>/dev/null && { echo "stream divotd did not exit after SIGTERM" >&2; kill -9 "$pid6"; exit 1; }
+wait "$pid6" || { echo "stream divotd exited non-zero after SIGTERM" >&2; exit 1; }
+wait "$wpid" 2>/dev/null || true   # the watcher exits 3 once reconnects exhaust
+lastB=$(grep '"seq":' "$workdir/graceful6.out" | tail -1 | grep -o '[0-9][0-9]*')
+if [ -z "$lastB" ]; then
+  echo "graceful watcher captured no events" >&2
+  exit 1
+fi
+
+"$workdir/divotd" -spec "$workdir/fleet1000s.json" -state-dir "$workdir/state1000" \
+  > "$workdir/divotd6b.log" 2>&1 &
+pid6=$!
+wait_ready 127.0.0.1:9726 "$pid6" "$workdir/divotd6b.log" 300
+grep -q '1002 buses ready (1002 restored warm, 0 calibrated)' "$workdir/divotd6b.log"
+timeout 120 $ctl6 -json -after "$lastB" -max 1 watch victimB > "$workdir/resume6.out"
+nextB=$(grep '"seq":' "$workdir/resume6.out" | head -1 | grep -o '[0-9][0-9]*')
+if [ "$nextB" != "$((lastB + 1))" ]; then
+  echo "graceful resume after seq $lastB delivered seq $nextB, want $((lastB + 1))" >&2
+  exit 1
+fi
+echo "ok: graceful restart resumed victimB at seq $nextB exactly"
+
+# Crash restart: take a cursor mid-feed, SIGKILL, relaunch. The crash seeds
+# the sequence space past everything possibly published, so the stale cursor
+# must come back as a typed resume gap (divotctl exit 3), never as a feed
+# that silently skips the hole.
+timeout 120 $ctl6 -json -max 3 watch victimA > "$workdir/cursor6.out"
+seqA=$(grep '"seq":' "$workdir/cursor6.out" | tail -1 | grep -o '[0-9][0-9]*')
+kill -9 "$pid6"
+wait "$pid6" 2>/dev/null || true
+"$workdir/divotd" -spec "$workdir/fleet1000s.json" -state-dir "$workdir/state1000" \
+  > "$workdir/divotd6c.log" 2>&1 &
+pid6=$!
+wait_ready 127.0.0.1:9726 "$pid6" "$workdir/divotd6c.log" 300
+grep -q '1002 buses ready (1002 restored warm, 0 calibrated)' "$workdir/divotd6c.log"
+if timeout 60 $ctl6 -json -after "$seqA" -max 1 watch victimA > /dev/null 2> "$workdir/gap6.err"; then
+  echo "crash resume after seq $seqA silently delivered events — want a resume gap" >&2
+  exit 1
+else
+  rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "crash resume exited $rc, want 3 (typed resume gap)" >&2
+    cat "$workdir/gap6.err" >&2
+    exit 1
+  fi
+fi
+grep -q 'resume gap' "$workdir/gap6.err"
+echo "ok: crash resume surfaced a typed gap: $(head -1 "$workdir/gap6.err")"
+
+# The legacy SSE route agrees: resuming the stale cursor jumps visibly (the
+# SDK turns exactly this jump into ResumeGapError) instead of renumbering.
+timeout 30 bash -c \
+  "curl -sN 'http://127.0.0.1:9726/v1/links/victimA/events?after=$seqA' | grep -m1 '^data:'" \
+  > "$workdir/sse6b.out"
+sseSeq=$(grep -o '"seq":[0-9]*' "$workdir/sse6b.out" | grep -o '[0-9]*')
+if [ -z "$sseSeq" ] || [ "$sseSeq" -le "$((seqA + 1))" ]; then
+  echo "SSE resume after crash shows seq $sseSeq — the sequence space was not re-seeded" >&2
+  exit 1
+fi
+echo "ok: SSE resume shows the honest jump ($seqA -> $sseSeq)"
+
+# A fresh watch (no cursor claim) streams fine after the crash.
+timeout 120 $ctl6 -max 2 watch victimA victimB > /dev/null
+kill -TERM "$pid6"
+for _ in $(seq 1 100); do kill -0 "$pid6" 2>/dev/null || break; sleep 0.2; done
+kill -0 "$pid6" 2>/dev/null && { echo "stream divotd did not exit" >&2; kill -9 "$pid6"; exit 1; }
+wait "$pid6" || { echo "stream divotd exited non-zero after final SIGTERM" >&2; exit 1; }
+echo "ok: stream resume honesty across graceful and crash restarts"
 echo "smoke test passed"
