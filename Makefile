@@ -1,11 +1,24 @@
 GO ?= go
-PR ?= 9
+PR ?= 10
 
 # MONITOR_ALLOC_BUDGET is the allocs/op ceiling for the steady-state
 # monitoring round benchmark (BenchmarkMonitorRound runs at the default
 # parallelism, so worker-pool goroutine spawns dominate; the tighter ≤2
 # sequential budget is enforced by TestMonitorOnceAllocationBudget).
 MONITOR_ALLOC_BUDGET ?= 64
+
+# CALIB_ALLOC_BUDGET is the allocs/op ceiling for a warm cold-enrollment
+# (BenchmarkCalibrate re-calibrates a standing link on the arena path; the
+# per-capture ≤4 budget is enforced by TestCalibrateAllocationBudget).
+CALIB_ALLOC_BUDGET ?= 64
+
+# BENCH_MAX_REGRESS is the percentage any guarded benchmark's ns/B/allocs
+# may grow over the recorded BENCH_$(PR).json snapshot before bench-guard
+# fails. Generous because shared CI runners show up to ~1.6× wall-clock
+# scatter between runs (measured on the reference box); B/op and allocs/op
+# are noise-free, so allocation growth is the signal this mostly exists
+# for — a genuine 2× time regression still trips it.
+BENCH_MAX_REGRESS ?= 100
 
 .PHONY: all build test race bench bench-guard bench-experiments bench-snapshot fuzz-short vet \
 	quality-guard quality-baseline experiments
@@ -31,18 +44,24 @@ race:
 bench:
 	$(GO) test -short . ./internal/daemon ./cmd/divotherd -run XXX -bench . -benchtime 1x -benchmem
 
-## bench-guard: fail if the monitoring hot path leaks allocation back in —
-## benchsnap -max-allocs compares BenchmarkMonitorRound against the budget
+## bench-guard: fail if a hot path leaks allocation back in or regresses
+## past the recorded snapshot — benchsnap -max-allocs checks the monitoring
+## round and warm re-calibration against their budgets, and -compare diffs
+## both against BENCH_$(PR).json with a $(BENCH_MAX_REGRESS)% ceiling
 bench-guard:
-	$(GO) test . -run XXX -bench 'MonitorRound$$' -benchtime 20x -benchmem \
-		| $(GO) run ./cmd/benchsnap -max-allocs 'MonitorRound=$(MONITOR_ALLOC_BUDGET)' > /dev/null
+	$(GO) test . -run XXX -bench 'MonitorRound$$|Calibrate$$' -benchtime 20x -benchmem \
+		| $(GO) run ./cmd/benchsnap \
+			-max-allocs 'MonitorRound=$(MONITOR_ALLOC_BUDGET)' \
+			-max-allocs 'Calibrate=$(CALIB_ALLOC_BUDGET)' \
+			-compare BENCH_$(PR).json -max-regress $(BENCH_MAX_REGRESS) > /dev/null
 
 ## bench-snapshot: record the hot-path micro-benchmarks plus the full
 ## federated-attest sweep (1/4/16 daemons × 1k/10k/100k buses — the big rows
 ## calibrate 100k buses first, so this runs for tens of minutes) as
 ## machine-readable JSON (BENCH_$(PR).json) for cross-PR diffing
 bench-snapshot:
-	{ $(GO) test -short . ./internal/daemon -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll|ClientRoundTrip|FleetScheduler|Attest$$|FleetHealth|DaemonStartup' -benchtime 20x -benchmem ; \
+	{ $(GO) test -short . ./internal/daemon -run XXX -bench 'IIPMeasurement|ReflectionSynthesis|Similarity|ErrorFunction|MonitorRound|MonitorAll|ClientRoundTrip|FleetScheduler|Attest$$|FleetHealth|DaemonStartup|Calibrate$$' -benchtime 20x -benchmem ; \
+	  $(GO) test ./internal/daemon -run XXX -bench 'FleetColdStart' -benchtime 1x -benchmem -timeout 30m ; \
 	  $(GO) test ./internal/daemon -run XXX -bench 'EventFanout' -benchmem ; \
 	  $(GO) test ./cmd/divotherd -run XXX -bench 'FederatedAttest' -benchtime 1x -benchmem -timeout 90m ; } \
 		| $(GO) run ./cmd/benchsnap > BENCH_$(PR).json

@@ -20,9 +20,19 @@
 // than N allocs/op fails (exit 1), a budget naming a benchmark absent from
 // the input fails (a guard that guards nothing would rot), and input
 // without -benchmem columns fails before any budget is checked. `make
-// bench-guard` runs BenchmarkMonitorRound through
-// `-max-allocs MonitorRound=$(MONITOR_ALLOC_BUDGET)` to fail the build
-// when the monitoring hot path regresses.
+// bench-guard` runs the hot-path benchmarks through
+// `-max-allocs MonitorRound=$(MONITOR_ALLOC_BUDGET)` (and the calibration
+// budget) to fail the build when a hot path regresses.
+//
+// -compare OLD.json diffs the fresh run against a previously recorded
+// snapshot: every benchmark present in both gets a ns/op, B/op, and
+// allocs/op delta line on stderr; benchmarks new to this run are marked
+// "new", and baseline entries that did not run are skipped (a guard run
+// benches a subset of the snapshot). With -max-regress P (a percentage),
+// any compared dimension growing by more than P% fails the run — a
+// dimension whose baseline is zero fails on any growth, since no finite
+// percentage describes it. -max-regress without -compare is an error:
+// a regression gate with nothing to compare against would rot silently.
 package main
 
 import (
@@ -86,13 +96,33 @@ func main() {
 	budgets := allocBudgets{}
 	flag.Var(budgets, "max-allocs",
 		"fail when benchmark `name=N` exceeds N allocs/op (repeatable)")
+	comparePath := flag.String("compare", "",
+		"prior benchsnap `snapshot` (JSON) to diff this run against")
+	maxRegress := flag.Float64("max-regress", -1,
+		"with -compare, fail when any ns/B/allocs dimension grows more than this `percent` (-1 reports only)")
 	flag.Parse()
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, budgets))
+	var baseline []result
+	if *comparePath != "" {
+		raw, err := os.ReadFile(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: parsing baseline %s: %v\n", *comparePath, err)
+			os.Exit(1)
+		}
+	} else if *maxRegress >= 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: -max-regress needs -compare")
+		os.Exit(1)
+	}
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, budgets, baseline, *maxRegress))
 }
 
 // run parses benchmark lines from r, writes the JSON array to w, and
-// enforces the allocation budgets.
-func run(r io.Reader, w, errw io.Writer, budgets allocBudgets) int {
+// enforces the allocation budgets and (with a baseline) the regression
+// threshold.
+func run(r io.Reader, w, errw io.Writer, budgets allocBudgets, baseline []result, maxRegress float64) int {
 	results, err := parse(r)
 	if err != nil {
 		fmt.Fprintln(errw, "benchsnap:", err)
@@ -115,7 +145,78 @@ func run(r io.Reader, w, errw io.Writer, budgets allocBudgets) int {
 		fmt.Fprintln(errw, "benchsnap:", err)
 		return 1
 	}
-	return checkBudgets(results, budgets, errw)
+	code := checkBudgets(results, budgets, errw)
+	if baseline != nil {
+		if c := compare(results, baseline, maxRegress, errw); c != 0 {
+			code = c
+		}
+	}
+	return code
+}
+
+// compare prints per-benchmark deltas against a prior snapshot and, when
+// maxRegress >= 0, fails past the threshold. Benchmarks absent from the
+// baseline are "new"; baseline entries that did not run are skipped, so a
+// guard can bench a subset of a full snapshot.
+func compare(results, baseline []result, maxRegress float64, errw io.Writer) int {
+	byName := make(map[string]result, len(baseline))
+	for _, res := range baseline {
+		byName[res.Name] = res
+	}
+	code := 0
+	for _, res := range results {
+		old, ok := byName[res.Name]
+		if !ok {
+			fmt.Fprintf(errw, "benchsnap: %s: new (no baseline)\n", res.Name)
+			continue
+		}
+		type dim struct {
+			unit     string
+			old, new float64
+		}
+		dims := []dim{
+			{"ns/op", old.NsPerOp, res.NsPerOp},
+			{"B/op", float64(old.BytesPerOp), float64(res.BytesPerOp)},
+			{"allocs/op", float64(old.AllocsPerOp), float64(res.AllocsPerOp)},
+		}
+		parts := make([]string, 0, len(dims))
+		for _, d := range dims {
+			parts = append(parts, fmt.Sprintf("%s %s -> %s (%s)",
+				d.unit, trimFloat(d.old), trimFloat(d.new), deltaPct(d.old, d.new)))
+			if maxRegress < 0 {
+				continue
+			}
+			switch {
+			case d.old == 0 && d.new > 0:
+				fmt.Fprintf(errw, "benchsnap: %s %s regressed from zero to %s\n",
+					res.Name, d.unit, trimFloat(d.new))
+				code = 1
+			case d.old > 0 && (d.new-d.old)/d.old*100 > maxRegress:
+				fmt.Fprintf(errw, "benchsnap: %s %s regressed %s, limit +%.1f%%\n",
+					res.Name, d.unit, deltaPct(d.old, d.new), maxRegress)
+				code = 1
+			}
+		}
+		fmt.Fprintf(errw, "benchsnap: %s: %s\n", res.Name, strings.Join(parts, ", "))
+	}
+	return code
+}
+
+// deltaPct renders the relative change between two values.
+func deltaPct(old, new float64) string {
+	switch {
+	case old == 0 && new == 0:
+		return "+0.0%"
+	case old == 0:
+		return "new"
+	default:
+		return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+	}
+}
+
+// trimFloat renders a value without trailing zeros.
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
 }
 
 // checkBudgets compares every budgeted benchmark against its ceiling. A

@@ -84,7 +84,7 @@ func TestParseIgnoresNoise(t *testing.T) {
 
 func TestRunEmitsJSONArray(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(strings.NewReader(sampleOutput), &out, &errOut, nil); code != 0 {
+	if code := run(strings.NewReader(sampleOutput), &out, &errOut, nil, nil, -1); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
 	var results []result
@@ -104,7 +104,7 @@ func TestRunEmitsJSONArray(t *testing.T) {
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(strings.NewReader("PASS\nok\n"), &out, &errOut, nil); code != 1 {
+	if code := run(strings.NewReader("PASS\nok\n"), &out, &errOut, nil, nil, -1); code != 1 {
 		t.Errorf("empty input exit = %d, want 1", code)
 	}
 	if !strings.Contains(errOut.String(), "no benchmark lines") {
@@ -115,7 +115,7 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 func TestRunRejectsMissingBenchmem(t *testing.T) {
 	var out, errOut bytes.Buffer
 	in := "BenchmarkNoMem-4 	     200	    123456 ns/op\n"
-	if code := run(strings.NewReader(in), &out, &errOut, nil); code != 1 {
+	if code := run(strings.NewReader(in), &out, &errOut, nil, nil, -1); code != 1 {
 		t.Errorf("no-benchmem input exit = %d, want 1", code)
 	}
 	if !strings.Contains(errOut.String(), "-benchmem") {
@@ -140,7 +140,7 @@ func TestAllocBudgets(t *testing.T) {
 	within := "BenchmarkMonitorRound-8 	 10	 100 ns/op	 0 B/op	 2 allocs/op\n" +
 		"BenchmarkAttest/warm-8 	 10	 100 ns/op	 0 B/op	 0 allocs/op\n"
 	var out, errOut bytes.Buffer
-	if code := run(strings.NewReader(within), &out, &errOut, b); code != 0 {
+	if code := run(strings.NewReader(within), &out, &errOut, b, nil, -1); code != 0 {
 		t.Errorf("within-budget exit = %d, stderr: %s", code, errOut.String())
 	}
 
@@ -148,7 +148,7 @@ func TestAllocBudgets(t *testing.T) {
 		"BenchmarkAttest/warm-8 	 10	 100 ns/op	 0 B/op	 0 allocs/op\n"
 	out.Reset()
 	errOut.Reset()
-	if code := run(strings.NewReader(over), &out, &errOut, b); code != 1 {
+	if code := run(strings.NewReader(over), &out, &errOut, b, nil, -1); code != 1 {
 		t.Errorf("over-budget exit = %d, want 1", code)
 	}
 	if !strings.Contains(errOut.String(), "budget") {
@@ -159,7 +159,73 @@ func TestAllocBudgets(t *testing.T) {
 	missing := "BenchmarkMonitorRound-8 	 10	 100 ns/op	 0 B/op	 0 allocs/op\n"
 	out.Reset()
 	errOut.Reset()
-	if code := run(strings.NewReader(missing), &out, &errOut, b); code != 1 {
+	if code := run(strings.NewReader(missing), &out, &errOut, b, nil, -1); code != 1 {
 		t.Errorf("missing-benchmark exit = %d, want 1", code)
+	}
+}
+
+func TestCompareReportsDeltas(t *testing.T) {
+	baseline := []result{
+		{Name: "MonitorRound", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10},
+		{Name: "Retired", NsPerOp: 5, BytesPerOp: 5, AllocsPerOp: 5},
+	}
+	in := "BenchmarkMonitorRound-8 	 10	 900 ns/op	 100 B/op	 10 allocs/op\n" +
+		"BenchmarkFresh-8 	 10	 50 ns/op	 0 B/op	 0 allocs/op\n"
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader(in), &out, &errOut, nil, baseline, -1); code != 0 {
+		t.Fatalf("report-only compare exit = %d, stderr: %s", code, errOut.String())
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, "MonitorRound") || !strings.Contains(msg, "-10.0%") {
+		t.Errorf("stderr %q should show the ns/op improvement", msg)
+	}
+	if !strings.Contains(msg, "Fresh: new (no baseline)") {
+		t.Errorf("stderr %q should mark the new benchmark", msg)
+	}
+	// Baseline entries that did not run are skipped, not failed — a guard
+	// benches a subset of the snapshot.
+	if strings.Contains(msg, "Retired") {
+		t.Errorf("stderr %q should skip retired baseline entries", msg)
+	}
+}
+
+func TestCompareMaxRegress(t *testing.T) {
+	baseline := []result{
+		{Name: "MonitorRound", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10},
+	}
+	within := "BenchmarkMonitorRound-8 	 10	 1040 ns/op	 100 B/op	 10 allocs/op\n"
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader(within), &out, &errOut, nil, baseline, 5); code != 0 {
+		t.Fatalf("within-threshold exit = %d, stderr: %s", code, errOut.String())
+	}
+
+	over := "BenchmarkMonitorRound-8 	 10	 1200 ns/op	 100 B/op	 10 allocs/op\n"
+	out.Reset()
+	errOut.Reset()
+	if code := run(strings.NewReader(over), &out, &errOut, nil, baseline, 5); code != 1 {
+		t.Errorf("ns regression past threshold exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "regressed") {
+		t.Errorf("stderr %q should name the regression", errOut.String())
+	}
+
+	// Allocation growth trips the same gate.
+	allocUp := "BenchmarkMonitorRound-8 	 10	 1000 ns/op	 100 B/op	 12 allocs/op\n"
+	out.Reset()
+	errOut.Reset()
+	if code := run(strings.NewReader(allocUp), &out, &errOut, nil, baseline, 5); code != 1 {
+		t.Errorf("alloc regression exit = %d, want 1", code)
+	}
+
+	// A zero baseline that grows has no finite percentage — always a failure.
+	zeroBase := []result{{Name: "MonitorRound", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 0}}
+	grew := "BenchmarkMonitorRound-8 	 10	 1000 ns/op	 8 B/op	 1 allocs/op\n"
+	out.Reset()
+	errOut.Reset()
+	if code := run(strings.NewReader(grew), &out, &errOut, nil, zeroBase, 50); code != 1 {
+		t.Errorf("regression-from-zero exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "from zero") {
+		t.Errorf("stderr %q should flag growth from a zero baseline", errOut.String())
 	}
 }

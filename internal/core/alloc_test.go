@@ -48,3 +48,39 @@ func TestMonitorOnceAllocationBudget(t *testing.T) {
 		t.Fatalf("MonitorOnce allocates %v times per round, budget %d", allocs, monitorAllocBudget)
 	}
 }
+
+// calibCaptureAllocBudget is the allocation ceiling per enrollment capture
+// of a warm re-calibration at Parallelism 1: the ISSUE-10 target of ≤4
+// allocs per IIPMeasurement-equivalent capture on the arena/series path
+// (the legacy slice-of-waveforms path paid ~180). The fixed per-Calibrate
+// overhead (fingerprint fold, enrollment store, threshold bookkeeping)
+// amortizes across the captures and must fit inside the same envelope.
+const calibCaptureAllocBudget = 4
+
+// TestCalibrateAllocationBudget pins the allocation cost of cold
+// enrollment: after one cold Calibrate (arena buffers sized, shared
+// composite-CDF warm-up built, tamper floor derived), re-calibrating the
+// link must stay within calibCaptureAllocBudget allocations per capture
+// across both endpoints.
+func TestCalibrateAllocationBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = 1
+	l, err := NewLink("calib-alloc0", cfg, txline.DefaultConfig(), rng.New(98))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	captures := 2 * cfg.EnrollMeasurements // both endpoints enroll
+	budget := float64(captures * calibCaptureAllocBudget)
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := l.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("Calibrate allocates %v times (%d captures), budget %v",
+			allocs, captures, budget)
+	}
+}

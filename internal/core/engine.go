@@ -71,10 +71,13 @@ type Endpoint struct {
 	// arena and ws are the endpoint's reusable measurement and scoring
 	// memory: every monitoring round recycles them, so the steady-state
 	// hot path allocates nothing (see ARCHITECTURE.md §8). Enrollment
-	// paths deliberately bypass them — retained fingerprints must own
-	// their memory.
-	arena *itdr.Arena
-	ws    fingerprint.Workspace
+	// streams captures through them too (avg accumulates arena-backed
+	// waveforms, errBuf holds the floor-probe error field); only the
+	// *retained* results — the enrolled fingerprint — own their memory.
+	arena  *itdr.Arena
+	ws     fingerprint.Workspace
+	avg    fingerprint.Averager
+	errBuf *signal.Waveform
 
 	// Authenticated reflects the most recent monitoring verdict.
 	authenticated bool
@@ -361,35 +364,60 @@ const enrollKey = "link"
 // fingerprints of the shared bus and store them. When the tamper threshold
 // is auto-calibrated (zero), it is set to a multiple of the clean-state
 // noise floor observed right after enrollment.
-func (l *Link) Calibrate() error {
+//
+// Calibrate runs the cold-enrollment fast path: captures stream through the
+// endpoint's arena into a running average (O(1) waveforms held instead of
+// EnrollMeasurements), the floor probes score through the endpoint's
+// workspace and a reused error buffer, and the per-endpoint measurement
+// series fans out over Config.Parallelism workers. Fingerprints, thresholds,
+// telemetry, and instrument state are bit-identical to the original
+// retain-and-average path at any worker count (see calib_determinism_test.go).
+func (l *Link) Calibrate() error { return l.CalibrateWith(l.cfg.Parallelism) }
+
+// CalibrateWith is Calibrate with an explicit worker budget for the
+// per-endpoint measurement series (<= 0 means GOMAXPROCS, 1 is fully
+// sequential). Results are bit-identical at any worker count; the knob only
+// decides how many cores the enrollment may use. The daemon's two-level
+// cold-start schedule drives this from the calib_parallelism spec field.
+func (l *Link) CalibrateWith(workers int) error {
 	for _, e := range []*Endpoint{l.CPU, l.Module} {
-		e.resetRobustState(l.cfg)
-		ws := make([]*signal.Waveform, l.cfg.EnrollMeasurements)
-		for i := range ws {
-			ws[i] = e.refl.Measure(e.observed, l.Env).IIP
+		if err := e.calibrate(l.cfg, l.Env, workers); err != nil {
+			return err
 		}
-		f, err := e.pipeline.Average(ws)
-		if err != nil {
-			return fmt.Errorf("core: calibrating %s endpoint: %w", e.Side, err)
-		}
-		if err := e.store.Enroll(enrollKey, f); err != nil {
-			return fmt.Errorf("core: enrolling %s endpoint: %w", e.Side, err)
-		}
-		if e.detector.PeakThreshold == 0 {
-			var floor float64
-			for i := 0; i < tamperFloorProbes; i++ {
-				fm := e.measure(l.Env)
-				if v, _, _ := fingerprint.PeakError(fingerprint.ErrorFunction(fm, f)); v > floor {
-					floor = v
-				}
-			}
-			e.detector.PeakThreshold = 3 * l.cfg.tamperScale() * floor
-		}
-		e.authenticated = true
-		e.Gate.Set(true)
 	}
 	l.calibrated = true
 	l.emit(telemetry.Event{Kind: telemetry.EventCalibrated, Link: l.ID, Round: l.rounds})
+	return nil
+}
+
+// calibrate enrolls one endpoint: averaged fingerprint, then — when the
+// tamper threshold auto-calibrates — the clean-state noise-floor probes.
+func (e *Endpoint) calibrate(cfg Config, env txline.Environment, workers int) error {
+	e.resetRobustState(cfg)
+	e.avg.Reset()
+	e.refl.MeasureSeries(e.arena, e.observed, env, cfg.EnrollMeasurements, workers,
+		func(_ int, m itdr.Measurement) { e.avg.Add(m.IIP) })
+	f, err := e.pipeline.FromAverage(&e.avg)
+	if err != nil {
+		return fmt.Errorf("core: calibrating %s endpoint: %w", e.Side, err)
+	}
+	if err := e.store.Enroll(enrollKey, f); err != nil {
+		return fmt.Errorf("core: enrolling %s endpoint: %w", e.Side, err)
+	}
+	if e.detector.PeakThreshold == 0 {
+		var floor float64
+		e.refl.MeasureSeries(e.arena, e.observed, env, tamperFloorProbes, workers,
+			func(_ int, m itdr.Measurement) {
+				fm := e.pipeline.FromWaveformWith(&e.ws, m.IIP)
+				e.errBuf = fingerprint.ErrorFunctionInto(e.errBuf, fm, f)
+				if v, _, _ := fingerprint.PeakError(e.errBuf); v > floor {
+					floor = v
+				}
+			})
+		e.detector.PeakThreshold = 3 * cfg.tamperScale() * floor
+	}
+	e.authenticated = true
+	e.Gate.Set(true)
 	return nil
 }
 

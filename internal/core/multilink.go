@@ -62,12 +62,16 @@ func NewMultiLink(id string, cfg Config, lineCfg txline.Config, n int, stream *r
 
 // Calibrate enrolls every wire and opens the fused gates. Wires own disjoint
 // lines and instruments, so enrollment fans out across the engine's
-// Parallelism workers with results identical to enrolling in order.
+// Parallelism workers with results identical to enrolling in order. The
+// worker budget splits two-level — across wires first, leftover workers
+// handed to each wire's intra-link measurement fan-out — so a wide bus and a
+// narrow one both saturate the same core budget without oversubscribing.
 func (m *MultiLink) Calibrate() error {
 	errs := make([]error, len(m.Wires))
 	recs, orig := m.maybeSwapRecorders()
-	pool.Run(len(m.Wires), pool.Workers(m.cfg.Parallelism), func(_, w int) {
-		errs[w] = m.Wires[w].Calibrate()
+	across, within := pool.Split(m.cfg.Parallelism, len(m.Wires))
+	pool.Run(len(m.Wires), across, func(_, w int) {
+		errs[w] = m.Wires[w].CalibrateWith(within)
 	})
 	m.maybeDrainRecorders(recs, orig)
 	for _, err := range errs {
@@ -129,14 +133,14 @@ func (m *MultiLink) MonitorOnce() ([]Alert, error) {
 					w, side, m.ID, ErrEnrollmentLost)
 				return
 			}
-			meas := e.refl.Measure(e.observed, l.Env)
+			meas := e.refl.MeasureInto(e.arena, e.observed, l.Env)
 			e.trackSaturation(meas.Saturated, l.cfg.Robust)
-			f := e.pipeline.FromWaveformMasked(meas.IIP, e.mask)
+			f := e.pipeline.FromWaveformMaskedWith(&e.ws, meas.IIP, e.mask)
 			scoring := e.mask.Dilate(l.cfg.Robust.MaskGuard)
 			scores[w] = fingerprint.MaskedSimilarity(f, enrolled, scoring)
 			e.lastScore = scores[w]
 			e.authenticated = scores[w] >= m.cfg.AuthThreshold
-			if v := e.detector.CheckMasked(f, enrolled, scoring); v.Tampered {
+			if v := e.detector.CheckMaskedWith(&e.ws, f, enrolled, scoring); v.Tampered {
 				tampers[w] = &v
 			}
 		})

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"divot/internal/fingerprint"
+	"divot/internal/itdr"
 )
 
 // ExportEnrollment writes the endpoint's stored bus fingerprint — its EPROM
@@ -45,14 +46,20 @@ func (l *Link) RestoreCalibration(cpu, module io.Reader) error {
 		}
 		enrolled, _ := pair.e.store.Lookup(enrollKey)
 		if pair.e.detector.PeakThreshold == 0 {
+			// Floor probes run on the arena/workspace path like Calibrate's;
+			// note the restore threshold is 3× the raw floor (no tamperScale),
+			// the historical boot-path contract.
+			e := pair.e
 			var floor float64
-			for i := 0; i < 4; i++ {
-				m := pair.e.measure(l.Env)
-				if v, _, _ := fingerprint.PeakError(fingerprint.ErrorFunction(m, enrolled)); v > floor {
-					floor = v
-				}
-			}
-			pair.e.detector.PeakThreshold = 3 * floor
+			e.refl.MeasureSeries(e.arena, e.observed, l.Env, 4, 1,
+				func(_ int, meas itdr.Measurement) {
+					m := e.pipeline.FromWaveformWith(&e.ws, meas.IIP)
+					e.errBuf = fingerprint.ErrorFunctionInto(e.errBuf, m, enrolled)
+					if v, _, _ := fingerprint.PeakError(e.errBuf); v > floor {
+						floor = v
+					}
+				})
+			e.detector.PeakThreshold = 3 * floor
 		}
 		pair.e.authenticated = true
 		pair.e.Gate.Set(true)

@@ -19,6 +19,14 @@ type Spec struct {
 	// Parallelism is the engine's worker bound (divot.Config.Engine
 	// .Parallelism): 0 = one worker per CPU, 1 = sequential.
 	Parallelism int `json:"parallelism"`
+	// CalibParallelism bounds the workers used for cold enrollment only: the
+	// budget splits two-level, across links first and leftover workers into
+	// each link's intra-link measurement fan-out, so both a wide fleet and a
+	// single slow link saturate the same cores. Enrollment results are
+	// bit-identical at every worker count (the snapshot hash does not depend
+	// on it). 0 (the default) inherits Parallelism — which itself defaults
+	// to one worker per CPU; 1 = fully sequential calibration.
+	CalibParallelism int `json:"calib_parallelism"`
 	// Listen is the HTTP API address; default "127.0.0.1:9720".
 	Listen string `json:"listen"`
 	// IntervalMS is the default monitoring period per bus in milliseconds;
@@ -147,6 +155,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Parallelism < 0 {
 		return fmt.Errorf("parallelism must be >= 0, got %d", s.Parallelism)
+	}
+	if s.CalibParallelism < 0 {
+		return fmt.Errorf("calib_parallelism must be >= 0, got %d", s.CalibParallelism)
 	}
 	if s.SchedulerShards < 0 {
 		return fmt.Errorf("scheduler_shards must be >= 0, got %d", s.SchedulerShards)

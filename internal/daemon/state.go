@@ -92,7 +92,18 @@ func (d *Daemon) warmup() error {
 		recs[i] = &divot.TelemetryRecorder{}
 		ls.link.SetSink(recs[i])
 	}
-	pool.Run(n, pool.Workers(d.sys.Config().Engine.Parallelism), func(_, i int) {
+	// The calibration budget (spec calib_parallelism, inheriting the engine
+	// Parallelism when 0) splits two-level: across links first, leftover
+	// workers handed to each link's intra-link measurement fan-out. A large
+	// fleet runs one link per worker; a small fleet pushes the spare workers
+	// inside each link's enrollment series. Both levels are bit-identical at
+	// any worker count.
+	effective := d.spec.CalibParallelism
+	if effective == 0 {
+		effective = d.sys.Config().Engine.Parallelism
+	}
+	across, within := pool.Split(effective, n)
+	pool.Run(n, across, func(_, i int) {
 		ls := d.links[i]
 		if d.tryRestore(ls) {
 			warm[i] = true
@@ -100,7 +111,7 @@ func (d *Daemon) warmup() error {
 			d.calibratedN.Add(1)
 			return
 		}
-		if errs[i] = ls.link.Calibrate(); errs[i] == nil {
+		if errs[i] = ls.link.CalibrateWith(within); errs[i] == nil {
 			d.calibratedN.Add(1)
 		}
 	})

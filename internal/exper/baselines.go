@@ -8,6 +8,7 @@ import (
 	"divot/internal/fingerprint"
 	"divot/internal/itdr"
 	"divot/internal/rng"
+	"divot/internal/signal"
 	"divot/internal/txline"
 )
 
@@ -95,9 +96,10 @@ func Baselines(seed uint64, mode Mode) Result {
 		r.enroll(env, enroll)
 		det := fingerprint.TamperDetector{Velocity: lcfg.Velocity}
 		var floor float64
+		var errBuf *signal.Waveform
 		for i := 0; i < 4; i++ {
-			e := fingerprint.ErrorFunction(r.measure(env), r.ref)
-			if v, _, _ := fingerprint.PeakError(e); v > floor {
+			errBuf = fingerprint.ErrorFunctionInto(errBuf, r.measure(env), r.ref)
+			if v, _, _ := fingerprint.PeakError(errBuf); v > floor {
 				floor = v
 			}
 		}

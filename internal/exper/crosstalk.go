@@ -6,6 +6,7 @@ import (
 	"divot/internal/fingerprint"
 	"divot/internal/itdr"
 	"divot/internal/rng"
+	"divot/internal/signal"
 	"divot/internal/txline"
 )
 
@@ -38,19 +39,21 @@ func CrosstalkAblation(seed uint64, mode Mode) Result {
 		Headers: []string{"calibrated under", "monitored under", "genuine similarity", "phantom tamper peak / floor"},
 	}
 
+	var errBuf *signal.Waveform
 	row := func(calEnv, monEnv txline.Environment, calName, monName string) {
 		r := newRig("dut-"+calName+"-"+monName, icfg, lcfg, stream)
 		r.enroll(calEnv, enroll)
 		var floor float64
 		for i := 0; i < 4; i++ {
-			e := fingerprint.ErrorFunction(r.measure(calEnv), r.ref)
-			if v, _, _ := fingerprint.PeakError(e); v > floor {
+			errBuf = fingerprint.ErrorFunctionInto(errBuf, r.measure(calEnv), r.ref)
+			if v, _, _ := fingerprint.PeakError(errBuf); v > floor {
 				floor = v
 			}
 		}
 		m := r.measure(monEnv)
 		s := fingerprint.Similarity(m, r.ref)
-		peak, _, _ := fingerprint.PeakError(fingerprint.ErrorFunction(m, r.ref))
+		errBuf = fingerprint.ErrorFunctionInto(errBuf, m, r.ref)
+		peak, _, _ := fingerprint.PeakError(errBuf)
 		res.Rows = append(res.Rows, []string{
 			calName, monName,
 			fmt.Sprintf("%.4f", s),

@@ -7,6 +7,7 @@ import (
 	"divot/internal/fingerprint"
 	"divot/internal/itdr"
 	"divot/internal/rng"
+	"divot/internal/signal"
 	"divot/internal/txline"
 )
 
@@ -36,12 +37,13 @@ func runTamper(id, title, claim string, trial tamperTrial, seed uint64, mode Mod
 	// reference, no attack (the paper's dotted lines).
 	var cleanPeak, cleanMean float64
 	cleanRounds := 4
+	var errBuf *signal.Waveform
 	for i := 0; i < cleanRounds; i++ {
-		e := fingerprint.ErrorFunction(r.measure(env), r.ref)
-		if v, _, _ := fingerprint.PeakError(e); v > cleanPeak {
+		errBuf = fingerprint.ErrorFunctionInto(errBuf, r.measure(env), r.ref)
+		if v, _, _ := fingerprint.PeakError(errBuf); v > cleanPeak {
 			cleanPeak = v
 		}
-		cleanMean += fingerprint.MeanError(e) / float64(cleanRounds)
+		cleanMean += fingerprint.MeanError(errBuf) / float64(cleanRounds)
 	}
 
 	pos, unmount := trial.mount(r, stream.Child("attack"))

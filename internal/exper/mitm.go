@@ -7,6 +7,7 @@ import (
 	"divot/internal/fingerprint"
 	"divot/internal/itdr"
 	"divot/internal/rng"
+	"divot/internal/signal"
 	"divot/internal/txline"
 )
 
@@ -49,6 +50,7 @@ func InterposerDetection(seed uint64, mode Mode) Result {
 		"none (genuine)", fmt.Sprintf("%.4f", genuine),
 		fmt.Sprintf("%v", genuine >= loose), fmt.Sprintf("%v", genuine >= strict), "-",
 	})
+	var errBuf *signal.Waveform
 	for _, pos := range []float64{0.05, 0.125, 0.20} {
 		mitm := attack.DefaultInterposer(pos)
 		mitm.Apply(r.line)
@@ -61,7 +63,8 @@ func InterposerDetection(seed uint64, mode Mode) Result {
 			s += fingerprint.Similarity(r.measure(env), r.ref)
 		}
 		s /= float64(reps)
-		e := fingerprint.ErrorFunction(m, r.ref)
+		errBuf = fingerprint.ErrorFunctionInto(errBuf, m, r.ref)
+		e := errBuf
 		// Onset: the first bin where E_xy exceeds 10x its pre-cut mean.
 		cut := int(r.line.PositionToTime(pos) * icfg.EquivalentRate())
 		var preMean float64

@@ -1,0 +1,54 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+
+	"divot/internal/rng"
+	"divot/internal/signal"
+)
+
+// TestAveragerMatchesAverage proves the streaming fold is bit-identical to
+// the slice-based Average, including after a Reset reusing the accumulator.
+func TestAveragerMatchesAverage(t *testing.T) {
+	p := DefaultPipeline()
+	stream := rng.New(99)
+	var av Averager
+	for round := 0; round < 3; round++ {
+		n := 3 + 2*round
+		ws := make([]*signal.Waveform, n)
+		av.Reset()
+		for i := range ws {
+			w := signal.New(89.6e9, 343)
+			for j := range w.Samples {
+				w.Samples[j] = stream.Gaussian(0, 1)
+			}
+			ws[i] = w
+			av.Add(w)
+		}
+		want, err := p.Average(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.FromAverage(&av)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("round %d: length %d != %d", round, got.Len(), want.Len())
+		}
+		for i := range want.Raw.Samples {
+			if math.Float64bits(got.Raw.Samples[i]) != math.Float64bits(want.Raw.Samples[i]) {
+				t.Fatalf("round %d: bin %d differs", round, i)
+			}
+		}
+		if av.Count() != n {
+			t.Fatalf("round %d: count %d != %d", round, av.Count(), n)
+		}
+	}
+
+	var empty Averager
+	if _, err := p.FromAverage(&empty); err == nil {
+		t.Fatal("FromAverage on empty averager should error")
+	}
+}

@@ -104,6 +104,11 @@ type Inverter struct {
 	cdf   *stats.CompositeCDF
 	table *stats.InverseTable // nil until Promote
 	refs  []float64           // the (unsorted) reference set this was built for
+
+	// memo, when non-nil, caches un-promoted bisections fleet-wide (set by
+	// the warmup-backed reset; see bisectMemo). It never changes a result:
+	// Invert is a pure function of (cdf, p).
+	memo *bisectMemo
 }
 
 // NewInverter builds the inverse map for the given reference levels. The
@@ -117,6 +122,29 @@ func (a APC) NewInverter(refs []float64) *Inverter {
 		centers[i] = r - a.Offset
 	}
 	return &Inverter{
+		cdf:  stats.NewCompositeCDF(a.gaussian().Sigma, centers),
+		refs: append([]float64(nil), refs...),
+	}
+}
+
+// resetInverter rebuilds iv in place for the given reference levels,
+// avoiding the per-bin heap Inverter of NewInverter. When the instrument has
+// a shared warmup, the bin's CDF, reference slice, and bisect memo all alias
+// the immutable fleet-wide copies; otherwise the CDF is built fresh and the
+// refs are copied out of the caller's scratch, exactly as NewInverter does.
+func (a APC) resetInverter(iv *Inverter, refs []float64, wb *warmBin) {
+	if len(refs) == 0 {
+		panic("itdr: APC needs at least one reference level")
+	}
+	if wb != nil {
+		*iv = Inverter{cdf: wb.cdf, refs: refs, memo: &wb.memo}
+		return
+	}
+	centers := make([]float64, len(refs))
+	for i, r := range refs {
+		centers[i] = r - a.Offset
+	}
+	*iv = Inverter{
 		cdf:  stats.NewCompositeCDF(a.gaussian().Sigma, centers),
 		refs: append([]float64(nil), refs...),
 	}
@@ -205,6 +233,9 @@ func (iv *Inverter) Estimate(onesFraction float64, trials int) float64 {
 	}
 	if iv.table != nil {
 		return iv.table.Invert(p)
+	}
+	if iv.memo != nil {
+		return iv.memo.invert(iv.cdf, p)
 	}
 	return iv.cdf.Invert(p)
 }

@@ -68,6 +68,16 @@ type Reflectometer struct {
 	// measurements are separated by the pool's join, so no locking is
 	// needed.
 	binInv []*Inverter
+	// binInvStore backs binInv with a single flat allocation so building the
+	// per-bin cache costs one slice instead of one heap Inverter per bin.
+	binInvStore []Inverter
+
+	// wu, when non-nil, is the fleet-shared warm-up for this (Config, Probe)
+	// pair: forward edge, per-bin reference schedules, and per-bin inverse-map
+	// cores (see warmup). Only clock-triggered instruments using the config's
+	// own modulator have one — exactly the case where the acquisition schedule
+	// is a pure function of configuration.
+	wu *warmup
 }
 
 // New builds a reflectometer. The stream seeds both the comparator noise and
@@ -80,17 +90,26 @@ func New(cfg Config, probe txline.Probe, mod analog.Modulator, stream *rng.Strea
 	// A non-coprime modulation ratio is permitted — the Vernier sweep
 	// degrades and the dynamic range collapses, which the coprime ablation
 	// demonstrates — so it is not a validation error.
+	var wu *warmup
 	if mod == nil {
 		mod = analog.NewTriangleModulator(cfg.ModFrequency(), cfg.ModAmplitude, cfg.ModTauRatio)
+		// The config's own modulator plus clock triggering makes the whole
+		// acquisition schedule a pure function of (cfg, probe); share it.
+		wu = warmupFor(cfg, probe)
 	}
-	return &Reflectometer{
+	r := &Reflectometer{
 		cfg:   cfg,
 		comp:  analog.NewComparator(cfg.ComparatorNoise, cfg.ComparatorOffset, stream.Child("comparator")),
 		mod:   mod,
 		apc:   NewAPC(cfg.ComparatorNoise, cfg.ComparatorOffset),
 		probe: probe,
 		envRN: stream.Child("environment"),
-	}, nil
+		wu:    wu,
+	}
+	if wu != nil {
+		r.fwd = wu.fwd
+	}
+	return r, nil
 }
 
 // MustNew is New but panics on configuration errors; for tests and examples
@@ -155,19 +174,31 @@ func (r *Reflectometer) MeasureInto(a *Arena, line *txline.Line, env txline.Envi
 // bit-identical IIPs at any worker count — Parallelism=1 runs the same
 // per-bin code inline.
 func (r *Reflectometer) measureUnder(a *Arena, line *txline.Line, cond txline.Condition) Measurement {
+	r.seq++
+	return r.measureAt(a, line, cond, r.seq, false)
+}
+
+// measureAt is measureUnder for an explicit sequence number. shared marks a
+// measurement running concurrently with others on the same instrument (the
+// MeasureSeries fan-out): it must treat all instrument state — fwd, binInv,
+// the warmup — as frozen, reading but never writing it. The series
+// leader guarantees that state is fully built and promoted first, and the
+// eligibility gate (clock trigger, no injector) guarantees a shared
+// measurement never needs to mutate it.
+func (r *Reflectometer) measureAt(a *Arena, line *txline.Line, cond txline.Condition, seq uint64, shared bool) Measurement {
 	cfg := r.cfg
 	bins := cfg.Bins()
 	rate := cfg.EquivalentRate()
 
 	// Consult the fault injector first: environmental glitches must land
-	// before the line response is synthesized. Incrementing seq here (rather
-	// than just before the per-measurement stream derivation below) changes
-	// nothing on the healthy path — no randomness is drawn in between.
-	r.seq++
+	// before the line response is synthesized. Incrementing seq in the
+	// caller (rather than just before the per-measurement stream derivation
+	// below) changes nothing on the healthy path — no randomness is drawn in
+	// between.
 	var mf MeasurementFault
 	faulted := false
 	if r.inj != nil {
-		mf, faulted = r.inj.BeginMeasurement(r.seq)
+		mf, faulted = r.inj.BeginMeasurement(seq)
 	}
 	if faulted && mf.Condition != nil {
 		ct := mf.Condition(ConditionTransform{DeltaT: cond.DeltaT, EMIAmplitude: cond.EMIAmplitude})
@@ -201,10 +232,13 @@ func (r *Reflectometer) measureUnder(a *Arena, line *txline.Line, cond txline.Co
 
 	// Fresh randomness for each measurement: the trigger pattern depends
 	// on the live traffic and the EMI aggressor drifts in phase, so
-	// neither may repeat identically between measurements.
-	a.mStream.ReseedChildN(r.envRN, "measurement", r.seq)
-	if len(r.binInv) != bins {
+	// neither may repeat identically between measurements. (Deriving the
+	// child reads only the parent's seed, so concurrent shared measurements
+	// never contend on envRN.)
+	a.mStream.ReseedChildN(r.envRN, "measurement", seq)
+	if !shared && len(r.binInv) != bins {
 		r.binInv = make([]*Inverter, bins)
+		r.binInvStore = make([]Inverter, bins)
 	}
 
 	// Jitter faults add in quadrature to the PLL's own phase noise.
@@ -239,6 +273,8 @@ func (r *Reflectometer) measureUnder(a *Arena, line *txline.Line, cond txline.Co
 		scratch:     a.scratch,
 		binRN:       a.binRN,
 		mStream:     a.mStream,
+		wu:          r.wu,
+		shared:      shared,
 	}
 	ctx := &a.ctx
 	if workers <= 1 {
@@ -255,18 +291,8 @@ func (r *Reflectometer) measureUnder(a *Arena, line *txline.Line, cond txline.Co
 	for _, c := range a.binCycles {
 		cycles += c
 	}
-	if r.sink != nil {
-		sat := 0
-		for _, s := range a.saturated {
-			if s {
-				sat++
-			}
-		}
-		r.sink.Emit(telemetry.Event{
-			Kind: telemetry.EventMeasurement,
-			Link: r.link, Side: r.side,
-			Round: r.seq, SatBins: sat,
-		})
+	if !shared {
+		r.emitMeasurement(seq, a.saturated)
 	}
 	return Measurement{
 		IIP:        a.out,
@@ -296,6 +322,28 @@ type binCtx struct {
 	scratch     [][]float64
 	binRN       []*rng.Stream
 	mStream     *rng.Stream
+	wu          *warmup
+	shared      bool
+}
+
+// emitMeasurement publishes the per-measurement telemetry event. The series
+// fan-out calls it from the ordered hand-off so events keep their exact
+// sequential order.
+func (r *Reflectometer) emitMeasurement(seq uint64, saturated []bool) {
+	if r.sink == nil {
+		return
+	}
+	sat := 0
+	for _, s := range saturated {
+		if s {
+			sat++
+		}
+	}
+	r.sink.Emit(telemetry.Event{
+		Kind: telemetry.EventMeasurement,
+		Link: r.link, Side: r.side,
+		Round: seq, SatBins: sat,
+	})
 }
 
 // measureBin acquires one ETS phase bin: trigger search, trial loop, and
@@ -306,7 +354,15 @@ func (r *Reflectometer) measureBin(c *binCtx, worker, m int) {
 	cfg := r.cfg
 	bs := c.binRN[worker]
 	bs.ReseedChildN(c.mStream, "bin", uint64(m))
+	// With a shared warmup the bin's reference schedule was precomputed once
+	// for the whole fleet: read it instead of re-evaluating the modulator per
+	// trial. wuRefs is immutable — the trial loop must not write it.
 	refs := c.scratch[worker]
+	var wuRefs []float64
+	if c.wu != nil {
+		wuRefs = c.wu.refs[m]
+		refs = wuRefs
+	}
 	tBin := float64(m) * cfg.PhaseStepSec
 	xtalk := c.cond.CrosstalkAt(tBin)
 	var bf BinFault
@@ -343,9 +399,14 @@ func (r *Reflectometer) measureBin(c *binCtx, worker, m int) {
 				polarity = -1
 			}
 		}
-		tAbs := float64(cycleBase+cycle)*c.clockPeriod + tBin
-		ref := r.mod.Level(tAbs)
-		refs[j] = ref
+		var ref float64
+		if wuRefs != nil {
+			ref = wuRefs[j]
+		} else {
+			tAbs := float64(cycleBase+cycle)*c.clockPeriod + tBin
+			ref = r.mod.Level(tAbs)
+			refs[j] = ref
+		}
 		// The EMI aggressor is asynchronous to the sampling clock: its
 		// frequency offset and jitter decorrelate the phase between
 		// successive visits to the same bin, so each trial sees an
@@ -403,10 +464,27 @@ func (r *Reflectometer) measureBin(c *binCtx, worker, m int) {
 	// modes see fresh cycle offsets each measurement, so they rebuild —
 	// still cheaper than before thanks to the sorted, windowed CDF.
 	inv := r.binInv[m]
-	if inv == nil || !inv.Matches(refs) {
-		inv = r.apc.NewInverter(refs)
+	switch {
+	case c.shared:
+		// Shared measurements run after the series leader built and promoted
+		// every bin's inverter, so the cache is frozen and always hits; the
+		// rebuild below is defensive (unreachable under the clock-trigger
+		// eligibility gate) and deliberately leaves instrument state alone.
+		if inv == nil || !inv.Matches(refs) {
+			inv = r.apc.NewInverter(refs)
+		}
+	case inv == nil || !inv.Matches(refs):
+		// Cache miss: rebuild in place into the flat per-bin store — one
+		// slice for all bins instead of a heap Inverter per bin, and with a
+		// warmup the CDF/refs/memo alias the fleet-shared copies.
+		inv = &r.binInvStore[m]
+		var wb *warmBin
+		if c.wu != nil {
+			wb = &c.wu.bins[m]
+		}
+		r.apc.resetInverter(inv, refs, wb)
 		r.binInv[m] = inv
-	} else {
+	default:
 		inv.Promote()
 	}
 	// Refer the estimate back to the line by undoing the coupler gain.

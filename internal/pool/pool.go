@@ -74,3 +74,26 @@ func Run(n, workers int, fn func(worker, i int)) {
 		panic(*r)
 	}
 }
+
+// Split divides a total worker budget between `tasks` outer tasks and the
+// inner work each task fans out itself: outer = min(total, tasks) tasks run
+// concurrently, each with inner = total/outer workers for its own fan-out.
+// This is the two-level schedule used by fleet cold calibration (across
+// links × within links): with more links than workers every worker runs
+// whole links (inner 1), with few links the budget flows inside them.
+// total is normalized through Workers first, so <= 0 means the machine.
+func Split(total, tasks int) (outer, inner int) {
+	total = Workers(total)
+	if tasks < 1 {
+		tasks = 1
+	}
+	outer = total
+	if outer > tasks {
+		outer = tasks
+	}
+	inner = total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
